@@ -1,0 +1,75 @@
+"""Ablation: where the fake queries come from (the paper's key design bet).
+
+X-Search's central claim (§4.3) is that drawing fakes from *real past
+queries* beats synthesising them.  This bench pits four fake sources
+against SimAttack at fixed k: real past queries (X-Search), co-occurrence
+walks (PEAS), frequency-matched dictionary words (GooPIR) and RSS
+headline windows (TrackMeNot).
+"""
+
+import random
+
+from repro.baselines.goopir import FrequencyDictionary, GooPir
+from repro.baselines.trackmenot import TrackMeNot
+from repro.core.history import QueryHistory
+from repro.core.obfuscation import obfuscate_query
+
+K = 3
+
+
+def run_ablation(context):
+    pairs = context.sample_test_queries(per_user=1)
+    train_texts = context.train_texts
+    attack = context.attack
+
+    history = QueryHistory(len(train_texts) + len(pairs))
+    history.extend(train_texts)
+    cooccurrence = context.cooccurrence
+    goopir = GooPir(
+        FrequencyDictionary.from_texts(train_texts), k=K,
+        rng=random.Random(5),
+    )
+    trackmenot = TrackMeNot(seed=5)
+    rng = random.Random(23)
+
+    def protect_with(fakes, text):
+        subqueries = list(fakes)
+        subqueries.insert(rng.randrange(K + 1), text)
+        return subqueries
+
+    sources = {
+        "real-past (X-Search)": lambda text: list(
+            obfuscate_query(text, history, K, rng).subqueries
+        ),
+        "co-occurrence (PEAS)": lambda text: protect_with(
+            cooccurrence.generate_fakes(K, rng), text
+        ),
+        "dictionary (GooPIR)": lambda text: protect_with(
+            [goopir.generate_fake(text) for _ in range(K)], text
+        ),
+        "rss-feed (TMN)": lambda text: protect_with(
+            trackmenot.generate_fakes(K), text
+        ),
+    }
+    rates = {}
+    for name, protect in sources.items():
+        triples = [
+            (user_id, text, protect(text)) for user_id, text in pairs
+        ]
+        rates[name] = attack.reidentification_rate(triples)
+    return rates
+
+
+def test_ablation_fake_source(benchmark, context):
+    rates = benchmark.pedantic(
+        run_ablation, args=(context,), rounds=1, iterations=1
+    )
+    print()
+    print("fake source            re-identification rate")
+    for name, rate in rates.items():
+        print(f"{name:<24} {rate:>10.3f}")
+    # The paper's bet: real past queries are the most confusing fakes.
+    best = min(rates.values())
+    assert rates["real-past (X-Search)"] <= best + 1e-9
+    # RSS fakes are nearly transparent to the attack.
+    assert rates["rss-feed (TMN)"] >= rates["real-past (X-Search)"]

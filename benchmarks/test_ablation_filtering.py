@@ -1,0 +1,83 @@
+"""Ablation: Algorithm 2's scoring fields (title + description).
+
+The paper scores each result against each sub-query on both the title and
+the description (snippet).  This bench compares the full scorer against
+title-only and snippet-only variants on the Figure 4 accuracy task.
+"""
+
+import random
+
+from repro.core.filtering import filter_results
+from repro.core.history import QueryHistory
+from repro.core.obfuscation import obfuscate_query
+from repro.metrics.accuracy import precision_recall
+from repro.search.documents import SearchResult
+
+K = 3
+DEPTH = 20
+N_QUERIES = 25
+
+
+def blank_field(results, field):
+    out = []
+    for r in results:
+        out.append(
+            SearchResult(
+                rank=r.rank,
+                url=r.url,
+                title="" if field == "title" else r.title,
+                snippet="" if field == "snippet" else r.snippet,
+                score=r.score,
+            )
+        )
+    return out
+
+
+def run_ablation(context):
+    engine = context.engine
+    texts = context.sample_random_test_texts(N_QUERIES)
+    train_texts = context.train_texts
+    variants = {"title+snippet": None, "title-only": "snippet",
+                "snippet-only": "title"}
+    scores = {}
+    for name, blanked in variants.items():
+        rng = random.Random(31)
+        history = QueryHistory(len(train_texts) + N_QUERIES)
+        history.extend(train_texts)
+        f1_sum = 0.0
+        for text in texts:
+            reference = engine.search(text, DEPTH)
+            obfuscated = obfuscate_query(text, history, K, rng)
+            merged = engine.search_or(list(obfuscated.subqueries), DEPTH)
+            if blanked is not None:
+                merged_view = blank_field(merged, blanked)
+            else:
+                merged_view = merged
+            decisions = filter_results(
+                obfuscated.original, obfuscated.fake_queries, merged_view,
+                explain=True,
+            )
+            kept = [
+                merged[i] for i, d in enumerate(decisions) if d.kept
+            ][:DEPTH]
+            precision, recall = precision_recall(reference, kept)
+            f1 = (
+                2 * precision * recall / (precision + recall)
+                if precision + recall else 0.0
+            )
+            f1_sum += f1
+        scores[name] = f1_sum / len(texts)
+    return scores
+
+
+def test_ablation_filtering_fields(benchmark, context):
+    scores = benchmark.pedantic(
+        run_ablation, args=(context,), rounds=1, iterations=1
+    )
+    print()
+    print("scoring fields    mean F1 vs direct results")
+    for name, f1 in scores.items():
+        print(f"{name:<16} {f1:>10.3f}")
+    # Using both fields is at least as good as either alone.
+    assert scores["title+snippet"] >= scores["title-only"] - 0.02
+    assert scores["title+snippet"] >= scores["snippet-only"] - 0.02

@@ -1,0 +1,48 @@
+"""Ablation: the history window size x (DESIGN.md design-choice bench).
+
+The paper bounds enclave memory by keeping only the last x queries
+(§4.3).  This ablation quantifies the trade-off that motivates a large
+window: a small window stores few distinct fakes, so obfuscated queries
+recycle the same sub-queries and re-identification gets easier, while the
+memory footprint (Figure 6's concern) grows linearly with x.
+"""
+
+import random
+
+from repro.core.history import QueryHistory
+from repro.core.obfuscation import obfuscate_query
+
+WINDOW_SIZES = (50, 500, 5_000)
+K = 3
+
+
+def run_ablation(context):
+    pairs = context.sample_test_queries(per_user=1)
+    train_texts = context.train_texts
+    attack = context.attack
+    rows = []
+    for window in WINDOW_SIZES:
+        rng = random.Random(17)
+        history = QueryHistory(window)
+        history.extend(train_texts)  # only the last `window` survive
+        triples = []
+        for user_id, text in pairs:
+            obfuscated = obfuscate_query(text, history, K, rng)
+            triples.append((user_id, text, list(obfuscated.subqueries)))
+        rate = attack.reidentification_rate(triples)
+        rows.append((window, rate, history.byte_size))
+    return rows
+
+
+def test_ablation_history_size(benchmark, context):
+    rows = benchmark.pedantic(
+        run_ablation, args=(context,), rounds=1, iterations=1
+    )
+    print()
+    print("window x   re-identification   history bytes")
+    for window, rate, nbytes in rows:
+        print(f"{window:>8}   {rate:>17.3f}   {nbytes:>13,}")
+    # Memory grows with the window.
+    assert rows[0][2] < rows[1][2] < rows[2][2]
+    # A larger window never hurts (and generally helps) privacy.
+    assert rows[2][1] <= rows[0][1] + 0.05

@@ -1,0 +1,72 @@
+"""Ablation: the three-way trade-off governed by k.
+
+k is X-Search's single user-facing knob.  The paper shows two of its
+faces separately — privacy (Figure 3) and accuracy (Figure 4) — and the
+latency model implies the third: each extra fake inflates the engine's
+merged result work.  This bench lines all three up per k, the table a
+deployment would use to pick its operating point.
+"""
+
+import random
+
+from repro.core.filtering import filter_results
+from repro.core.history import QueryHistory
+from repro.core.obfuscation import obfuscate_query
+from repro.experiments.fig7_round_trip import run as fig7_run
+from repro.metrics.accuracy import precision_recall
+
+K_VALUES = (0, 1, 2, 3, 5, 7)
+
+
+def run_tradeoff(context):
+    pairs = context.sample_test_queries(per_user=1)
+    engine = context.engine
+    train_texts = context.train_texts
+    attack = context.attack
+    rows = []
+    for k in K_VALUES:
+        rng = random.Random(41 + k)
+        history = QueryHistory(len(train_texts) + len(pairs))
+        history.extend(train_texts)
+
+        triples = []
+        recall_sum = 0.0
+        for user_id, text in pairs:
+            obfuscated = obfuscate_query(text, history, k, rng)
+            triples.append((user_id, text, list(obfuscated.subqueries)))
+            reference = engine.search(text, 20)
+            merged = engine.search_or(list(obfuscated.subqueries), 20)
+            filtered = filter_results(
+                obfuscated.original, obfuscated.fake_queries, merged
+            )[:20]
+            _, recall = precision_recall(reference, filtered)
+            recall_sum += recall
+
+        reid = attack.reidentification_rate(triples)
+        latency = fig7_run(n_queries=60, k=k, seed=5).median("X-Search")
+        rows.append((k, reid, recall_sum / len(pairs), latency))
+    return rows
+
+
+def test_ablation_k_tradeoff(benchmark, context):
+    rows = benchmark.pedantic(
+        run_tradeoff, args=(context,), rounds=1, iterations=1
+    )
+    print()
+    print("   k   re-identification   recall   median RTT (s)")
+    for k, reid, recall, latency in rows:
+        print(f"{k:>4}   {reid:>17.3f}   {recall:>6.3f}   {latency:>14.3f}")
+
+    reids = [row[1] for row in rows]
+    recalls = [row[2] for row in rows]
+    latencies = [row[3] for row in rows]
+    # Privacy improves markedly from k=0 to the first protected points...
+    assert min(reids[1:]) < reids[0]
+    # ...accuracy stays high but does not improve with k...
+    assert recalls[0] >= max(recalls[1:]) - 1e-9
+    assert min(recalls) > 0.6
+    # ...and latency strictly grows with k (bigger merged pages).
+    assert all(a < b for a, b in zip(latencies, latencies[1:]))
+    # The paper's default (k=3) keeps recall > 0.8 and sub-second medians.
+    k3 = next(row for row in rows if row[0] == 3)
+    assert k3[2] > 0.8 and k3[3] < 1.0

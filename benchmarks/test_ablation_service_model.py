@@ -1,0 +1,71 @@
+"""Ablation: robustness of the Figure 5 ordering to the service constants.
+
+The service-time medians in :mod:`repro.experiments.service_models` are
+calibrated, not measured on the authors' hardware.  This bench perturbs
+every constant by ±50 % and checks that the paper's qualitative claim —
+X-Search ≫ PEAS ≫ Tor ≫ RAC ≫ Dissent in sustainable throughput — never
+flips, i.e. the conclusion comes from the architecture gap (orders of
+magnitude), not from the exact constants.
+"""
+
+from repro.net.loadgen import saturation_rate, sweep
+from repro.net.queueing import QueueingStation, ServiceTime
+from repro.experiments import service_models as sm
+
+LADDERS = {
+    "X-Search": (5_000, 10_000, 20_000, 30_000, 45_000, 60_000),
+    "PEAS": (200, 500, 1_000, 1_500, 2_500, 4_000),
+    "Tor": (25, 50, 100, 150, 250, 400),
+    "RAC": (5, 10, 20, 35, 60),
+    "Dissent": (2, 5, 10, 20, 35),
+}
+BASE = {
+    "X-Search": (sm.XSEARCH_WORKERS, sm.XSEARCH_SERVICE),
+    "PEAS": (sm.PEAS_WORKERS, sm.PEAS_SERVICE),
+    "Tor": (sm.TOR_WORKERS, sm.TOR_SERVICE),
+    "RAC": (sm.TOR_WORKERS, sm.RAC_SERVICE),
+    "Dissent": (sm.TOR_WORKERS, sm.DISSENT_SERVICE),
+}
+ORDER = ["X-Search", "PEAS", "Tor", "RAC", "Dissent"]
+
+
+def saturation_under(scale: float) -> dict:
+    out = {}
+    for name in ORDER:
+        workers, service = BASE[name]
+        station = QueueingStation(
+            name,
+            workers=workers,
+            service=ServiceTime(service.median_seconds * scale,
+                                service.sigma),
+            seed=3,
+        )
+        # Enough requests per point that the throughput estimate is stable
+        # even at single-digit offered rates (RAC/Dissent).
+        duration = max(0.5, 200.0 / min(LADDERS[name]))
+        points = sweep(station, LADDERS[name], duration_seconds=duration,
+                       seed=3)
+        out[name] = saturation_rate(points)
+    return out
+
+
+def run_ablation():
+    return {scale: saturation_under(scale) for scale in (0.5, 1.0, 1.5)}
+
+
+def test_ablation_service_model(benchmark):
+    results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    print()
+    print("scale   " + "   ".join(f"{n:>9}" for n in ORDER))
+    for scale, saturations in results.items():
+        print(f"{scale:>5.1f}   " + "   ".join(
+            f"{saturations[n]:>9,.0f}" for n in ORDER
+        ))
+    for scale, saturations in results.items():
+        values = [saturations[name] for name in ORDER]
+        assert all(a > b for a, b in zip(values, values[1:])), (
+            f"ordering flipped at scale {scale}: {saturations}"
+        )
+        # The X-Search/PEAS and PEAS/Tor gaps stay order-of-magnitude.
+        assert saturations["X-Search"] > 5 * saturations["PEAS"]
+        assert saturations["PEAS"] > 5 * saturations["Tor"]

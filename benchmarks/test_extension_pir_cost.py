@@ -1,0 +1,68 @@
+"""Extension bench: why the paper excludes PIR engines from Figure 5.
+
+§2.1.3: PIR-based alternative engines are "unpractical due to their
+limited performance … for very large data stores".  The structural reason
+is that oblivious retrieval forces each server to scan the *entire*
+database per fetched block.  This bench measures per-query wall time and
+server work for growing corpus sizes and contrasts them with the normal
+engine's posting-list lookups.
+"""
+
+import random
+import time
+
+from repro.pir.search import PirSearchService, PirWebSearchClient
+from repro.search.corpus import CorpusConfig, CorpusGenerator
+from repro.search.engine import SearchEngine
+
+SIZES = (4, 16, 48)  # docs per topic -> 120/480/1440 documents
+
+
+def run_scaling():
+    rows = []
+    for docs_per_topic in SIZES:
+        documents = CorpusGenerator(
+            CorpusConfig(docs_per_topic=docs_per_topic), seed=4
+        ).generate()
+
+        engine = SearchEngine(documents)
+        started = time.perf_counter()
+        for _ in range(5):
+            engine.search("cheap hotel rome", 5)
+        plain_seconds = (time.perf_counter() - started) / 5
+
+        service = PirSearchService(documents, block_size=2048)
+        client = PirWebSearchClient(service, rng=random.Random(1))
+        started = time.perf_counter()
+        client.search("cheap hotel rome", limit=5)
+        pir_seconds = time.perf_counter() - started
+
+        rows.append(
+            {
+                "documents": len(documents),
+                "plain_seconds": plain_seconds,
+                "pir_seconds": pir_seconds,
+                "pir_blocks_scanned": service.server_a.blocks_scanned_total,
+                "pir_bytes_down": client.bytes_downloaded,
+            }
+        )
+    return rows
+
+
+def test_extension_pir_cost(benchmark):
+    rows = benchmark.pedantic(run_scaling, rounds=1, iterations=1)
+    print()
+    print("documents   plain query (ms)   PIR query (ms)   blocks scanned")
+    for row in rows:
+        print(
+            f"{row['documents']:>9,}   {row['plain_seconds'] * 1e3:>16.2f}"
+            f"   {row['pir_seconds'] * 1e3:>14.1f}"
+            f"   {row['pir_blocks_scanned']:>14,}"
+        )
+    # PIR server work grows linearly with the corpus...
+    scans = [row["pir_blocks_scanned"] for row in rows]
+    docs = [row["documents"] for row in rows]
+    assert scans[-1] / scans[0] >= 0.8 * docs[-1] / docs[0]
+    # ...and PIR is far slower than the plain engine at every size.
+    for row in rows:
+        assert row["pir_seconds"] > 3 * row["plain_seconds"]

@@ -1,0 +1,31 @@
+"""Figure 1 bench: CCDF of max similarity(fake query, real past queries).
+
+Paper shape: PEAS and TrackMeNot fakes are "original" — their CCDF falls
+well below 1 before similarity 1.0 — while X-Search fakes, being real past
+queries, sit at similarity 1.0 by construction.
+"""
+
+from repro.experiments import fig1_fake_queries
+
+
+def check_shape(result):
+    def at(name, threshold):
+        return result.series[name][result.thresholds.index(threshold)]
+
+    assert at("X-Search", 1.0) == 1.0
+    assert at("PEAS", 1.0) < 0.35
+    assert at("TMN", 1.0) < 0.05
+    assert at("TMN", 0.5) < at("PEAS", 0.5)
+
+
+def test_fig1_fake_query_similarity(benchmark, context):
+    result = benchmark.pedantic(
+        fig1_fake_queries.run,
+        args=(context,),
+        kwargs={"n_fakes": 150},
+        rounds=1,
+        iterations=1,
+    )
+    check_shape(result)
+    print()
+    print(fig1_fake_queries.format_table(result))

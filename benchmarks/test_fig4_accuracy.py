@@ -1,0 +1,24 @@
+"""Figure 4 bench: precision/recall of filtered results vs k.
+
+Paper shape: both metrics decrease slowly with k and stay above 0.8 at
+k=2 over the first 20 results.
+"""
+
+from repro.experiments import fig4_accuracy
+
+
+def test_fig4_accuracy(benchmark, context):
+    result = benchmark.pedantic(
+        fig4_accuracy.run,
+        args=(context,),
+        kwargs={"k_values": (0, 1, 2, 4, 7), "queries_per_k": 30},
+        rounds=1,
+        iterations=1,
+    )
+    k2 = result.k_values.index(2)
+    assert result.precisions[0] == 1.0 and result.recalls[0] == 1.0
+    assert result.precisions[k2] > 0.8
+    assert result.recalls[k2] > 0.8
+    assert result.precisions[-1] >= 0.6
+    print()
+    print(fig4_accuracy.format_table(result))

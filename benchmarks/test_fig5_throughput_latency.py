@@ -1,0 +1,38 @@
+"""Figure 5 bench: latency vs offered throughput, X-Search / PEAS / Tor.
+
+Paper shape: X-Search sustains ~25k req/s sub-second; PEAS ~1k; Tor ~100.
+One order of magnitude between each pair.
+"""
+
+from repro.experiments import fig5_throughput_latency
+
+
+def test_fig5_throughput_latency(benchmark):
+    result = benchmark.pedantic(
+        fig5_throughput_latency.run,
+        kwargs={"duration_seconds": 1.0},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.ordering_holds()
+    assert result.saturation["X-Search"] >= 20_000
+    assert 500 <= result.saturation["PEAS"] <= 2_000
+    assert 50 <= result.saturation["Tor"] <= 200
+    print()
+    print(fig5_throughput_latency.format_table(result))
+
+
+def test_fig5_extended_with_rac_and_dissent(benchmark):
+    """Extension: the robust anonymity systems of §2.1.1 — RAC below Tor,
+    Dissent below RAC, as the paper reports qualitatively."""
+    result = benchmark.pedantic(
+        fig5_throughput_latency.run,
+        kwargs={"duration_seconds": 1.0, "include_extended": True},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.saturation["Tor"] > result.saturation["RAC"]
+    assert result.saturation["RAC"] > result.saturation["Dissent"]
+    print()
+    for name in ("RAC", "Dissent"):
+        print(f"{name}: sub-second up to {result.saturation[name]:,.0f} req/s")

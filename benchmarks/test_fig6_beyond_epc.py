@@ -1,0 +1,59 @@
+"""Figure 6 extension: the paging cliff past the usable EPC (§5.3.3).
+
+Below the 90 MiB limit nothing swaps; past it, Algorithm 1's random
+sampling keeps faulting cold history segments back into the EPC, and every
+fault pays the page re-encryption cost.  This is why X-Search bounds the
+window to x entries instead of growing forever.
+"""
+
+from repro.experiments import fig6_memory
+
+
+def test_fig6_beyond_epc(benchmark):
+    result = benchmark.pedantic(
+        fig6_memory.run_beyond_epc,
+        kwargs={"overshoot_fraction": 0.2, "sampling_rounds": 300},
+        rounds=1,
+        iterations=1,
+    )
+    # The history genuinely exceeded the EPC.
+    assert result.queries_stored > result.queries_at_epc_limit
+    # Filling past the limit evicted old segments...
+    assert result.fill_swap_events > 0
+    # ...and sampling from the over-sized history faults them back in.
+    assert result.sampling_fault_events > 0
+    assert result.sampling_fault_cycles > 0
+    print()
+    print(f"stored {result.queries_stored:,} queries "
+          f"(EPC fits {result.queries_at_epc_limit:,})")
+    print(f"fill evictions: {result.fill_swap_events}")
+    print(f"sampling faults over 300 obfuscations: "
+          f"{result.sampling_fault_events} "
+          f"({result.sampling_paging_seconds * 1e3:.1f} ms simulated paging)")
+
+
+def test_history_within_epc_never_swaps(benchmark):
+    """Control: the paper-sized history (Figure 6's 1M queries fit) incurs
+    zero paging, sampling included."""
+    import random
+
+    from repro.core.history import QueryHistory
+    from repro.experiments.fig6_memory import unique_query_stream
+    from repro.sgx.epc import EnclavePageCache
+    from repro.sgx.runtime import EnclaveMemory
+
+    def run():
+        epc = EnclavePageCache()
+        history = QueryHistory(300_000, enclave_memory=EnclaveMemory(epc))
+        stream = unique_query_stream(seed=9)
+        for _ in range(200_000):
+            history.add(next(stream))
+        rng = random.Random(5)
+        for _ in range(300):
+            history.sample(3, rng)
+        return epc
+
+    epc = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert not epc.exceeds_epc()
+    assert epc.stats.swap_events == 0
+    assert epc.stats.swap_cycles == 0

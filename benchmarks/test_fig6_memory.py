@@ -1,0 +1,25 @@
+"""Figure 6 bench: enclave memory vs stored queries against the EPC line.
+
+Paper shape: linear growth; the ~90 MB of usable EPC fits more than one
+million past queries.
+"""
+
+from repro.experiments import fig6_memory
+
+
+def test_fig6_memory(benchmark):
+    result = benchmark.pedantic(
+        fig6_memory.run,
+        kwargs={"max_queries": 200_000, "samples": 10},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.queries_fitting_epc > 1_000_000
+    assert result.occupancy_bytes[-1] < result.usable_epc_bytes
+    per_query = [
+        y / x for x, y in zip(result.queries_stored[1:],
+                              result.occupancy_bytes[1:])
+    ]
+    assert max(per_query) < 1.2 * min(per_query)  # linear growth
+    print()
+    print(fig6_memory.format_table(result))

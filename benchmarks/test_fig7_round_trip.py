@@ -1,0 +1,45 @@
+"""Figure 7 bench: end-to-end search RTT CDFs (Direct, X-Search k=3, Tor).
+
+Paper shape: X-Search median ≈ 0.58 s / p99 ≈ 0.87 s (usable); Tor median
+≈ 1.06 s with a tail to ≈ 3 s (exceeds usability margins); Direct fastest.
+"""
+
+import pytest
+
+from repro.experiments import fig7_round_trip
+
+
+def test_fig7_round_trip(benchmark):
+    result = benchmark.pedantic(
+        fig7_round_trip.run,
+        kwargs={"n_queries": 100, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.median("Direct") < result.median("X-Search") < result.median("Tor")
+    assert 0.4 < result.median("X-Search") < 0.75
+    assert result.p99("X-Search") < 1.2
+    assert result.median("Tor") > 0.85
+    print()
+    print(fig7_round_trip.format_table(result))
+
+
+def test_fig7_system_mode_agrees_with_model(benchmark):
+    """Cross-validation: Figure 7 measured through the *functional* stack
+    (real brokers, enclave, onions) lands on the same medians as the
+    analytic model — the model is not doing hidden work."""
+    result = benchmark.pedantic(
+        fig7_round_trip.run_system_mode,
+        kwargs={"n_queries": 40, "seed": 1},
+        rounds=1,
+        iterations=1,
+    )
+    analytic = fig7_round_trip.run(n_queries=100, seed=1)
+    for scenario in ("Direct", "X-Search", "Tor"):
+        assert result.median(scenario) == pytest.approx(
+            analytic.median(scenario), rel=0.25
+        ), scenario
+    assert result.median("Direct") < result.median("X-Search") \
+        < result.median("Tor")
+    print()
+    print(fig7_round_trip.format_table(result))

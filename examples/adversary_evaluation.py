@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Run the SimAttack adversary against X-Search and PEAS (mini Figure 3).
+
+Builds the synthetic AOL-style workload, trains adversary profiles on the
+first two thirds of each user's history, protects the remaining queries
+with both mechanisms and reports the re-identification rate per k.
+
+Run:  python examples/adversary_evaluation.py
+"""
+
+import random
+
+from repro.attacks import SimAttack, build_profiles
+from repro.baselines import CooccurrenceModel
+from repro.core import QueryHistory, obfuscate_query
+from repro.datasets import generate_log, train_test_split
+
+FOCUS_USERS = 50
+QUERIES_PER_USER = 2
+K_VALUES = (0, 1, 3, 5)
+
+
+def main():
+    print("Generating the synthetic query log (150 users, ~3 months)...")
+    log = generate_log(seed=42, n_users=150)
+    train, test = train_test_split(log)
+    users = train.most_active_users(FOCUS_USERS)
+    print(f"  {len(log):,} queries; focusing on the {FOCUS_USERS} most "
+          "active users\n")
+
+    attack = SimAttack(build_profiles(train, users))
+    train_texts = [q.text for q in train]
+    cooccurrence = CooccurrenceModel(train_texts)
+
+    sample_rng = random.Random(9)
+    pairs = []
+    for user in users:
+        queries = test.queries_of(user)
+        for query in sample_rng.sample(
+            queries, min(QUERIES_PER_USER, len(queries))
+        ):
+            pairs.append((user, query.text))
+
+    print(f"Attacking {len(pairs)} protected queries with SimAttack "
+          "(smoothing 0.5)\n")
+    print("   k   X-Search       PEAS")
+    for k in K_VALUES:
+        rng = random.Random(100 + k)
+        history = QueryHistory(len(train_texts) + len(pairs))
+        history.extend(train_texts)
+
+        xsearch_triples, peas_triples = [], []
+        for user, text in pairs:
+            obfuscated = obfuscate_query(text, history, k, rng)
+            xsearch_triples.append((user, text, list(obfuscated.subqueries)))
+            subqueries = cooccurrence.generate_fakes(k, rng)
+            subqueries.insert(rng.randrange(k + 1), text)
+            peas_triples.append((user, text, subqueries))
+
+        xsearch_rate = attack.reidentification_rate(xsearch_triples)
+        peas_rate = attack.reidentification_rate(peas_triples)
+        print(f"{k:>4}   {xsearch_rate:>8.3f}   {peas_rate:>8.3f}")
+
+    print("\nLower is better. k=0 is the unlinkability-only upper bound")
+    print("(what Tor achieves); real-past-query fakes (X-Search) confuse")
+    print("the attack more than co-occurrence fakes (PEAS).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""Analytical privacy arguments (the paper's §6.1 'analytically show').
+
+Encodes the adversary-model comparison of §2/§3 as data with a Pareto
+dominance relation, plus the guessing-bound yardsticks against which the
+empirical Figure 3 rates are read.
+"""
+
+from repro.analysis.adversary import (
+    SYSTEM_MODELS,
+    SystemModel,
+    dominates,
+    format_comparison_table,
+    obfuscation_never_hurts,
+    ranked_by_privacy,
+    uninformed_guess_rate,
+)
+
+__all__ = [
+    "SystemModel",
+    "SYSTEM_MODELS",
+    "dominates",
+    "ranked_by_privacy",
+    "format_comparison_table",
+    "uninformed_guess_rate",
+    "obfuscation_never_hurts",
+]

@@ -1,0 +1,30 @@
+"""Re-identification attacks against private web-search systems.
+
+Implements SimAttack (Petit et al., JISA 2016), the attack the paper uses
+to evaluate privacy (§5.3.1): profile-based re-identification of both the
+requesting user and the initial query hidden inside an obfuscated query.
+"""
+
+from repro.attacks.profiles import UserProfile, build_profiles
+from repro.attacks.similarity import (
+    DEFAULT_SMOOTHING,
+    SimilarityIndex,
+    exponential_smoothing,
+    max_similarity_to_log,
+    profile_similarity,
+    query_similarity,
+)
+from repro.attacks.simattack import AttackOutcome, SimAttack
+
+__all__ = [
+    "UserProfile",
+    "build_profiles",
+    "SimAttack",
+    "AttackOutcome",
+    "profile_similarity",
+    "query_similarity",
+    "exponential_smoothing",
+    "max_similarity_to_log",
+    "SimilarityIndex",
+    "DEFAULT_SMOOTHING",
+]

@@ -1,0 +1,53 @@
+"""Adversary-side user profiles.
+
+The paper's adversary model (§3) grants the search engine "a set of past
+queries collected about each user" stored in user-profile structures.  A
+:class:`UserProfile` is that structure: the training-set queries of one
+user, pre-tokenised for the similarity computations of SimAttack.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.datasets.queries import QueryLog
+from repro.errors import DatasetError
+from repro.textutils import term_vector
+
+
+@dataclass
+class UserProfile:
+    """The preliminary information the adversary holds about one user."""
+
+    user_id: str
+    query_texts: list
+    query_vectors: list = field(default_factory=list)
+    aggregate: Counter = field(default_factory=Counter)
+
+    def __post_init__(self):
+        if not self.query_texts:
+            raise DatasetError(f"empty profile for user {self.user_id!r}")
+        if not self.query_vectors:
+            self.query_vectors = [term_vector(t) for t in self.query_texts]
+        if not self.aggregate:
+            for vector in self.query_vectors:
+                self.aggregate.update(vector)
+
+    def __len__(self) -> int:
+        return len(self.query_texts)
+
+
+def build_profiles(train_log: QueryLog, user_ids=None) -> dict:
+    """Build the adversary's profile table from the training log.
+
+    Returns ``{user_id: UserProfile}`` for the given users (all users of the
+    log when ``user_ids`` is None).
+    """
+    if user_ids is None:
+        user_ids = train_log.users
+    profiles = {}
+    for user_id in user_ids:
+        texts = [q.text for q in train_log.queries_of(user_id)]
+        profiles[user_id] = UserProfile(user_id=user_id, query_texts=texts)
+    return profiles

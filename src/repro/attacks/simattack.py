@@ -1,0 +1,118 @@
+"""SimAttack: the state-of-the-art re-identification attack (Petit et al.).
+
+The attack receives a protected query — either a bare anonymous query (a
+solution enforcing only unlinkability, e.g. Tor) or an obfuscated
+``q1 OR … OR q_{k+1}`` query (X-Search, PEAS) — and tries to recover both
+the initial query and the identity of the requesting user, using only the
+user profiles built from the training set (§5.3.1).
+
+Decision rule, as in the paper: compute ``sim(sub-query, P_u)`` for every
+(sub-query, user) pair; if exactly one pair attains the highest similarity,
+the attack outputs that pair, otherwise it is unsuccessful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.attacks.profiles import UserProfile
+from repro.attacks.similarity import DEFAULT_SMOOTHING, profile_similarity
+from repro.errors import ExperimentError
+from repro.textutils import term_vector
+
+# Two floats closer than this are a tie: the attacker cannot prefer one.
+_TIE_EPSILON = 1e-12
+
+
+@dataclass(frozen=True)
+class AttackOutcome:
+    """What the adversary concluded for one protected query."""
+
+    identified_user: str  # "" when the attack was unsuccessful
+    identified_query: str
+    successful: bool  # True when a unique best pair existed
+
+    @property
+    def unsuccessful(self) -> bool:
+        return not self.successful
+
+
+class SimAttack:
+    """The re-identification adversary armed with training profiles."""
+
+    def __init__(self, profiles: dict, *, smoothing: float = DEFAULT_SMOOTHING):
+        if not profiles:
+            raise ExperimentError("SimAttack needs at least one user profile")
+        self._profiles = dict(profiles)
+        self._smoothing = smoothing
+        # Obfuscated queries recycle real past queries as fakes, so the same
+        # sub-query text recurs across attacks; memoise its per-user scores.
+        self._score_cache = {}
+
+    @property
+    def known_users(self) -> list:
+        return sorted(self._profiles)
+
+    # ------------------------------------------------------------------
+    # Attacks
+    # ------------------------------------------------------------------
+    def attack(self, subqueries) -> AttackOutcome:
+        """Re-identify (initial query, user) from the exposed sub-queries.
+
+        ``subqueries`` is the list of sub-queries the search engine can read
+        out of the obfuscated query — for an unlinkability-only system, a
+        single-element list containing the real query.
+        """
+        subqueries = list(subqueries)
+        if not subqueries:
+            raise ExperimentError("attack needs at least one sub-query")
+        best_pairs = []
+        best_score = -1.0
+        for text in subqueries:
+            for user_id, score in self._scores_for(text):
+                if score > best_score + _TIE_EPSILON:
+                    best_score = score
+                    best_pairs = [(text, user_id)]
+                elif abs(score - best_score) <= _TIE_EPSILON:
+                    best_pairs.append((text, user_id))
+        if len(best_pairs) != 1:
+            return AttackOutcome("", "", successful=False)
+        query, user = best_pairs[0]
+        return AttackOutcome(identified_user=user, identified_query=query,
+                             successful=True)
+
+    def _scores_for(self, text: str) -> list:
+        """``(user_id, sim(text, P_u))`` for every known user, memoised."""
+        cached = self._score_cache.get(text)
+        if cached is None:
+            vector = term_vector(text)
+            cached = [
+                (user_id, profile_similarity(vector, profile, self._smoothing))
+                for user_id, profile in self._profiles.items()
+            ]
+            self._score_cache[text] = cached
+        return cached
+
+    def is_correct(self, outcome: AttackOutcome, true_user: str,
+                   true_query: str) -> bool:
+        """Did the adversary recover both the user and the initial query?"""
+        return (
+            outcome.successful
+            and outcome.identified_user == true_user
+            and outcome.identified_query == true_query
+        )
+
+    # ------------------------------------------------------------------
+    # Batch evaluation (the re-identification rate of §5.4.1)
+    # ------------------------------------------------------------------
+    def reidentification_rate(self, protected_queries) -> float:
+        """|Q_id| / |Q| over ``(true_user, true_query, subqueries)`` triples."""
+        protected_queries = list(protected_queries)
+        if not protected_queries:
+            raise ExperimentError("no protected queries to attack")
+        identified = 0
+        for true_user, true_query, subqueries in protected_queries:
+            outcome = self.attack(subqueries)
+            if self.is_correct(outcome, true_user, true_query):
+                identified += 1
+        return identified / len(protected_queries)

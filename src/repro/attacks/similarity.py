@@ -1,0 +1,119 @@
+"""The SimAttack similarity metric (paper §5.3.1).
+
+``sim(q, P_u)`` characterises the proximity between a query and a user
+profile: take the cosine similarity of the query against every query of the
+profile, rank the similarities in ascending order, and return their
+exponential smoothing.  With smoothing factor 0.5 — the value the authors
+"empirically set … as it provides the best performances" — the largest
+similarity dominates but the bulk of the profile still contributes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.attacks.profiles import UserProfile
+from repro.errors import ExperimentError
+from repro.textutils import cosine_similarity, term_vector
+
+DEFAULT_SMOOTHING = 0.5
+
+
+def exponential_smoothing(values_ascending, alpha: float = DEFAULT_SMOOTHING) -> float:
+    """Exponentially smooth a sequence, returning the final smoothed value.
+
+    ``S_1 = v_1`` and ``S_i = alpha * v_i + (1 - alpha) * S_{i-1}``; fed an
+    ascending sequence this weights the top similarities most.
+    """
+    if not 0.0 < alpha <= 1.0:
+        raise ExperimentError("smoothing factor must be in (0, 1]")
+    smoothed = None
+    for value in values_ascending:
+        if smoothed is None:
+            smoothed = value
+        else:
+            smoothed = alpha * value + (1.0 - alpha) * smoothed
+    if smoothed is None:
+        raise ExperimentError("cannot smooth an empty sequence")
+    return smoothed
+
+
+def profile_similarity(query_vector: Counter, profile: UserProfile,
+                       alpha: float = DEFAULT_SMOOTHING) -> float:
+    """The SimAttack metric ``sim(q, P_u)``."""
+    sims = sorted(
+        cosine_similarity(query_vector, vector)
+        for vector in profile.query_vectors
+    )
+    return exponential_smoothing(sims, alpha)
+
+
+def query_similarity(query_text: str, profile: UserProfile,
+                     alpha: float = DEFAULT_SMOOTHING) -> float:
+    """Convenience overload taking the raw query string."""
+    return profile_similarity(term_vector(query_text), profile, alpha)
+
+
+class SimilarityIndex:
+    """Fast max-cosine lookup against a large set of past queries.
+
+    Figure 1 compares thousands of fake queries against every query of the
+    log; a term-postings index prunes the candidates to queries sharing at
+    least one term (cosine is zero otherwise).
+    """
+
+    def __init__(self, texts):
+        self._vectors = []
+        self._postings = {}
+        seen = set()
+        for text in texts:
+            if text in seen:
+                continue
+            seen.add(text)
+            vector = term_vector(text)
+            if not vector:
+                continue
+            index = len(self._vectors)
+            self._vectors.append(vector)
+            for term in vector:
+                self._postings.setdefault(term, []).append(index)
+        if not self._vectors:
+            raise ExperimentError("similarity index needs non-empty texts")
+
+    def __len__(self) -> int:
+        return len(self._vectors)
+
+    def max_similarity(self, query_text: str) -> float:
+        """``max over past queries of cosine(query, past)``."""
+        vector = term_vector(query_text)
+        if not vector:
+            return 0.0
+        candidates = set()
+        for term in vector:
+            candidates.update(self._postings.get(term, ()))
+        best = 0.0
+        for index in candidates:
+            sim = cosine_similarity(vector, self._vectors[index])
+            if sim > best:
+                best = sim
+                if best >= 1.0 - 1e-9:
+                    break
+        # Identical vectors can score 0.999…9 through float error; snap to
+        # 1.0 so "the fake equals a real past query" reads as similarity 1.
+        return 1.0 if best >= 1.0 - 1e-9 else best
+
+
+def max_similarity_to_log(query_text: str, log_vectors) -> float:
+    """max over past queries of cosine(query, past) — Figure 1's x-axis.
+
+    ``log_vectors`` is an iterable of term vectors of real past queries.
+    """
+    vector = term_vector(query_text)
+    best = 0.0
+    for past in log_vectors:
+        sim = cosine_similarity(vector, past)
+        if sim > best:
+            best = sim
+            if best >= 1.0:
+                break
+    return best

@@ -1,0 +1,57 @@
+"""Comparison baselines from the paper's evaluation (§5.2).
+
+* :mod:`~repro.baselines.direct` — no protection;
+* :mod:`~repro.baselines.tor` — onion routing (unlinkability only);
+* :mod:`~repro.baselines.peas` — two non-colluding proxies + co-occurrence
+  fake queries (unlinkability + indistinguishability, weak adversary);
+* :mod:`~repro.baselines.trackmenot` — RSS-feed fake queries
+  (indistinguishability only);
+* :mod:`~repro.baselines.goopir` — dictionary fake queries OR-ed with the
+  real one.
+"""
+
+from repro.baselines.cooccurrence import CooccurrenceModel
+from repro.baselines.direct import DirectClient
+from repro.baselines.dissent import DissentGroup, DissentMember
+from repro.baselines.goopir import FrequencyDictionary, GooPir
+from repro.baselines.peas import (
+    PeasClient,
+    PeasIssuer,
+    PeasReceiver,
+    PeasSystem,
+)
+from repro.baselines.queryscrambler import QueryScrambler, QueryScramblerClient
+from repro.baselines.rac import RacNode, RacRing
+from repro.baselines.tor import (
+    DirectoryAuthority,
+    ExitRelay,
+    Relay,
+    TorClient,
+    TorNetwork,
+)
+from repro.baselines.trackmenot import RssFeed, TrackMeNot, TrackMeNotClient
+
+__all__ = [
+    "DirectClient",
+    "TorNetwork",
+    "TorClient",
+    "Relay",
+    "ExitRelay",
+    "DirectoryAuthority",
+    "PeasSystem",
+    "PeasClient",
+    "PeasReceiver",
+    "PeasIssuer",
+    "CooccurrenceModel",
+    "TrackMeNot",
+    "TrackMeNotClient",
+    "RssFeed",
+    "GooPir",
+    "FrequencyDictionary",
+    "RacRing",
+    "RacNode",
+    "DissentGroup",
+    "DissentMember",
+    "QueryScrambler",
+    "QueryScramblerClient",
+]

@@ -1,0 +1,84 @@
+"""PEAS's fake-query generator: the term co-occurrence model.
+
+PEAS builds fake queries "from the graph of co-occurrence between terms in
+the history of user queries" (paper §5.2).  We train the same structure:
+a term-frequency table plus a co-occurrence matrix over the training log,
+and generate fakes by a frequency-seeded random walk over co-occurring
+terms.
+
+The resulting queries are made of plausible terms in plausible pairings —
+but, as Figure 1 shows, the *combinations* are mostly original: they
+rarely coincide with any query a real user ever issued, which is what
+re-identification attacks exploit to separate fake from real.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter, defaultdict
+
+from repro.errors import DatasetError
+from repro.textutils import tokenize
+
+
+class CooccurrenceModel:
+    """Term frequencies + co-occurrence graph learned from past queries."""
+
+    def __init__(self, query_texts):
+        self.term_frequency = Counter()
+        self.cooccurrence = defaultdict(Counter)
+        self.length_distribution = Counter()
+        n_queries = 0
+        for text in query_texts:
+            terms = tokenize(text)
+            if not terms:
+                continue
+            n_queries += 1
+            self.length_distribution[len(terms)] += 1
+            self.term_frequency.update(terms)
+            for i, term in enumerate(terms):
+                for other in terms[i + 1:]:
+                    if other != term:
+                        self.cooccurrence[term][other] += 1
+                        self.cooccurrence[other][term] += 1
+        if n_queries == 0:
+            raise DatasetError("co-occurrence model needs non-empty queries")
+        self._terms = list(self.term_frequency)
+        self._weights = [self.term_frequency[t] for t in self._terms]
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
+    def sample_length(self, rng: random.Random) -> int:
+        lengths = list(self.length_distribution)
+        weights = [self.length_distribution[l] for l in lengths]
+        return rng.choices(lengths, weights=weights)[0]
+
+    def generate_fake(self, rng: random.Random, length: int = None) -> str:
+        """One fake query: frequency-seeded co-occurrence random walk."""
+        if length is None:
+            length = self.sample_length(rng)
+        length = max(1, length)
+        first = rng.choices(self._terms, weights=self._weights)[0]
+        words = [first]
+        current = first
+        while len(words) < length:
+            neighbours = self.cooccurrence.get(current)
+            candidates = [
+                (term, count) for term, count in (neighbours or {}).items()
+                if term not in words
+            ]
+            if candidates:
+                terms, weights = zip(*candidates)
+                nxt = rng.choices(terms, weights=weights)[0]
+            else:
+                nxt = rng.choices(self._terms, weights=self._weights)[0]
+                if nxt in words:
+                    break
+            words.append(nxt)
+            current = nxt
+        return " ".join(words)
+
+    def generate_fakes(self, count: int, rng: random.Random,
+                       length: int = None) -> list:
+        return [self.generate_fake(rng, length) for _ in range(count)]

@@ -1,0 +1,26 @@
+"""The Direct baseline: no protection at all (paper §5.2).
+
+The user queries the search engine straight from her own address.  The
+honest-but-curious engine links every query to her identity — this is the
+lower bound both for privacy (everything is exposed) and latency (nothing
+is in the way).
+"""
+
+from __future__ import annotations
+
+from repro.search.tracking import TrackingSearchEngine
+
+
+class DirectClient:
+    """A user talking to the search engine without any privacy layer."""
+
+    def __init__(self, engine: TrackingSearchEngine, *, user_id: str):
+        self._engine = engine
+        self.user_id = user_id
+        self.address = f"ip-{user_id}"
+
+    def search(self, query: str, limit: int = 20,
+               timestamp: float = 0.0) -> list:
+        return self._engine.search_from(
+            self.address, query, limit, timestamp=timestamp
+        )

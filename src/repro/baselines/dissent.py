@@ -1,0 +1,153 @@
+"""Dissent baseline (Corrigan-Gibbs & Ford, CCS 2010) — paper §2.1.1.
+
+Dissent provides *accountable* anonymous group messaging from two heavy
+primitives; we implement the DC-net core (the dining-cryptographers
+protocol [Chaum 1988]) that dominates its cost:
+
+* every pair of the N members shares a secret, from which each round
+  derives pseudo-random pads (HKDF keyed by the round id);
+* each member publishes the XOR of its pads — the anonymous sender
+  additionally XORs in the (fixed-length) message;
+* the XOR of all N published cloaks is the message, and no coalition
+  smaller than N-1 can tell who sent it.
+
+The O(N²) pad derivations and N transmissions *per round per message* are
+why the paper reports Dissent's performance as even worse than RAC's.
+Accountability hooks: each member commits to its cloak (SHA-256) before
+revealing, so a member that lies about its pads is identified.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import secrets
+
+from repro.crypto.dh import DhKeyPair
+from repro.crypto.kdf import hkdf
+from repro.errors import ProtocolError
+from repro.search.tracking import TrackingSearchEngine
+
+MESSAGE_SLOT_BYTES = 256  # fixed-length slots, as DC-nets require
+
+
+def _xor(a: bytes, b: bytes) -> bytes:
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+class DissentMember:
+    """One group member with pairwise shared secrets."""
+
+    def __init__(self, member_id: str):
+        self.member_id = member_id
+        self._keypair = DhKeyPair()
+        self._pairwise = {}
+
+    @property
+    def public(self) -> int:
+        return self._keypair.public
+
+    def establish_pairwise(self, other: "DissentMember") -> None:
+        if other.member_id not in self._pairwise:
+            secret = self._keypair.shared_secret(other.public)
+            self._pairwise[other.member_id] = secret
+
+    def _pad(self, other_id: str, round_id: str) -> bytes:
+        secret = self._pairwise[other_id]
+        return hkdf(
+            secret,
+            salt=b"repro.dissent.pad",
+            info=round_id.encode("ascii") + b"|" + _pair_label(
+                self.member_id, other_id
+            ),
+            length=MESSAGE_SLOT_BYTES,
+        )
+
+    def cloak(self, round_id: str, message: bytes = None) -> bytes:
+        """This member's DC-net contribution for the round."""
+        out = bytes(MESSAGE_SLOT_BYTES)
+        for other_id in self._pairwise:
+            out = _xor(out, self._pad(other_id, round_id))
+        if message is not None:
+            out = _xor(out, _pack(message))
+        return out
+
+
+def _pair_label(a: str, b: str) -> bytes:
+    return "|".join(sorted((a, b))).encode("ascii")
+
+
+def _pack(message: bytes) -> bytes:
+    if len(message) > MESSAGE_SLOT_BYTES - 2:
+        raise ProtocolError("message exceeds the DC-net slot size")
+    header = len(message).to_bytes(2, "big")
+    return header + message + bytes(MESSAGE_SLOT_BYTES - 2 - len(message))
+
+
+def _unpack(slot: bytes) -> bytes:
+    length = int.from_bytes(slot[:2], "big")
+    if length > MESSAGE_SLOT_BYTES - 2:
+        raise ProtocolError("corrupt DC-net slot (collision or cheating)")
+    return slot[2:2 + length]
+
+
+class DissentGroup:
+    """A wired DC-net group in front of the search engine."""
+
+    def __init__(self, engine: TrackingSearchEngine, *, n_members: int = 5):
+        if n_members < 3:
+            raise ProtocolError("a DC-net needs at least 3 members")
+        self._engine = engine
+        self.members = [DissentMember(f"m{i:02d}") for i in range(n_members)]
+        for member in self.members:
+            for other in self.members:
+                if member is not other:
+                    member.establish_pairwise(other)
+        self.address = "dissent-group.example.net"
+        self.pad_derivations = 0
+        self.transmissions = 0
+
+    # ------------------------------------------------------------------
+    # One anonymous round
+    # ------------------------------------------------------------------
+    def run_round(self, sender_index: int, message: bytes) -> tuple:
+        """Run a DC-net round; returns ``(recovered, commitments)``.
+
+        Every member first *commits* to its cloak, then reveals; the
+        commitments allow after-the-fact blame (Dissent's accountability).
+        """
+        round_id = secrets.token_hex(8)
+        cloaks = []
+        commitments = []
+        for index, member in enumerate(self.members):
+            message_or_none = message if index == sender_index else None
+            cloak = member.cloak(round_id, message_or_none)
+            commitments.append(hashlib.sha256(cloak).digest())
+            cloaks.append(cloak)
+            self.pad_derivations += len(self.members) - 1
+            self.transmissions += 1
+        combined = bytes(MESSAGE_SLOT_BYTES)
+        for cloak in cloaks:
+            combined = _xor(combined, cloak)
+        return _unpack(combined), list(zip(commitments, cloaks))
+
+    @staticmethod
+    def verify_round(commitments) -> list:
+        """Blame phase: members whose reveal mismatches their commitment."""
+        return [
+            index for index, (commitment, cloak) in enumerate(commitments)
+            if hashlib.sha256(cloak).digest() != commitment
+        ]
+
+    # ------------------------------------------------------------------
+    # Anonymous web search on top of the DC-net
+    # ------------------------------------------------------------------
+    def anonymous_search(self, sender_index: int, query: str,
+                         limit: int = 20) -> list:
+        if not 0 <= sender_index < len(self.members):
+            raise ProtocolError("unknown sender index")
+        request = json.dumps({"q": query, "limit": limit}).encode("utf-8")
+        recovered, _ = self.run_round(sender_index, request)
+        doc = json.loads(recovered.decode("utf-8"))
+        # A designated member submits on behalf of the group.
+        return self._engine.search_from(self.address, doc["q"], doc["limit"])

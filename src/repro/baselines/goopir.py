@@ -1,0 +1,74 @@
+"""GooPIR baseline (Domingo-Ferrer et al.) — paper §2.1.2.
+
+GooPIR masks the real query by OR-ing it with k fake queries whose
+keywords are drawn from a dictionary, matching each real keyword with fake
+keywords of similar frequency so the fakes are not trivially rare words.
+Its weakness is the same as TrackMeNot's: dictionary keyword combinations
+almost never correspond to queries real users issue.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from collections import Counter
+
+from repro.errors import DatasetError
+from repro.textutils import tokenize
+
+
+class FrequencyDictionary:
+    """A word-frequency dictionary supporting same-frequency-band lookup."""
+
+    def __init__(self, word_frequencies: Counter):
+        if not word_frequencies:
+            raise DatasetError("the dictionary cannot be empty")
+        self._words = sorted(word_frequencies, key=lambda w: word_frequencies[w])
+        self._frequencies = [word_frequencies[w] for w in self._words]
+        self._table = dict(word_frequencies)
+
+    @classmethod
+    def from_texts(cls, texts) -> "FrequencyDictionary":
+        counts = Counter()
+        for text in texts:
+            counts.update(tokenize(text))
+        return cls(counts)
+
+    def frequency(self, word: str) -> int:
+        return self._table.get(word, 0)
+
+    def similar_frequency_words(self, word: str, band: int = 25) -> list:
+        """Words whose frequency rank is within ``band`` of ``word``'s."""
+        frequency = self.frequency(word)
+        index = bisect.bisect_left(self._frequencies, frequency)
+        low = max(0, index - band)
+        high = min(len(self._words), index + band + 1)
+        return [w for w in self._words[low:high] if w != word]
+
+
+class GooPir:
+    """The GooPIR fake-query generator + OR mask construction."""
+
+    def __init__(self, dictionary: FrequencyDictionary, *, k: int = 3,
+                 rng: random.Random = None):
+        self._dictionary = dictionary
+        self.k = k
+        self._rng = rng if rng is not None else random.Random()
+
+    def generate_fake(self, query: str) -> str:
+        """A fake with one same-frequency-band word per real keyword."""
+        words = []
+        for term in tokenize(query):
+            candidates = self._dictionary.similar_frequency_words(term)
+            if not candidates:
+                raise DatasetError(
+                    f"dictionary too small to mask term {term!r}"
+                )
+            words.append(self._rng.choice(candidates))
+        return " ".join(words)
+
+    def protect(self, query: str) -> list:
+        """The ``(k+1)``-way OR mask: real query at a random position."""
+        subqueries = [self.generate_fake(query) for _ in range(self.k)]
+        subqueries.insert(self._rng.randrange(self.k + 1), query)
+        return subqueries

@@ -1,0 +1,203 @@
+"""PEAS baseline (Petit et al., TrustCom 2015) — paper §2.1.2, §5.2.
+
+PEAS combines unlinkability and indistinguishability under a *weak*
+adversary model: two proxies assumed not to collude.
+
+* the **receiver** proxy knows the client's identity but only ever holds
+  ciphertext it cannot read (queries are encrypted to the issuer);
+* the **issuer** proxy decrypts and forwards queries to the engine under
+  its own address, but never learns which client sent what;
+* obfuscation happens on the *client*: the real query is aggregated with
+  k fake queries generated from a co-occurrence model of past queries.
+
+The weakness the paper exploits analytically: if receiver and issuer (or
+issuer and engine) collude, the protection collapses — see the collusion
+tests.  The fake-query weakness is Figure 1: co-occurrence fakes rarely
+match any real query.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import random
+import secrets
+from dataclasses import dataclass, field
+
+from repro.baselines.cooccurrence import CooccurrenceModel
+from repro.core.filtering import filter_results
+from repro.crypto.aead import aead_decrypt, aead_encrypt
+from repro.crypto.dh import DhKeyPair
+from repro.crypto.kdf import derive_subkeys
+from repro.errors import ProtocolError
+from repro.search.documents import SearchResult
+from repro.search.tracking import TrackingSearchEngine
+
+_NONCE = b"\x00" * 12  # keys are single-use (fresh ephemeral per query)
+
+
+@dataclass
+class ReceiverObservation:
+    """What the receiver proxy sees: identity, but only ciphertext."""
+
+    client_address: str
+    ciphertext_bytes: int
+
+
+@dataclass
+class IssuerObservation:
+    """What the issuer proxy sees: queries, but no identity."""
+
+    subqueries: tuple
+
+
+class PeasIssuer:
+    """The proxy that decrypts queries and faces the search engine."""
+
+    def __init__(self, engine: TrackingSearchEngine):
+        self._engine = engine
+        self._identity = DhKeyPair()
+        self.address = "peas-issuer.example.net"
+        self.observations = []
+
+    @property
+    def public_key_bytes(self) -> bytes:
+        return self._identity.public_bytes()
+
+    def handle(self, envelope: bytes) -> bytes:
+        """Decrypt, query the engine, encrypt the results back."""
+        try:
+            message = json.loads(envelope.decode("utf-8"))
+            client_ephemeral = base64.b64decode(message["ephemeral"])
+            ciphertext = base64.b64decode(message["ciphertext"])
+        except (ValueError, KeyError) as exc:
+            raise ProtocolError("malformed PEAS envelope") from exc
+        peer = self._identity.group.decode_element(client_ephemeral)
+        secret = self._identity.shared_secret(peer)
+        keys = derive_subkeys(secret, ["query", "response"],
+                              salt=b"repro.peas.v1")
+        request = json.loads(
+            aead_decrypt(keys["query"], _NONCE, ciphertext).decode("utf-8")
+        )
+        subqueries = list(request["subqueries"])
+        limit = int(request["limit"])
+        self.observations.append(IssuerObservation(tuple(subqueries)))
+
+        results = self._engine.search_or_from(self.address, subqueries, limit)
+        body = json.dumps(
+            [
+                {
+                    "rank": r.rank, "url": r.url, "title": r.title,
+                    "snippet": r.snippet, "score": r.score,
+                }
+                for r in results
+            ]
+        ).encode("utf-8")
+        return aead_encrypt(keys["response"], _NONCE, body)
+
+
+class PeasReceiver:
+    """The proxy that faces clients and relays opaque envelopes."""
+
+    def __init__(self, issuer: PeasIssuer):
+        self._issuer = issuer
+        self.observations = []
+
+    def relay(self, client_address: str, envelope: bytes) -> bytes:
+        self.observations.append(
+            ReceiverObservation(client_address, len(envelope))
+        )
+        return self._issuer.handle(envelope)
+
+
+class PeasClient:
+    """A PEAS user: local obfuscation + hybrid encryption to the issuer."""
+
+    def __init__(self, receiver: PeasReceiver, issuer_public_key: bytes,
+                 model: CooccurrenceModel, *, user_id: str, k: int = 3,
+                 rng: random.Random = None):
+        self._receiver = receiver
+        self._issuer_public = issuer_public_key
+        self._model = model
+        self.user_id = user_id
+        self.address = f"ip-{user_id}"
+        self.k = k
+        self._rng = rng if rng is not None else random.Random()
+        self.last_subqueries = ()
+
+    # ------------------------------------------------------------------
+    # Client-side obfuscation (PEAS §5.2: done locally)
+    # ------------------------------------------------------------------
+    def protect(self, query: str) -> list:
+        """The real query aggregated with k co-occurrence fakes, shuffled."""
+        fakes = self._model.generate_fakes(self.k, self._rng)
+        subqueries = list(fakes)
+        subqueries.insert(self._rng.randrange(self.k + 1), query)
+        return subqueries
+
+    # ------------------------------------------------------------------
+    # Private search
+    # ------------------------------------------------------------------
+    def search(self, query: str, limit: int = 20) -> list:
+        subqueries = self.protect(query)
+        self.last_subqueries = tuple(subqueries)
+        fakes = [q for q in subqueries if q != query]
+
+        ephemeral = DhKeyPair()
+        peer = ephemeral.group.decode_element(self._issuer_public)
+        secret = ephemeral.shared_secret(peer)
+        keys = derive_subkeys(secret, ["query", "response"],
+                              salt=b"repro.peas.v1")
+        request = json.dumps(
+            {"subqueries": subqueries, "limit": limit}
+        ).encode("utf-8")
+        envelope = json.dumps(
+            {
+                "ephemeral": base64.b64encode(
+                    ephemeral.public_bytes()
+                ).decode("ascii"),
+                "ciphertext": base64.b64encode(
+                    aead_encrypt(keys["query"], _NONCE, request)
+                ).decode("ascii"),
+            }
+        ).encode("utf-8")
+
+        sealed = self._receiver.relay(self.address, envelope)
+        body = aead_decrypt(keys["response"], _NONCE, sealed)
+        results = [
+            SearchResult(
+                rank=int(e["rank"]), url=e["url"], title=e["title"],
+                snippet=e["snippet"], score=float(e["score"]),
+            )
+            for e in json.loads(body.decode("utf-8"))
+        ]
+        # PEAS filters on the client, with the same scoring discipline.
+        return filter_results(query, fakes, results)[:limit]
+
+
+@dataclass
+class PeasSystem:
+    """A wired PEAS deployment: receiver + issuer + fake-query model."""
+
+    receiver: PeasReceiver
+    issuer: PeasIssuer
+    model: CooccurrenceModel
+
+    @classmethod
+    def create(cls, engine: TrackingSearchEngine,
+               training_queries) -> "PeasSystem":
+        issuer = PeasIssuer(engine)
+        receiver = PeasReceiver(issuer)
+        model = CooccurrenceModel(training_queries)
+        return cls(receiver=receiver, issuer=issuer, model=model)
+
+    def client(self, user_id: str, *, k: int = 3,
+               rng: random.Random = None) -> PeasClient:
+        return PeasClient(
+            self.receiver,
+            self.issuer.public_key_bytes,
+            self.model,
+            user_id=user_id,
+            k=k,
+            rng=rng,
+        )

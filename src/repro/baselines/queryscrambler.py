@@ -1,0 +1,109 @@
+"""QueryScrambler baseline (Arampatzis et al., 2013) — paper §2.1.2.
+
+QueryScrambler never sends the user's query at all: it *replaces* it with
+a set of semantically related queries obtained by generalising the
+concepts of the original, then merges and re-ranks the results of the
+related queries to approximate what the original would have returned.
+
+Our concept model is the topic vocabulary: a term generalises to its
+topic, and a related query substitutes sibling terms of the same topic.
+The re-ranking step scores merged results against the (never-sent)
+original query, client-side.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.filtering import score_result
+from repro.datasets.topics import TopicModel
+from repro.errors import DatasetError
+from repro.search.documents import SearchResult
+from repro.textutils import tokenize
+
+
+class QueryScrambler:
+    """Generates semantically related queries and merges their results."""
+
+    def __init__(self, *, n_related: int = 4, topic_model: TopicModel = None,
+                 rng: random.Random = None):
+        if n_related < 1:
+            raise DatasetError("need at least one related query")
+        self.n_related = n_related
+        self._model = (
+            topic_model if topic_model is not None else TopicModel.default()
+        )
+        self._rng = rng if rng is not None else random.Random()
+        # term -> topic lookup for generalisation.
+        self._topic_of = {}
+        for topic in self._model.topics:
+            for term in self._model.topic_terms(topic):
+                self._topic_of.setdefault(term, topic)
+
+    # ------------------------------------------------------------------
+    # Scrambling
+    # ------------------------------------------------------------------
+    def related_queries(self, query: str) -> list:
+        """``n_related`` semantic neighbours; never includes the original."""
+        terms = tokenize(query)
+        if not terms:
+            raise DatasetError("cannot scramble an empty query")
+        related = []
+        attempts = 0
+        while len(related) < self.n_related and attempts < 50 * self.n_related:
+            attempts += 1
+            candidate = " ".join(self._generalise(term) for term in terms)
+            if candidate != query and candidate not in related:
+                related.append(candidate)
+        if not related:
+            raise DatasetError(
+                f"could not derive related queries for {query!r}"
+            )
+        return related
+
+    def _generalise(self, term: str) -> str:
+        """Replace a term by a sibling concept of the same topic."""
+        topic = self._topic_of.get(term)
+        if topic is None:
+            return term  # modifiers/background terms stay as they are
+        siblings = [
+            t for t in self._model.topic_terms(topic) if t != term
+        ]
+        return self._rng.choice(siblings) if siblings else term
+
+
+class QueryScramblerClient:
+    """A user running QueryScrambler against the search engine."""
+
+    def __init__(self, engine, scrambler: QueryScrambler, *, user_id: str):
+        self._engine = engine
+        self._scrambler = scrambler
+        self.user_id = user_id
+        self.address = f"ip-{user_id}"
+        self.last_sent = ()
+
+    def search(self, query: str, limit: int = 20) -> list:
+        """Send only related queries; merge and re-rank client-side."""
+        related = self._scrambler.related_queries(query)
+        self.last_sent = tuple(related)
+        merged = {}
+        for related_query in related:
+            for result in self._engine.search_from(
+                self.address, related_query, limit
+            ):
+                merged.setdefault(result.url, result)
+        # Re-rank by relevance to the original (never-sent) query.
+        ranked = sorted(
+            merged.values(),
+            key=lambda r: (-score_result(query, r), -r.score),
+        )
+        return [
+            SearchResult(
+                rank=index + 1,
+                url=r.url,
+                title=r.title,
+                snippet=r.snippet,
+                score=r.score,
+            )
+            for index, r in enumerate(ranked[:limit])
+        ]

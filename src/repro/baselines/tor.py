@@ -1,0 +1,346 @@
+"""Tor baseline: onion routing over three relays (paper §2.1.1, §5.2).
+
+A functional onion-routing implementation, not a latency table:
+
+* a :class:`DirectoryAuthority` publishes a signed consensus of relays;
+* the client verifies the consensus, picks a guard, a middle and an exit,
+  and negotiates a per-hop key with each relay (ephemeral-static
+  Diffie-Hellman, telescoping abstracted to one exchange per hop);
+* requests travel as onions — three nested AEAD layers, each relay peeling
+  exactly one — and responses come back with layers added in reverse;
+* the exit node performs the web search under *its* address: the engine
+  never sees the client, the guard never sees the query.
+
+Every relay records its local view (previous hop, next hop, payload
+visibility) so the unlinkability tests can assert exactly who learned
+what — including the collusion scenario of §3 where the exit cooperates
+with the engine.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import secrets
+from dataclasses import dataclass, field
+
+from repro.crypto.channel import ChannelEndpoint
+from repro.crypto.dh import DhKeyPair
+from repro.crypto.kdf import derive_subkeys
+from repro.crypto.rsa import RsaKeyPair
+from repro.errors import AuthenticationError, CircuitError
+from repro.search.tracking import TrackingSearchEngine
+
+HOPS = 3  # guard, middle, exit
+
+
+@dataclass
+class RelayObservation:
+    """What one relay learned from one forwarded cell."""
+
+    circuit_id: str
+    previous_hop: str
+    next_hop: str
+    payload_bytes: int
+    saw_plaintext_query: str = ""  # only ever non-empty at the exit
+
+
+class Relay:
+    """One onion router."""
+
+    def __init__(self, relay_id: str, *, bandwidth_kbps: int = 1000):
+        self.relay_id = relay_id
+        self.address = f"relay-{relay_id}"
+        self.bandwidth_kbps = bandwidth_kbps
+        self._identity = DhKeyPair()
+        self._circuits = {}
+        self.observations = []
+
+    @property
+    def public_key_bytes(self) -> bytes:
+        return self._identity.public_bytes()
+
+    # ------------------------------------------------------------------
+    # Circuit extension (CREATE cell analogue)
+    # ------------------------------------------------------------------
+    def create_circuit(self, circuit_id: str, client_ephemeral: bytes) -> None:
+        if circuit_id in self._circuits:
+            raise CircuitError(f"circuit {circuit_id!r} already exists")
+        peer = self._identity.group.decode_element(client_ephemeral)
+        secret = self._identity.shared_secret(peer)
+        keys = _hop_keys(secret, circuit_id)
+        # The relay receives on the forward key, sends on the backward key.
+        self._circuits[circuit_id] = ChannelEndpoint(
+            send_key=keys["backward"], recv_key=keys["forward"]
+        )
+
+    # ------------------------------------------------------------------
+    # Cell relay
+    # ------------------------------------------------------------------
+    def peel(self, circuit_id: str, previous_hop: str, onion: bytes):
+        """Remove this relay's layer; returns ``(next_hop, inner_blob)``."""
+        endpoint = self._endpoint(circuit_id)
+        try:
+            layer = json.loads(endpoint.decrypt(onion).decode("utf-8"))
+        except (AuthenticationError, ValueError) as exc:
+            raise CircuitError(
+                f"relay {self.relay_id}: cannot peel onion layer"
+            ) from exc
+        next_hop = layer["next"]
+        inner = base64.b64decode(layer["payload"])
+        self.observations.append(
+            RelayObservation(
+                circuit_id=circuit_id,
+                previous_hop=previous_hop,
+                next_hop=next_hop,
+                payload_bytes=len(inner),
+            )
+        )
+        return next_hop, inner
+
+    def wrap(self, circuit_id: str, payload: bytes) -> bytes:
+        """Add this relay's layer on the response path."""
+        return self._endpoint(circuit_id).encrypt(payload)
+
+    def _endpoint(self, circuit_id: str) -> ChannelEndpoint:
+        endpoint = self._circuits.get(circuit_id)
+        if endpoint is None:
+            raise CircuitError(
+                f"relay {self.relay_id} has no circuit {circuit_id!r}"
+            )
+        return endpoint
+
+
+class ExitRelay(Relay):
+    """The exit node: peels the last layer and talks to the engine."""
+
+    def __init__(self, relay_id: str, engine: TrackingSearchEngine,
+                 *, bandwidth_kbps: int = 1000):
+        super().__init__(relay_id, bandwidth_kbps=bandwidth_kbps)
+        self._engine = engine
+
+    def exit_request(self, circuit_id: str, previous_hop: str,
+                     onion: bytes) -> bytes:
+        next_hop, inner = self.peel(circuit_id, previous_hop, onion)
+        if next_hop != "ENGINE":
+            raise CircuitError("exit relay received a non-exit cell")
+        request = json.loads(inner.decode("utf-8"))
+        query, limit = request["q"], int(request["limit"])
+        # The exit sees the plaintext query — record it: this is precisely
+        # the leak that re-identification attacks exploit (§2.1.1).
+        self.observations[-1].saw_plaintext_query = query
+        results = self._engine.search_from(self.address, query, limit)
+        body = json.dumps(
+            [
+                {
+                    "rank": r.rank, "url": r.url, "title": r.title,
+                    "snippet": r.snippet, "score": r.score,
+                }
+                for r in results
+            ]
+        ).encode("utf-8")
+        return self.wrap(circuit_id, body)
+
+
+@dataclass(frozen=True)
+class ConsensusEntry:
+    relay_id: str
+    address: str
+    public_key_b64: str
+
+
+class DirectoryAuthority:
+    """Publishes the signed list of relays clients build circuits from."""
+
+    def __init__(self, key_bits: int = 1024):
+        self._key = RsaKeyPair(key_bits)
+        self._relays = {}
+
+    @property
+    def public_key(self):
+        return self._key.public
+
+    def register(self, relay: Relay) -> None:
+        self._relays[relay.relay_id] = relay
+
+    def relays(self) -> dict:
+        return dict(self._relays)
+
+    def consensus(self) -> tuple:
+        """``(document_bytes, signature)`` describing all known relays."""
+        entries = [
+            {
+                "relay_id": relay.relay_id,
+                "address": relay.address,
+                "public_key": base64.b64encode(
+                    relay.public_key_bytes
+                ).decode("ascii"),
+                "exit": isinstance(relay, ExitRelay),
+                "bandwidth": relay.bandwidth_kbps,
+            }
+            for relay in sorted(self._relays.values(),
+                                key=lambda r: r.relay_id)
+        ]
+        document = json.dumps(entries, sort_keys=True).encode("utf-8")
+        return document, self._key.sign(document)
+
+
+class TorClient:
+    """A Tor user: builds circuits and searches through them."""
+
+    def __init__(self, directory: DirectoryAuthority, *, user_id: str,
+                 rng=None):
+        import random as _random
+
+        self._directory = directory
+        self.user_id = user_id
+        self.address = f"ip-{user_id}"
+        self._rng = rng if rng is not None else _random.Random()
+        self._circuit = None
+
+    # ------------------------------------------------------------------
+    # Circuit construction
+    # ------------------------------------------------------------------
+    def build_circuit(self) -> str:
+        document, signature = self._directory.consensus()
+        self._directory.public_key.verify(document, signature)
+        entries = json.loads(document.decode("utf-8"))
+        exits = [e for e in entries if e["exit"]]
+        non_exits = [e for e in entries if not e["exit"]]
+        if len(non_exits) < 2 or not exits:
+            raise CircuitError("not enough relays for a 3-hop circuit")
+        # Bandwidth-weighted selection, as real Tor does: fast relays carry
+        # proportionally more circuits.
+        guard = self._weighted_choice(non_exits)
+        middle = self._weighted_choice(
+            [e for e in non_exits if e["relay_id"] != guard["relay_id"]]
+        )
+        exit_entry = self._weighted_choice(exits)
+
+        circuit_id = secrets.token_hex(8)
+        relays = self._directory.relays()
+        path = [relays[guard["relay_id"]], relays[middle["relay_id"]],
+                relays[exit_entry["relay_id"]]]
+        endpoints = []
+        for relay, entry in zip(path, [guard, middle, exit_entry]):
+            ephemeral = DhKeyPair()
+            relay.create_circuit(circuit_id, ephemeral.public_bytes())
+            # Key the hop with the relay public key from the *signed*
+            # consensus, not with anything the relay says in-band.
+            peer = ephemeral.group.decode_element(
+                base64.b64decode(entry["public_key"])
+            )
+            secret = ephemeral.shared_secret(peer)
+            keys = _hop_keys(secret, circuit_id)
+            endpoints.append(
+                ChannelEndpoint(send_key=keys["forward"],
+                                recv_key=keys["backward"])
+            )
+        self._circuit = _Circuit(circuit_id, path, endpoints)
+        return circuit_id
+
+    def _weighted_choice(self, entries):
+        weights = [max(1, e.get("bandwidth", 1)) for e in entries]
+        return self._rng.choices(entries, weights=weights)[0]
+
+    def new_circuit(self) -> str:
+        """Tear down the current circuit and build a fresh one (Tor
+        rotates circuits every ~10 minutes)."""
+        self._circuit = None
+        return self.build_circuit()
+
+    # ------------------------------------------------------------------
+    # Anonymous search
+    # ------------------------------------------------------------------
+    def search(self, query: str, limit: int = 20) -> list:
+        if self._circuit is None:
+            self.build_circuit()
+        circuit = self._circuit
+        guard, middle, exit_relay = circuit.path
+
+        request = json.dumps({"q": query, "limit": limit}).encode("utf-8")
+        # Build the onion inside-out: exit layer first, guard layer last.
+        onion = _layer(circuit.endpoints[2], "ENGINE", request)
+        onion = _layer(circuit.endpoints[1], exit_relay.relay_id, onion)
+        onion = _layer(circuit.endpoints[0], middle.relay_id, onion)
+
+        # Forward path: each relay peels one layer.
+        next_hop, blob = guard.peel(circuit.circuit_id, self.address, onion)
+        if next_hop != middle.relay_id:
+            raise CircuitError("guard forwarded to an unexpected hop")
+        next_hop, blob = middle.peel(
+            circuit.circuit_id, guard.address, blob
+        )
+        if next_hop != exit_relay.relay_id:
+            raise CircuitError("middle forwarded to an unexpected hop")
+        response = exit_relay.exit_request(
+            circuit.circuit_id, middle.address, blob
+        )
+
+        # Response path: middle and guard add their layers, client peels all.
+        response = middle.wrap(circuit.circuit_id, response)
+        response = guard.wrap(circuit.circuit_id, response)
+        body = circuit.endpoints[0].decrypt(response)
+        body = circuit.endpoints[1].decrypt(body)
+        body = circuit.endpoints[2].decrypt(body)
+
+        from repro.search.documents import SearchResult
+
+        return [
+            SearchResult(
+                rank=int(e["rank"]), url=e["url"], title=e["title"],
+                snippet=e["snippet"], score=float(e["score"]),
+            )
+            for e in json.loads(body.decode("utf-8"))
+        ]
+
+
+@dataclass
+class _Circuit:
+    circuit_id: str
+    path: list
+    endpoints: list  # client-side endpoint per hop (guard, middle, exit)
+
+
+class TorNetwork:
+    """Convenience wiring of a directory plus ``n`` relays."""
+
+    def __init__(self, engine: TrackingSearchEngine, *, n_relays: int = 6,
+                 n_exits: int = 2, key_bits: int = 1024,
+                 bandwidths_kbps=None):
+        if n_relays - n_exits < 2:
+            raise CircuitError("need at least two non-exit relays")
+        if bandwidths_kbps is None:
+            bandwidths_kbps = [1000] * n_relays
+        if len(bandwidths_kbps) != n_relays:
+            raise CircuitError("one bandwidth per relay required")
+        self.directory = DirectoryAuthority(key_bits)
+        self.relays = []
+        for index in range(n_relays):
+            if index < n_exits:
+                relay = ExitRelay(f"r{index:02d}", engine,
+                                  bandwidth_kbps=bandwidths_kbps[index])
+            else:
+                relay = Relay(f"r{index:02d}",
+                              bandwidth_kbps=bandwidths_kbps[index])
+            self.relays.append(relay)
+            self.directory.register(relay)
+
+    def client(self, user_id: str, rng=None) -> TorClient:
+        return TorClient(self.directory, user_id=user_id, rng=rng)
+
+
+def _hop_keys(secret: bytes, circuit_id: str) -> dict:
+    return derive_subkeys(
+        secret,
+        ["forward", "backward"],
+        salt=b"repro.tor.hop." + circuit_id.encode("ascii"),
+    )
+
+
+def _layer(endpoint: ChannelEndpoint, next_hop: str, payload: bytes) -> bytes:
+    cell = json.dumps(
+        {"next": next_hop,
+         "payload": base64.b64encode(payload).decode("ascii")}
+    ).encode("utf-8")
+    return endpoint.encrypt(cell)

@@ -1,0 +1,102 @@
+"""TrackMeNot baseline (Howe & Nissenbaum) — paper §2.1.2.
+
+TrackMeNot is a browser plugin that periodically sends fake queries built
+from RSS feed headlines, independently of the user's real queries.  Its
+weakness — demonstrated by Figure 1 — is that RSS-derived phrases live in
+a different distribution than real search queries, so an adversary can
+separate fake from real traffic.
+
+We model the RSS source with a synthetic newswire whose vocabulary only
+partially overlaps the query log's topical vocabulary (headline style:
+entities, reporting verbs, news nouns), and generate fakes the way the
+plugin does: random word windows cut from current headlines.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datasets.topics import TOPIC_TERMS
+
+_REPORTING_WORDS = [
+    "announces", "reports", "confirms", "denies", "unveils", "warns",
+    "approves", "rejects", "investigates", "launches", "suspends",
+    "considers", "faces", "wins", "loses", "plans", "expands", "cuts",
+]
+_NEWS_NOUNS = [
+    "officials", "lawmakers", "regulators", "executives", "analysts",
+    "authorities", "researchers", "investors", "prosecutors", "residents",
+    "committee", "agency", "ministry", "spokesman", "coalition",
+    "shareholders", "negotiations", "allegations", "legislation",
+]
+_ENTITIES = [
+    "washington", "brussels", "beijing", "pentagon", "whitehouse",
+    "congress", "nasdaq", "opec", "nato", "un", "fda", "sec", "fema",
+    "microsoft", "exxon", "boeing", "pfizer", "goldman",
+]
+
+
+class RssFeed:
+    """A synthetic newswire producing headline strings."""
+
+    def __init__(self, *, seed: int = 0, n_headlines: int = 500,
+                 topical_leak: float = 0.15):
+        """``topical_leak`` is the fraction of headline words drawn from the
+        query-log topic vocabulary — headlines are *about* the same world,
+        they just phrase it differently."""
+        rng = random.Random(seed ^ 0x5255)
+        topic_words = [w for words in TOPIC_TERMS.values() for w in words]
+        self.headlines = []
+        for _ in range(n_headlines):
+            length = rng.randint(5, 9)
+            words = []
+            for _ in range(length):
+                roll = rng.random()
+                if roll < topical_leak:
+                    words.append(rng.choice(topic_words))
+                elif roll < topical_leak + 0.30:
+                    words.append(rng.choice(_NEWS_NOUNS))
+                elif roll < topical_leak + 0.50:
+                    words.append(rng.choice(_ENTITIES))
+                else:
+                    words.append(rng.choice(_REPORTING_WORDS + _NEWS_NOUNS))
+            self.headlines.append(" ".join(words))
+
+
+class TrackMeNot:
+    """The fake-query generator of the TrackMeNot plugin."""
+
+    def __init__(self, feed: RssFeed = None, *, seed: int = 0):
+        self._feed = feed if feed is not None else RssFeed(seed=seed)
+        self._rng = random.Random(seed ^ 0x7A4E)
+
+    def generate_fake(self) -> str:
+        """Cut a 2-4 word window out of a random current headline."""
+        headline = self._rng.choice(self._feed.headlines).split()
+        width = self._rng.randint(2, min(4, len(headline)))
+        start = self._rng.randrange(len(headline) - width + 1)
+        return " ".join(headline[start:start + width])
+
+    def generate_fakes(self, count: int) -> list:
+        return [self.generate_fake() for _ in range(count)]
+
+
+class TrackMeNotClient:
+    """A user running the plugin: real queries interleaved with fakes.
+
+    Fakes are sent from the user's own address (TrackMeNot provides
+    indistinguishability only, no unlinkability).
+    """
+
+    def __init__(self, engine, generator: TrackMeNot, *, user_id: str,
+                 fakes_per_query: int = 3):
+        self._engine = engine
+        self._generator = generator
+        self.user_id = user_id
+        self.address = f"ip-{user_id}"
+        self.fakes_per_query = fakes_per_query
+
+    def search(self, query: str, limit: int = 20) -> list:
+        for fake in self._generator.generate_fakes(self.fakes_per_query):
+            self._engine.search_from(self.address, fake, limit)
+        return self._engine.search_from(self.address, query, limit)

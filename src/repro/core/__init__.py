@@ -1,0 +1,61 @@
+"""The X-Search system: the paper's primary contribution.
+
+* Algorithm 1 — :func:`~repro.core.obfuscation.obfuscate_query`;
+* Algorithm 2 — :func:`~repro.core.filtering.filter_results`;
+* the enclave-resident past-query table —
+  :class:`~repro.core.history.QueryHistory`;
+* the trusted proxy and its untrusted host —
+  :class:`~repro.core.proxy.XSearchEnclaveCode` /
+  :class:`~repro.core.proxy.XSearchProxyHost`;
+* the attesting client-side broker — :class:`~repro.core.broker.Broker`;
+* one-call wiring — :class:`~repro.core.deployment.XSearchDeployment`.
+"""
+
+from repro.core.broker import Broker
+from repro.core.client import XSearchClient
+from repro.core.deployment import XSearchDeployment
+from repro.core.filtering import ScoredResult, filter_results, score_result
+from repro.core.gateway import EngineGateway
+from repro.core.history import QueryHistory
+from repro.core.obfuscation import ObfuscatedQuery, obfuscate_query
+from repro.core.persistence import (
+    SealedHistoryStore,
+    restore_history,
+    snapshot_history,
+)
+from repro.core.protocol import (
+    Ack,
+    IngestRequest,
+    SearchRequest,
+    SearchResponse,
+)
+from repro.core.proxy import (
+    DEFAULT_HISTORY_CAPACITY,
+    DEFAULT_K,
+    XSearchEnclaveCode,
+    XSearchProxyHost,
+)
+
+__all__ = [
+    "QueryHistory",
+    "obfuscate_query",
+    "ObfuscatedQuery",
+    "filter_results",
+    "score_result",
+    "ScoredResult",
+    "SearchRequest",
+    "SearchResponse",
+    "IngestRequest",
+    "Ack",
+    "XSearchEnclaveCode",
+    "XSearchProxyHost",
+    "EngineGateway",
+    "Broker",
+    "XSearchClient",
+    "XSearchDeployment",
+    "SealedHistoryStore",
+    "snapshot_history",
+    "restore_history",
+    "DEFAULT_K",
+    "DEFAULT_HISTORY_CAPACITY",
+]

@@ -1,0 +1,98 @@
+"""The client-side query broker (paper §4.2).
+
+The broker "runs within the client's domain, such as a local daemon
+process executing alongside the client's Web browser" and is in charge of
+the SGX attestation step.  Before sending a single query it:
+
+1. obtains the signed attestation verdict for the proxy's enclave;
+2. verifies the attestation-service signature, the enclave measurement
+   against the published X-Search measurement, and that the quote binds
+   the channel key it is about to use;
+3. establishes the encrypted tunnel whose end point lives inside the
+   enclave.
+
+Only then do queries flow: broker encrypts → enclave decrypts, executes,
+encrypts results → broker decrypts and hands them to the web client.
+"""
+
+from __future__ import annotations
+
+import secrets
+
+from repro.core.protocol import Ack, IngestRequest, SearchRequest, SearchResponse
+from repro.core.proxy import XSearchProxyHost
+from repro.crypto.channel import HandshakeInitiator
+from repro.errors import AttestationError, ProtocolError
+from repro.sgx.attestation import RemoteVerifier, report_data_for_key
+from repro.sgx.measurement import Measurement
+
+
+class Broker:
+    """The local daemon mediating between a web client and the proxy."""
+
+    def __init__(self, proxy: XSearchProxyHost, *,
+                 service_public_key,
+                 expected_measurement: Measurement,
+                 session_id: str = None):
+        self._proxy = proxy
+        self._verifier = RemoteVerifier(service_public_key, expected_measurement)
+        self._session_id = (
+            session_id if session_id is not None else secrets.token_hex(8)
+        )
+        self._endpoint = None
+        self.attested = False
+
+    # ------------------------------------------------------------------
+    # Connection establishment
+    # ------------------------------------------------------------------
+    def connect(self) -> None:
+        """Attest the proxy and establish the encrypted tunnel."""
+        if self._endpoint is not None:
+            raise ProtocolError("broker is already connected")
+        verdict = self._proxy.attestation_evidence()
+        enclave_public = self._proxy.channel_public()
+        self._verifier.verify(
+            verdict,
+            expected_report_data=report_data_for_key(enclave_public),
+        )
+        self.attested = True
+
+        initiator = HandshakeInitiator()
+        self._proxy.begin_session(self._session_id, initiator.hello())
+        self._endpoint = initiator.finish(enclave_public)
+
+    @property
+    def is_connected(self) -> bool:
+        return self._endpoint is not None
+
+    # ------------------------------------------------------------------
+    # Query path
+    # ------------------------------------------------------------------
+    def search(self, query: str, limit: int = 20) -> list:
+        """Privately execute one web search; returns filtered results."""
+        endpoint = self._require_connected()
+        record = endpoint.encrypt(SearchRequest(query, limit).encode())
+        reply = self._proxy.request(self._session_id, record)
+        response = SearchResponse.decode(endpoint.decrypt(reply))
+        return list(response.results)
+
+    def ingest(self, queries) -> int:
+        """Feed a batch of real queries into the proxy history.
+
+        Used by simulations to model the traffic of many other users; a
+        production broker does not expose this to the web client.
+        """
+        endpoint = self._require_connected()
+        record = endpoint.encrypt(IngestRequest(tuple(queries)).encode())
+        reply = self._proxy.request(self._session_id, record)
+        return Ack.decode(endpoint.decrypt(reply)).count
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _require_connected(self):
+        if self._endpoint is None:
+            raise AttestationError(
+                "broker is not connected: call connect() (attestation) first"
+            )
+        return self._endpoint

@@ -1,0 +1,30 @@
+"""The end-user web client.
+
+A deliberately thin layer: the paper notes that "X-Search can be used with
+third-party clients issuing regular HTTP requests, such as wget or curl" —
+all the protection lives in the broker and the proxy.  The client just
+forwards queries to the local broker and renders results.
+"""
+
+from __future__ import annotations
+
+from repro.core.broker import Broker
+from repro.errors import ProtocolError
+
+
+class XSearchClient:
+    """What the user's browser talks to."""
+
+    def __init__(self, broker: Broker, *, user_id: str = "local-user"):
+        self._broker = broker
+        self.user_id = user_id
+        self.queries_sent = 0
+
+    def search(self, query: str, limit: int = 20) -> list:
+        """Execute a private web search through the local broker."""
+        if not query or not query.strip():
+            raise ProtocolError("cannot search an empty query")
+        if not self._broker.is_connected:
+            self._broker.connect()
+        self.queries_sent += 1
+        return self._broker.search(query.strip(), limit)

@@ -1,0 +1,103 @@
+"""One-call wiring of a complete X-Search deployment (Figure 2).
+
+Builds every premise of the adversary model: the trusted client domain
+(client + broker), the untrusted cloud node (proxy host + enclave +
+quoting enclave), the attestation service and the honest-but-curious
+search engine — and connects them exactly the way the protocol prescribes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.broker import Broker
+from repro.core.client import XSearchClient
+from repro.core.proxy import (
+    DEFAULT_HISTORY_CAPACITY,
+    DEFAULT_K,
+    XSearchProxyHost,
+)
+from repro.search.engine import SearchEngine
+from repro.search.tracking import TrackingSearchEngine
+from repro.sgx.attestation import AttestationService, QuotingEnclave
+
+# 1024-bit RSA keeps simulated attestation fast; the key size is a
+# deployment knob, not a protocol property (pass key_bits=2048 for the
+# full-strength setup).
+DEFAULT_ATTESTATION_KEY_BITS = 1024
+
+
+@dataclass
+class XSearchDeployment:
+    """A fully wired system: client ↔ broker ↔ enclave ↔ engine."""
+
+    engine: SearchEngine
+    tracking: TrackingSearchEngine
+    attestation_service: AttestationService
+    quoting_enclave: QuotingEnclave
+    proxy: XSearchProxyHost
+    broker: Broker
+    client: XSearchClient
+
+    @classmethod
+    def create(cls, *, k: int = DEFAULT_K,
+               history_capacity: int = DEFAULT_HISTORY_CAPACITY,
+               seed: int = 0,
+               engine: SearchEngine = None,
+               key_bits: int = DEFAULT_ATTESTATION_KEY_BITS,
+               connect: bool = True) -> "XSearchDeployment":
+        """Stand up a complete deployment.
+
+        ``seed`` drives the synthetic corpus and the enclave's obfuscation
+        RNG, making end-to-end runs reproducible.  With ``connect=True``
+        (default) the broker performs attestation and the handshake
+        immediately.
+        """
+        if engine is None:
+            engine = SearchEngine.with_synthetic_corpus(seed=seed)
+        tracking = TrackingSearchEngine(engine)
+
+        attestation_service = AttestationService(key_bits)
+        quoting_enclave = QuotingEnclave(key_bits)
+        attestation_service.provision_platform(quoting_enclave)
+
+        proxy = XSearchProxyHost(
+            tracking,
+            k=k,
+            history_capacity=history_capacity,
+            quoting_enclave=quoting_enclave,
+            attestation_service=attestation_service,
+            rng_seed=seed,
+        )
+        broker = Broker(
+            proxy,
+            service_public_key=attestation_service.public_key,
+            expected_measurement=proxy.measurement,
+        )
+        client = XSearchClient(broker)
+        if connect:
+            broker.connect()
+        return cls(
+            engine=engine,
+            tracking=tracking,
+            attestation_service=attestation_service,
+            quoting_enclave=quoting_enclave,
+            proxy=proxy,
+            broker=broker,
+            client=client,
+        )
+
+    def new_broker(self, session_id: str = None) -> Broker:
+        """An additional attested client session against the same proxy."""
+        broker = Broker(
+            self.proxy,
+            service_public_key=self.attestation_service.public_key,
+            expected_measurement=self.proxy.measurement,
+            session_id=session_id,
+        )
+        broker.connect()
+        return broker
+
+    def warm_history(self, queries) -> int:
+        """Model other users' past traffic filling the history table."""
+        return self.broker.ingest(queries)

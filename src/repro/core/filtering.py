@@ -1,0 +1,87 @@
+"""Algorithm 2: results filtering.
+
+The merged result page for an obfuscated query mixes answers for the
+original query with answers for the k fake queries.  Before returning
+anything to the user, the proxy keeps only the results whose best-matching
+sub-query is the original one: for each result, every sub-query is scored
+by ``nbCommonWords`` against the result's title and description, and the
+result is forwarded iff the original query attains the maximum score
+(lines 7-8 of Algorithm 2 — ties favour keeping the result).
+
+The proxy also strips analytics URL redirections before forwarding
+(paper §4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ProtocolError
+from repro.search.documents import SearchResult
+from repro.textutils import nb_common_words
+
+
+@dataclass(frozen=True)
+class ScoredResult:
+    """Instrumented filtering outcome for one result (used by tests and
+    the accuracy experiments to inspect decisions)."""
+
+    result: SearchResult
+    original_score: int
+    best_score: int
+    kept: bool
+
+
+def score_result(query: str, result: SearchResult) -> int:
+    """score[q] = nbCommonWords(q, title(r)) + nbCommonWords(q, desc(r))."""
+    return (
+        nb_common_words(query, result.title)
+        + nb_common_words(query, result.snippet)
+    )
+
+
+def filter_results(original_query: str, fake_queries, results,
+                   *, strip_tracking: bool = True,
+                   explain: bool = False):
+    """Run Algorithm 2 over a merged result page.
+
+    Returns the filtered result list (re-ranked 1..n), or a list of
+    :class:`ScoredResult` when ``explain`` is True.
+    """
+    if not original_query:
+        raise ProtocolError("filtering needs the original query")
+    fake_queries = list(fake_queries)
+
+    decisions = []
+    kept_results = []
+    for result in results:
+        original_score = score_result(original_query, result)
+        best_score = original_score
+        for fake in fake_queries:
+            fake_score = score_result(fake, result)
+            if fake_score > best_score:
+                best_score = fake_score
+        kept = original_score == best_score
+        decisions.append(
+            ScoredResult(result, original_score, best_score, kept)
+        )
+        if kept:
+            kept_results.append(result)
+
+    if explain:
+        return decisions
+
+    out = []
+    for rank, result in enumerate(kept_results, start=1):
+        if strip_tracking:
+            result = result.strip_tracking()
+        out.append(
+            SearchResult(
+                rank=rank,
+                url=result.url,
+                title=result.title,
+                snippet=result.snippet,
+                score=result.score,
+            )
+        )
+    return out

@@ -1,0 +1,262 @@
+"""Host-side socket services: the untrusted half of the ocall interface.
+
+The paper's enclave interface (§5.3.3) exposes four ocalls —
+``sock_connect``, ``send``, ``recv`` and ``close`` — through which the
+trusted code talks to the search engine.  :class:`EngineGateway` implements
+those four calls over an in-process HTTP-like transport in front of the
+search-engine substrate.  Because this code is *untrusted*, everything it
+sees (the obfuscated query, the result page) is by construction visible to
+the adversary; tests rely on that boundary.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.parse
+from dataclasses import dataclass
+
+from repro.crypto.https import TlsServer, decode_frames, encode_frame
+from repro.errors import NetworkError
+from repro.search.documents import SearchResult
+from repro.sgx.runtime import OcallTable
+
+ENGINE_HOST = "engine.example.com"
+ENGINE_PORT = 80
+ENGINE_TLS_PORT = 443
+_OR_SEPARATOR = " OR "
+
+
+@dataclass
+class TlsServerConfig:
+    """The engine's HTTPS identity: certificate + private key."""
+
+    certificate: object
+    key: object
+
+
+class _Connection:
+    __slots__ = ("request_buffer", "response_buffer", "closed", "tls")
+
+    def __init__(self, tls: TlsServer = None):
+        self.request_buffer = b""
+        self.response_buffer = b""
+        self.closed = False
+        self.tls = tls
+
+
+class EngineGateway:
+    """Serves the enclave's four socket ocalls against a search engine.
+
+    ``source`` is the network identity the search engine attributes the
+    traffic to — the proxy's public address, *not* any user's.  When the
+    wrapped engine is a :class:`~repro.search.tracking.TrackingSearchEngine`
+    the requests are logged under that identity, which is exactly what the
+    honest-but-curious adversary of §3 observes.
+    """
+
+    def __init__(self, engine, *, source: str = "xsearch-proxy.cloud",
+                 tls_config: TlsServerConfig = None):
+        import threading
+
+        self._engine = engine
+        self._source = source
+        self._tls_config = tls_config
+        self._connections = {}
+        self._next_fd = 3  # after stdin/stdout/stderr, cosmetically
+        # The proxy serves sessions from multiple threads (paper §4.1);
+        # the descriptor table is the shared host-side state.
+        self._fd_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Ocall registration
+    # ------------------------------------------------------------------
+    def register(self, table: OcallTable) -> None:
+        table.register("sock_connect", self.sock_connect)
+        table.register("send", self.send)
+        table.register("recv", self.recv)
+        table.register("close", self.close)
+
+    def ocall_table(self) -> OcallTable:
+        table = OcallTable()
+        self.register(table)
+        return table
+
+    # ------------------------------------------------------------------
+    # The four ocalls
+    # ------------------------------------------------------------------
+    def sock_connect(self, host: str, port: int) -> int:
+        """DNS lookup + TCP connect; returns a socket file descriptor."""
+        if host != ENGINE_HOST or port not in (ENGINE_PORT, ENGINE_TLS_PORT):
+            raise NetworkError(f"connection refused: {host}:{port}")
+        tls = None
+        if port == ENGINE_TLS_PORT:
+            if self._tls_config is None:
+                raise NetworkError("engine does not serve HTTPS")
+            tls = TlsServer(self._tls_config.certificate,
+                            self._tls_config.key)
+        with self._fd_lock:
+            fd = self._next_fd
+            self._next_fd += 1
+            self._connections[fd] = _Connection(tls=tls)
+        return fd
+
+    def send(self, fd: int, data: bytes) -> int:
+        connection = self._connection(fd)
+        connection.request_buffer += bytes(data)
+        if connection.tls is not None:
+            self._pump_tls(connection)
+        elif b"\r\n\r\n" in connection.request_buffer:
+            request, _, rest = connection.request_buffer.partition(b"\r\n\r\n")
+            connection.request_buffer = rest
+            connection.response_buffer += self._handle_request(request)
+        return len(data)
+
+    def _pump_tls(self, connection: _Connection) -> None:
+        """Process complete TLS frames: handshake first, then records."""
+        frames, connection.request_buffer = decode_frames(
+            connection.request_buffer
+        )
+        for frame in frames:
+            if not connection.tls.is_established:
+                server_hello = connection.tls.process_client_hello(frame)
+                connection.response_buffer += encode_frame(server_hello)
+                continue
+            http_request = connection.tls.decrypt(frame)
+            request, _, _ = http_request.partition(b"\r\n\r\n")
+            response = self._handle_request(request)
+            connection.response_buffer += encode_frame(
+                connection.tls.encrypt(response)
+            )
+
+    def recv(self, fd: int, maxlen: int) -> bytes:
+        connection = self._connection(fd)
+        chunk = connection.response_buffer[:maxlen]
+        connection.response_buffer = connection.response_buffer[maxlen:]
+        return chunk
+
+    def close(self, fd: int) -> None:
+        with self._fd_lock:
+            connection = self._connections.pop(fd, None)
+        if connection is None:
+            raise NetworkError(f"close on unknown socket {fd}")
+        connection.closed = True
+
+    # ------------------------------------------------------------------
+    # HTTP front end of the search engine
+    # ------------------------------------------------------------------
+    def _handle_request(self, request: bytes) -> bytes:
+        try:
+            request_line = request.split(b"\r\n", 1)[0].decode("ascii")
+            method, path, _version = request_line.split(" ", 2)
+        except (UnicodeDecodeError, ValueError) as exc:
+            return _http_error(400, f"malformed request: {exc}")
+        if method != "GET":
+            return _http_error(405, "only GET is supported")
+        parsed = urllib.parse.urlparse(path)
+        if parsed.path != "/search":
+            return _http_error(404, f"no such path {parsed.path}")
+        params = urllib.parse.parse_qs(parsed.query)
+        query = params.get("q", [""])[0]
+        if not query:
+            return _http_error(400, "missing query parameter q")
+        try:
+            limit = int(params.get("limit", ["20"])[0])
+        except ValueError:
+            return _http_error(400, "invalid limit")
+
+        subqueries = [s for s in query.split(_OR_SEPARATOR) if s.strip()]
+        results = self._execute(subqueries, limit)
+        body = json.dumps(
+            [
+                {
+                    "rank": r.rank,
+                    "url": r.url,
+                    "title": r.title,
+                    "snippet": r.snippet,
+                    "score": r.score,
+                }
+                for r in results
+            ]
+        ).encode("utf-8")
+        return _http_response(200, body)
+
+    def _execute(self, subqueries, limit):
+        # A tracking engine logs the request under the proxy's identity —
+        # the engine cannot see past the proxy.
+        if hasattr(self._engine, "search_or_from"):
+            return self._engine.search_or_from(self._source, subqueries, limit)
+        return self._engine.search_or(subqueries, limit)
+
+    def _connection(self, fd: int) -> _Connection:
+        connection = self._connections.get(fd)
+        if connection is None:
+            raise NetworkError(f"operation on unknown socket {fd}")
+        return connection
+
+
+def parse_results_body(body: bytes) -> list:
+    """Decode the engine's JSON result page (used inside the enclave).
+
+    The engine is untrusted: any structural surprise — not just broken
+    JSON — must fail closed as a :class:`~repro.errors.NetworkError`.
+    """
+    try:
+        entries = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise NetworkError("engine returned a malformed result page") from exc
+    if not isinstance(entries, list):
+        raise NetworkError("engine result page is not a list")
+    results = []
+    for entry in entries:
+        try:
+            results.append(
+                SearchResult(
+                    rank=int(entry["rank"]),
+                    url=str(entry["url"]),
+                    title=str(entry["title"]),
+                    snippet=str(entry["snippet"]),
+                    score=float(entry["score"]),
+                )
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise NetworkError(
+                f"engine result entry is malformed: {entry!r}"
+            ) from exc
+    return results
+
+
+def _http_response(status: int, body: bytes) -> bytes:
+    reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+              405: "Method Not Allowed", 500: "Internal Server Error"}
+    header = (
+        f"HTTP/1.1 {status} {reason.get(status, 'Unknown')}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Content-Type: application/json\r\n"
+        "\r\n"
+    ).encode("ascii")
+    return header + body
+
+
+def _http_error(status: int, message: str) -> bytes:
+    return _http_response(status, json.dumps({"error": message}).encode())
+
+
+def split_http_response(raw: bytes):
+    """Split an HTTP response into (status, body); raises on truncation."""
+    head, sep, rest = raw.partition(b"\r\n\r\n")
+    if not sep:
+        raise NetworkError("truncated HTTP response")
+    status_line = head.split(b"\r\n", 1)[0].decode("ascii", "replace")
+    try:
+        status = int(status_line.split(" ")[1])
+    except (IndexError, ValueError) as exc:
+        raise NetworkError(f"bad status line {status_line!r}") from exc
+    content_length = None
+    for line in head.split(b"\r\n")[1:]:
+        name, _, value = line.partition(b":")
+        if name.strip().lower() == b"content-length":
+            content_length = int(value.strip())
+    if content_length is not None and len(rest) < content_length:
+        raise NetworkError("truncated HTTP body")
+    body = rest if content_length is None else rest[:content_length]
+    return status, body

@@ -1,0 +1,85 @@
+"""Algorithm 1: generation of an obfuscated query.
+
+The X-Search proxy hides the user's query among k fake queries drawn
+uniformly at random from the table of real past queries, aggregated in a
+random order with logical OR.  Because the fakes are *real* queries sent by
+real users, every sub-query of the obfuscated query maps to some existing
+user profile, which is what defeats the fake-query detection that breaks
+TrackMeNot and PEAS (paper §4.3, Figure 1).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.history import QueryHistory
+from repro.errors import ProtocolError
+
+
+@dataclass(frozen=True)
+class ObfuscatedQuery:
+    """The output of Algorithm 1.
+
+    ``subqueries`` is what the search engine sees (in order);
+    ``original_index`` and ``fake_queries`` stay inside the enclave — the
+    filtering step (Algorithm 2) needs both.
+    """
+
+    subqueries: tuple
+    original_index: int
+
+    @property
+    def original(self) -> str:
+        return self.subqueries[self.original_index]
+
+    @property
+    def fake_queries(self) -> tuple:
+        return tuple(
+            q for i, q in enumerate(self.subqueries)
+            if i != self.original_index
+        )
+
+    @property
+    def k(self) -> int:
+        return len(self.subqueries) - 1
+
+    def as_or_query(self) -> str:
+        """The single query string ``q1 OR q2 OR …`` of Figure 2, step 4."""
+        return " OR ".join(self.subqueries)
+
+
+def obfuscate_query(query: str, history: QueryHistory, k: int,
+                    rng: random.Random) -> ObfuscatedQuery:
+    """Run Algorithm 1: build the obfuscated query, then update the history.
+
+    Line-by-line correspondence with the paper:
+
+    * line 2 — ``index ← random(k + 1)``: the original query's position is
+      uniform among the k+1 slots;
+    * lines 3-8 — each other slot receives ``H[random(m)]``, a uniformly
+      random past query (with replacement);
+    * line 9 — ``H ← Q``: the initial query is stored *after* the fakes are
+      drawn, so a query is never its own fake.
+
+    When the history holds fewer queries than needed (cold start) the
+    obfuscated query simply carries fewer fakes; the first queries through
+    a fresh proxy are less protected, exactly as in the real system.
+    """
+    if not query:
+        raise ProtocolError("cannot obfuscate an empty query")
+    if k < 0:
+        raise ProtocolError("k (number of fake queries) cannot be negative")
+
+    original_index = rng.randrange(k + 1)
+    fakes = history.sample(k, rng)
+    # Cold start: fewer fakes than requested.
+    original_index = min(original_index, len(fakes))
+
+    subqueries = list(fakes)
+    subqueries.insert(original_index, query)
+
+    history.add(query)
+    return ObfuscatedQuery(
+        subqueries=tuple(subqueries), original_index=original_index
+    )

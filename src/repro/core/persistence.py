@@ -1,0 +1,99 @@
+"""Sealed persistence of the proxy's query history (extension).
+
+The paper keeps the past-query table only in enclave memory: a proxy
+restart (redeployment, host reboot, enclave teardown) loses the history
+and every client goes back through the cold-start window where obfuscated
+queries carry fewer, less diverse fakes.
+
+SGX's sealing facility is the natural fix, and this module implements it:
+the enclave serialises its history, seals it to its *own measurement* on
+the local platform and hands the opaque blob to the host for storage.
+After a restart, an enclave with the same measurement (and only such an
+enclave) can unseal and resume with a warm table.  A tampered blob, a
+different enclave build or a different physical platform all fail closed.
+
+The blob embeds the history capacity so a sealed snapshot cannot be
+replayed into an enclave configured with a different window size.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.history import QueryHistory
+from repro.errors import SealingError
+from repro.sgx.measurement import Measurement
+from repro.sgx.sealing import SealingPlatform
+
+_FORMAT_VERSION = 1
+_AAD = b"repro.core.history-snapshot.v1"
+
+
+def snapshot_history(history: QueryHistory) -> bytes:
+    """Serialise a history table (inside the enclave)."""
+    return json.dumps(
+        {
+            "v": _FORMAT_VERSION,
+            "capacity": history.capacity,
+            "entries": history.snapshot(),
+        },
+        separators=(",", ":"),
+    ).encode("utf-8")
+
+
+def restore_history(blob: bytes, *, enclave_memory=None) -> QueryHistory:
+    """Rebuild a history table from a snapshot (inside the enclave)."""
+    try:
+        doc = json.loads(blob.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SealingError("history snapshot is malformed") from exc
+    if doc.get("v") != _FORMAT_VERSION:
+        raise SealingError(
+            f"unsupported history snapshot version {doc.get('v')!r}"
+        )
+    capacity = doc.get("capacity")
+    entries = doc.get("entries")
+    if not isinstance(capacity, int) or not isinstance(entries, list):
+        raise SealingError("history snapshot is structurally invalid")
+    history = QueryHistory(capacity, enclave_memory=enclave_memory)
+    history.extend(entries)
+    return history
+
+
+class SealedHistoryStore:
+    """Host-side storage of sealed history snapshots.
+
+    The host only ever holds ciphertext; the seal/unseal operations are
+    keyed to the enclave measurement through the platform's sealing root.
+    """
+
+    def __init__(self, platform: SealingPlatform):
+        self._platform = platform
+        self._blobs = {}
+
+    def save(self, label: str, measurement: Measurement,
+             history: QueryHistory) -> bytes:
+        """Seal and store a snapshot under ``label``; returns the blob."""
+        sealed = self._platform.seal(
+            measurement, snapshot_history(history), aad=_AAD
+        )
+        self._blobs[label] = sealed
+        return sealed
+
+    def load(self, label: str, measurement: Measurement,
+             *, enclave_memory=None) -> QueryHistory:
+        """Unseal and restore; fails closed for the wrong identity."""
+        sealed = self._blobs.get(label)
+        if sealed is None:
+            raise SealingError(f"no sealed snapshot under label {label!r}")
+        blob = self._platform.unseal(measurement, sealed, aad=_AAD)
+        return restore_history(blob, enclave_memory=enclave_memory)
+
+    def stored_labels(self) -> list:
+        return sorted(self._blobs)
+
+    def raw_blob(self, label: str) -> bytes:
+        """What the (untrusted) host can see: opaque ciphertext."""
+        if label not in self._blobs:
+            raise SealingError(f"no sealed snapshot under label {label!r}")
+        return self._blobs[label]

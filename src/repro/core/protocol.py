@@ -1,0 +1,176 @@
+"""Wire protocol between the client-side broker and the X-Search proxy.
+
+Requests and responses are JSON documents encrypted end-to-end with the
+session channel (the broker encrypts, only the enclave decrypts).  The
+format is versioned so protocol evolution is detectable rather than
+silently misparsed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.errors import ProtocolError
+from repro.search.documents import SearchResult
+
+PROTOCOL_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SearchRequest:
+    """A private search request travelling broker → enclave."""
+
+    query: str
+    limit: int = 20
+
+    def encode(self) -> bytes:
+        if not self.query:
+            raise ProtocolError("cannot encode an empty query")
+        if self.limit <= 0:
+            raise ProtocolError("result limit must be positive")
+        return json.dumps(
+            {"v": PROTOCOL_VERSION, "op": "search", "q": self.query,
+             "limit": self.limit},
+            separators=(",", ":"),
+        ).encode("utf-8")
+
+    @classmethod
+    def decode(cls, data: bytes) -> "SearchRequest":
+        doc = _parse(data)
+        if doc.get("op") != "search":
+            raise ProtocolError(f"unexpected operation {doc.get('op')!r}")
+        query = doc.get("q")
+        limit = doc.get("limit", 20)
+        if not isinstance(query, str) or not query:
+            raise ProtocolError("request lacks a query string")
+        if not isinstance(limit, int) or limit <= 0:
+            raise ProtocolError("request carries an invalid limit")
+        return cls(query=query, limit=limit)
+
+
+@dataclass(frozen=True)
+class SearchResponse:
+    """Filtered results travelling enclave → broker."""
+
+    results: tuple
+
+    def encode(self) -> bytes:
+        return json.dumps(
+            {
+                "v": PROTOCOL_VERSION,
+                "op": "results",
+                "results": [
+                    {
+                        "rank": r.rank,
+                        "url": r.url,
+                        "title": r.title,
+                        "snippet": r.snippet,
+                        "score": r.score,
+                    }
+                    for r in self.results
+                ],
+            },
+            separators=(",", ":"),
+        ).encode("utf-8")
+
+    @classmethod
+    def decode(cls, data: bytes) -> "SearchResponse":
+        doc = _parse(data)
+        if doc.get("op") != "results":
+            raise ProtocolError(f"unexpected operation {doc.get('op')!r}")
+        raw = doc.get("results")
+        if not isinstance(raw, list):
+            raise ProtocolError("response lacks a result list")
+        results = []
+        for entry in raw:
+            try:
+                results.append(
+                    SearchResult(
+                        rank=int(entry["rank"]),
+                        url=str(entry["url"]),
+                        title=str(entry["title"]),
+                        snippet=str(entry["snippet"]),
+                        score=float(entry["score"]),
+                    )
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ProtocolError(f"malformed result entry: {entry!r}") from exc
+        return cls(results=tuple(results))
+
+
+@dataclass(frozen=True)
+class IngestRequest:
+    """A batch of real user queries feeding the proxy's history table.
+
+    Models other users' traffic arriving at the proxy: the queries are
+    stored in the enclave's past-query table (with no user correlation)
+    without being forwarded to the search engine.  Encrypted end-to-end
+    like every other request, so the host never sees the plaintext batch.
+    """
+
+    queries: tuple
+
+    def encode(self) -> bytes:
+        if not self.queries:
+            raise ProtocolError("cannot encode an empty ingest batch")
+        return json.dumps(
+            {"v": PROTOCOL_VERSION, "op": "ingest", "queries": list(self.queries)},
+            separators=(",", ":"),
+        ).encode("utf-8")
+
+    @classmethod
+    def decode(cls, data: bytes) -> "IngestRequest":
+        doc = _parse(data)
+        if doc.get("op") != "ingest":
+            raise ProtocolError(f"unexpected operation {doc.get('op')!r}")
+        queries = doc.get("queries")
+        if (not isinstance(queries, list) or not queries
+                or not all(isinstance(q, str) and q for q in queries)):
+            raise ProtocolError("ingest batch must be non-empty strings")
+        return cls(queries=tuple(queries))
+
+
+@dataclass(frozen=True)
+class Ack:
+    """A tiny acknowledgement (response to ingest)."""
+
+    count: int
+
+    def encode(self) -> bytes:
+        return json.dumps(
+            {"v": PROTOCOL_VERSION, "op": "ack", "count": self.count},
+            separators=(",", ":"),
+        ).encode("utf-8")
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Ack":
+        doc = _parse(data)
+        if doc.get("op") != "ack":
+            raise ProtocolError(f"unexpected operation {doc.get('op')!r}")
+        return cls(count=int(doc.get("count", 0)))
+
+
+def decode_any_request(data: bytes):
+    """Decode either request type by its ``op`` tag (enclave entry path)."""
+    doc = _parse(data)
+    op = doc.get("op")
+    if op == "search":
+        return SearchRequest.decode(data)
+    if op == "ingest":
+        return IngestRequest.decode(data)
+    raise ProtocolError(f"unknown operation {op!r}")
+
+
+def _parse(data: bytes) -> dict:
+    try:
+        doc = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError("malformed protocol message") from exc
+    if not isinstance(doc, dict):
+        raise ProtocolError("protocol message is not an object")
+    if doc.get("v") != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version {doc.get('v')!r}"
+        )
+    return doc

@@ -1,0 +1,405 @@
+"""The X-Search proxy: trusted enclave code and its untrusted host.
+
+:class:`XSearchEnclaveCode` is the code whose measurement clients attest.
+It exposes the ecall interface of the paper (§5.3.3): ``init`` for setup
+and ``request`` for provisioning encrypted data into the enclave; it
+reaches the search engine exclusively through the ``sock_connect`` /
+``send`` / ``recv`` / ``close`` ocalls.
+
+Per request (Figure 2): decrypt the query inside the enclave → obfuscate
+with k random past queries (Algorithm 1) → store the query in the history
+→ send one ``q1 OR … OR q_{k+1}`` query to the engine → filter the results
+(Algorithm 2) → strip analytics redirections → encrypt and return.
+
+:class:`XSearchProxyHost` is the untrusted service wrapper running on the
+public cloud node: it loads the enclave, obtains attestation quotes from
+the platform's quoting enclave and shuttles opaque ciphertext between
+clients and the enclave.  Nothing in the host ever holds a plaintext
+query.
+"""
+
+from __future__ import annotations
+
+import random
+import secrets
+import threading
+import urllib.parse
+
+from repro.core.filtering import filter_results
+from repro.core.gateway import (
+    ENGINE_HOST,
+    ENGINE_PORT,
+    ENGINE_TLS_PORT,
+    EngineGateway,
+    TlsServerConfig,
+    parse_results_body,
+    split_http_response,
+)
+from repro.crypto.https import TlsClient, decode_frames, encode_frame
+from repro.core.history import QueryHistory
+from repro.core.obfuscation import obfuscate_query
+from repro.core.protocol import (
+    Ack,
+    IngestRequest,
+    SearchRequest,
+    SearchResponse,
+    decode_any_request,
+)
+from repro.crypto.channel import HandshakeResponder
+from repro.errors import EnclaveError, NetworkError, ProtocolError
+from repro.sgx.attestation import (
+    AttestationService,
+    AttestationVerdict,
+    QuotingEnclave,
+    report_data_for_key,
+)
+from repro.sgx.epc import EnclavePageCache
+from repro.sgx.runtime import CostModel, Enclave, ecall
+
+DEFAULT_K = 3
+DEFAULT_HISTORY_CAPACITY = 100_000
+DEFAULT_MAX_SESSIONS = 10_000
+_RECV_CHUNK = 1 << 16
+# Metered EPC footprint per session: two 32-byte channel keys, counters
+# and table slots.
+_SESSION_BYTES = 200
+
+
+class XSearchEnclaveCode:
+    """The trusted X-Search proxy logic (everything inside the TEE)."""
+
+    def __init__(self, memory, ocalls):
+        self.memory = memory
+        self.ocalls = ocalls
+        self._configured = False
+        self._responder = None
+        self._history = None
+        self._sessions = {}
+        self._session_lock = threading.Lock()
+        self._k = DEFAULT_K
+        self._rng = None
+        self._sealer = None
+        self._engine_ca_key = None
+
+    def attach_sealer(self, sealer) -> None:
+        """Runtime hook (EGETKEY analogue): receives the sealing facility
+        bound to this enclave's own measurement."""
+        self._sealer = sealer
+
+    # ------------------------------------------------------------------
+    # ecall: init(parameters)
+    # ------------------------------------------------------------------
+    @ecall
+    def init(self, *, k: int = DEFAULT_K,
+             history_capacity: int = DEFAULT_HISTORY_CAPACITY,
+             max_sessions: int = DEFAULT_MAX_SESSIONS,
+             rng_seed: int = None, engine_ca_key=None) -> None:
+        """Setup options for X-Search (paper's ``init`` ecall).
+
+        When ``engine_ca_key`` (an :class:`~repro.crypto.rsa.RsaPublicKey`)
+        is provided, the enclave talks HTTPS to the search engine —
+        footnote 2 of the paper — authenticating the engine against this
+        pinned CA before sending the obfuscated query.
+        """
+        if self._configured:
+            raise EnclaveError("enclave already initialised")
+        if k < 0:
+            raise EnclaveError("k cannot be negative")
+        if max_sessions <= 0:
+            raise EnclaveError("max_sessions must be positive")
+        self._k = k
+        self._max_sessions = max_sessions
+        self._history = QueryHistory(history_capacity,
+                                     enclave_memory=self.memory)
+        self._responder = HandshakeResponder()
+        seed = rng_seed if rng_seed is not None else secrets.randbits(64)
+        self._rng = random.Random(seed)
+        self._engine_ca_key = engine_ca_key
+        self._configured = True
+
+    # ------------------------------------------------------------------
+    # ecalls: session establishment
+    # ------------------------------------------------------------------
+    @ecall
+    def channel_public(self) -> bytes:
+        """The enclave's channel public value, bound into the quote."""
+        self._require_configured()
+        return self._responder.public_bytes()
+
+    @ecall
+    def report_data(self) -> bytes:
+        """EREPORT data: binds the channel key to this enclave's identity.
+
+        Called by the quoting enclave, never trusted from the host — a host
+        that swaps the channel key it shows clients cannot make the quote
+        match (see the man-in-the-middle failure-injection test).
+        """
+        self._require_configured()
+        return report_data_for_key(self._responder.public_bytes())
+
+    @ecall
+    def accept_session(self, session_id: str, client_hello: bytes) -> None:
+        """Finish the key exchange for one client session.
+
+        The session table lives in EPC, so it is bounded: past
+        ``max_sessions`` the oldest sessions are evicted (their clients
+        must re-attest and re-handshake) — a flood of handshakes cannot
+        exhaust enclave memory.
+        """
+        self._require_configured()
+        endpoint = self._responder.finish(client_hello)
+        with self._session_lock:
+            if session_id in self._sessions:
+                raise EnclaveError(f"session {session_id!r} already exists")
+            self._sessions[session_id] = endpoint
+            while len(self._sessions) > self._max_sessions:
+                oldest = next(iter(self._sessions))
+                del self._sessions[oldest]
+            self.memory.store(
+                "xsearch.sessions",
+                None,
+                nbytes=_SESSION_BYTES * len(self._sessions),
+            )
+
+    # ------------------------------------------------------------------
+    # ecall: request(sock, buff, len)
+    # ------------------------------------------------------------------
+    @ecall
+    def request(self, session_id: str, record: bytes) -> bytes:
+        """Provision encrypted data into the enclave and serve it."""
+        self._require_configured()
+        endpoint = self._session(session_id)
+        plaintext = endpoint.decrypt(record)
+        message = decode_any_request(plaintext)
+
+        if isinstance(message, IngestRequest):
+            self._history.extend(message.queries)
+            return endpoint.encrypt(Ack(len(message.queries)).encode())
+        if isinstance(message, SearchRequest):
+            response = self._serve_search(message)
+            return endpoint.encrypt(response.encode())
+        raise ProtocolError("unhandled message type")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # ecalls: sealed history persistence (extension; see core.persistence)
+    # ------------------------------------------------------------------
+    @ecall
+    def seal_history(self) -> bytes:
+        """Export the history as a sealed blob the host can store.
+
+        Only an enclave with this exact measurement on this platform can
+        unseal it, so the host gains nothing from holding it.
+        """
+        self._require_configured()
+        self._require_sealer()
+        from repro.core.persistence import snapshot_history
+
+        return self._sealer.seal(
+            snapshot_history(self._history),
+            aad=b"repro.core.history-snapshot.v1",
+        )
+
+    @ecall
+    def restore_sealed_history(self, blob: bytes) -> int:
+        """Import a sealed history snapshot after a restart.
+
+        The snapshot's window size must match the attested configuration;
+        returns the number of restored queries.
+        """
+        self._require_configured()
+        self._require_sealer()
+        from repro.core.persistence import restore_history
+
+        plaintext = self._sealer.unseal(
+            blob, aad=b"repro.core.history-snapshot.v1"
+        )
+        restored = restore_history(plaintext, enclave_memory=self.memory)
+        if restored.capacity != self._history.capacity:
+            raise EnclaveError(
+                "sealed snapshot was taken with a different history "
+                "capacity than this enclave's attested configuration"
+            )
+        self._history = restored
+        return len(restored)
+
+    def _require_sealer(self) -> None:
+        if self._sealer is None:
+            raise EnclaveError(
+                "no sealing platform available to this enclave"
+            )
+
+    # ------------------------------------------------------------------
+    # Trusted request pipeline
+    # ------------------------------------------------------------------
+    def _serve_search(self, request: SearchRequest) -> SearchResponse:
+        obfuscated = obfuscate_query(
+            request.query, self._history, self._k, self._rng
+        )
+        raw_results = self._query_engine(
+            obfuscated.as_or_query(), request.limit
+        )
+        filtered = filter_results(
+            obfuscated.original,
+            obfuscated.fake_queries,
+            raw_results,
+            strip_tracking=True,
+        )
+        return SearchResponse(results=tuple(filtered[:request.limit]))
+
+    def _query_engine(self, or_query: str, limit: int) -> list:
+        """Talk HTTP(S) to the search engine through the socket ocalls."""
+        encoded = urllib.parse.quote_plus(or_query)
+        http_request = (
+            f"GET /search?q={encoded}&limit={limit} HTTP/1.1\r\n"
+            f"Host: {ENGINE_HOST}\r\n"
+            "\r\n"
+        ).encode("ascii")
+        if self._engine_ca_key is not None:
+            raw = self._exchange_https(http_request)
+        else:
+            raw = self._exchange_plain(http_request)
+        status, body = split_http_response(raw)
+        if status != 200:
+            raise NetworkError(f"search engine returned HTTP {status}")
+        return parse_results_body(body)
+
+    def _exchange_plain(self, http_request: bytes) -> bytes:
+        fd = self.ocalls.sock_connect(ENGINE_HOST, ENGINE_PORT)
+        try:
+            self.ocalls.send(fd, http_request)
+            return self._drain(fd)
+        finally:
+            self.ocalls.close(fd)
+
+    def _exchange_https(self, http_request: bytes) -> bytes:
+        """HTTPS: authenticate the engine, then exchange encrypted frames."""
+        client = TlsClient(self._engine_ca_key, ENGINE_HOST)
+        fd = self.ocalls.sock_connect(ENGINE_HOST, ENGINE_TLS_PORT)
+        try:
+            self.ocalls.send(fd, encode_frame(client.client_hello()))
+            frames, _ = decode_frames(self._drain(fd))
+            if not frames:
+                raise NetworkError("engine closed during TLS handshake")
+            client.process_server_hello(frames[0])
+
+            self.ocalls.send(fd, encode_frame(client.encrypt(http_request)))
+            frames, _ = decode_frames(self._drain(fd))
+            if not frames:
+                raise NetworkError("engine closed before responding")
+            return client.decrypt(frames[0])
+        finally:
+            self.ocalls.close(fd)
+
+    def _drain(self, fd: int) -> bytes:
+        raw = b""
+        while True:
+            chunk = self.ocalls.recv(fd, _RECV_CHUNK)
+            if not chunk:
+                break
+            raw += chunk
+        return raw
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _require_configured(self) -> None:
+        if not self._configured:
+            raise EnclaveError("init ecall has not been issued")
+
+    def _session(self, session_id: str):
+        with self._session_lock:
+            endpoint = self._sessions.get(session_id)
+        if endpoint is None:
+            raise EnclaveError(f"unknown session {session_id!r}")
+        return endpoint
+
+
+class XSearchProxyHost:
+    """The untrusted proxy service on the cloud node.
+
+    Owns the enclave and the platform's quoting enclave, serves attestation
+    evidence to clients, and relays opaque records.  ``history_capacity``
+    and ``k`` are part of the enclave's attested configuration: changing
+    them changes the measurement clients expect.
+    """
+
+    def __init__(self, engine, *, k: int = DEFAULT_K,
+                 history_capacity: int = DEFAULT_HISTORY_CAPACITY,
+                 max_sessions: int = DEFAULT_MAX_SESSIONS,
+                 quoting_enclave: QuotingEnclave = None,
+                 attestation_service: AttestationService = None,
+                 rng_seed: int = None,
+                 epc: EnclavePageCache = None,
+                 cost_model: CostModel = None,
+                 sealing_platform=None,
+                 engine_ca_key=None,
+                 engine_tls_config: TlsServerConfig = None,
+                 source: str = "xsearch-proxy.cloud"):
+        self.gateway = EngineGateway(
+            engine, source=source, tls_config=engine_tls_config
+        )
+        https_flag = 1 if engine_ca_key is not None else 0
+        config = (
+            f"k={k};x={history_capacity};https={https_flag}".encode("ascii")
+        )
+        self.enclave = Enclave(
+            XSearchEnclaveCode,
+            config=config,
+            ocalls=self.gateway.ocall_table(),
+            epc=epc,
+            cost_model=cost_model,
+            sealing_platform=sealing_platform,
+        )
+        self.enclave.initialize()
+        self.enclave.call(
+            "init", k=k, history_capacity=history_capacity,
+            max_sessions=max_sessions,
+            rng_seed=rng_seed, engine_ca_key=engine_ca_key,
+        )
+        self.k = k
+        self.history_capacity = history_capacity
+        self._quoting_enclave = quoting_enclave
+        self._attestation_service = attestation_service
+
+    # ------------------------------------------------------------------
+    # Attestation plumbing (host-mediated, as in SGX)
+    # ------------------------------------------------------------------
+    @property
+    def measurement(self):
+        return self.enclave.measurement
+
+    def channel_public(self) -> bytes:
+        return self.enclave.call("channel_public")
+
+    def attestation_evidence(self) -> AttestationVerdict:
+        """Quote the enclave and have the attestation service verify it.
+
+        Returns the signed verdict a client can check offline against the
+        service's public key.  The quote's report data binds the enclave's
+        channel public value, preventing the host from splicing its own key
+        into the tunnel.
+        """
+        if self._quoting_enclave is None or self._attestation_service is None:
+            raise EnclaveError(
+                "proxy host has no attestation infrastructure configured"
+            )
+        quote = self._quoting_enclave.quote_enclave(self.enclave)
+        return self._attestation_service.verify_quote(quote)
+
+    # ------------------------------------------------------------------
+    # Session relay (all payloads opaque to the host)
+    # ------------------------------------------------------------------
+    def begin_session(self, session_id: str, client_hello: bytes) -> None:
+        self.enclave.call("accept_session", session_id, client_hello)
+
+    def request(self, session_id: str, record: bytes) -> bytes:
+        return self.enclave.call("request", session_id, record)
+
+    # ------------------------------------------------------------------
+    # Sealed persistence (host stores opaque blobs only)
+    # ------------------------------------------------------------------
+    def seal_history(self) -> bytes:
+        return self.enclave.call("seal_history")
+
+    def restore_history(self, blob: bytes) -> int:
+        return self.enclave.call("restore_sealed_history", blob)

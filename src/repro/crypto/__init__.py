@@ -1,0 +1,58 @@
+"""Cryptographic substrate for the X-Search reproduction.
+
+Everything is implemented from scratch on top of the Python standard
+library: ChaCha20-Poly1305 AEAD (RFC 8439), HKDF (RFC 5869), finite-field
+Diffie-Hellman (RFC 3526) and RSA signatures (RFC 8017 EMSA-PKCS1-v1_5).
+
+Public API::
+
+    from repro.crypto import (
+        aead_encrypt, aead_decrypt,
+        hkdf, derive_subkeys,
+        DhKeyPair, RsaKeyPair, RsaPublicKey,
+        HandshakeInitiator, HandshakeResponder, ChannelEndpoint,
+    )
+"""
+
+from repro.crypto.aead import KEY_SIZE, NONCE_SIZE, TAG_SIZE, aead_decrypt, aead_encrypt
+from repro.crypto.chacha20 import chacha20_block, chacha20_decrypt, chacha20_encrypt
+from repro.crypto.channel import (
+    ChannelEndpoint,
+    HandshakeInitiator,
+    HandshakeResponder,
+    establish_pair,
+)
+from repro.crypto.dh import DEFAULT_GROUP, DhGroup, DhKeyPair
+from repro.crypto.kdf import derive_subkeys, hkdf, hkdf_expand, hkdf_extract
+from repro.crypto.poly1305 import constant_time_equal, poly1305_mac
+from repro.crypto.primes import generate_prime, is_probable_prime, modular_inverse
+from repro.crypto.rsa import RsaKeyPair, RsaPublicKey
+
+__all__ = [
+    "KEY_SIZE",
+    "NONCE_SIZE",
+    "TAG_SIZE",
+    "aead_encrypt",
+    "aead_decrypt",
+    "chacha20_block",
+    "chacha20_encrypt",
+    "chacha20_decrypt",
+    "poly1305_mac",
+    "constant_time_equal",
+    "hkdf",
+    "hkdf_extract",
+    "hkdf_expand",
+    "derive_subkeys",
+    "DhGroup",
+    "DhKeyPair",
+    "DEFAULT_GROUP",
+    "generate_prime",
+    "is_probable_prime",
+    "modular_inverse",
+    "RsaKeyPair",
+    "RsaPublicKey",
+    "ChannelEndpoint",
+    "HandshakeInitiator",
+    "HandshakeResponder",
+    "establish_pair",
+]

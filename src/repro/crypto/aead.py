@@ -1,0 +1,75 @@
+"""ChaCha20-Poly1305 AEAD (RFC 8439 §2.8).
+
+This is the authenticated-encryption workhorse of the reproduction: the
+broker<->enclave tunnel, sealed enclave storage, Tor onion layers and the
+PEAS hybrid scheme all encrypt with it.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.crypto.chacha20 import (
+    KEY_SIZE,
+    NONCE_SIZE,
+    chacha20_block,
+    chacha20_encrypt,
+)
+from repro.crypto.poly1305 import TAG_SIZE, constant_time_equal, poly1305_mac
+from repro.errors import AuthenticationError, CryptoError
+
+__all__ = ["KEY_SIZE", "NONCE_SIZE", "TAG_SIZE", "aead_encrypt", "aead_decrypt"]
+
+
+def _pad16(data: bytes) -> bytes:
+    """Zero-pad ``data`` to the next 16-byte boundary (RFC 8439 §2.8.1)."""
+    remainder = len(data) % 16
+    if remainder == 0:
+        return b""
+    return b"\x00" * (16 - remainder)
+
+
+def _poly1305_key(key: bytes, nonce: bytes) -> bytes:
+    """Derive the per-nonce Poly1305 one-time key from ChaCha20 block 0."""
+    return chacha20_block(key, 0, nonce)[:32]
+
+
+def _compute_tag(otk: bytes, aad: bytes, ciphertext: bytes) -> bytes:
+    mac_data = (
+        aad
+        + _pad16(aad)
+        + ciphertext
+        + _pad16(ciphertext)
+        + struct.pack("<QQ", len(aad), len(ciphertext))
+    )
+    return poly1305_mac(otk, mac_data)
+
+
+def aead_encrypt(key: bytes, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:
+    """Encrypt and authenticate ``plaintext``; returns ciphertext || tag.
+
+    ``aad`` is authenticated but not encrypted (used for routing headers that
+    intermediaries must read but must not forge).
+    """
+    if len(nonce) != NONCE_SIZE:
+        raise CryptoError(f"AEAD nonce must be {NONCE_SIZE} bytes, got {len(nonce)}")
+    otk = _poly1305_key(key, nonce)
+    ciphertext = chacha20_encrypt(key, 1, nonce, plaintext)
+    tag = _compute_tag(otk, aad, ciphertext)
+    return ciphertext + tag
+
+
+def aead_decrypt(key: bytes, nonce: bytes, sealed: bytes, aad: bytes = b"") -> bytes:
+    """Verify and decrypt a ciphertext produced by :func:`aead_encrypt`.
+
+    Raises :class:`AuthenticationError` if the tag does not verify; the
+    plaintext is never released on failure.
+    """
+    if len(sealed) < TAG_SIZE:
+        raise AuthenticationError("ciphertext shorter than the Poly1305 tag")
+    ciphertext, tag = sealed[:-TAG_SIZE], sealed[-TAG_SIZE:]
+    otk = _poly1305_key(key, nonce)
+    expected = _compute_tag(otk, aad, ciphertext)
+    if not constant_time_equal(tag, expected):
+        raise AuthenticationError("AEAD tag mismatch: message corrupt or forged")
+    return chacha20_encrypt(key, 1, nonce, ciphertext)

@@ -1,0 +1,139 @@
+"""Authenticated secure channel built from DH + HKDF + ChaCha20-Poly1305.
+
+This is the "encrypted tunnel with an end point inside the SGX enclave" from
+the paper (§4.1): the client-side broker runs the initiator, the enclave
+runs the responder.  The same channel primitive carries PEAS client<->issuer
+traffic.
+
+The handshake is a two-message ephemeral Diffie-Hellman exchange.  Identity
+binding (the enclave's attestation) is layered on top by
+:mod:`repro.sgx.attestation`, which signs the responder's public value as
+part of the quote — the channel itself only provides confidentiality,
+integrity and replay protection for an agreed key.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.crypto.aead import aead_decrypt, aead_encrypt
+from repro.crypto.dh import DEFAULT_GROUP, DhGroup, DhKeyPair
+from repro.crypto.kdf import derive_subkeys
+from repro.errors import CryptoError, ProtocolError
+
+_NONCE_PREFIX = b"\x00\x00\x00\x00"
+_MAX_COUNTER = (1 << 64) - 1
+
+
+class ChannelEndpoint:
+    """One side of an established secure channel.
+
+    Each direction uses an independent key and a strictly increasing 64-bit
+    message counter as the AEAD nonce, which gives replay and reordering
+    protection for free: a replayed or reordered record fails to decrypt.
+    """
+
+    def __init__(self, send_key: bytes, recv_key: bytes):
+        if len(send_key) != 32 or len(recv_key) != 32:
+            raise CryptoError("channel keys must be 32 bytes")
+        self._send_key = send_key
+        self._recv_key = recv_key
+        self._send_counter = 0
+        self._recv_counter = 0
+
+    @staticmethod
+    def _nonce(counter: int) -> bytes:
+        return _NONCE_PREFIX + struct.pack(">Q", counter)
+
+    def encrypt(self, plaintext: bytes, aad: bytes = b"") -> bytes:
+        """Seal ``plaintext`` as the next record on this channel."""
+        if self._send_counter > _MAX_COUNTER:
+            raise CryptoError("channel send counter exhausted; rekey required")
+        record = aead_encrypt(
+            self._send_key, self._nonce(self._send_counter), plaintext, aad
+        )
+        self._send_counter += 1
+        return record
+
+    def decrypt(self, record: bytes, aad: bytes = b"") -> bytes:
+        """Open the next record; out-of-order records raise."""
+        plaintext = aead_decrypt(
+            self._recv_key, self._nonce(self._recv_counter), record, aad
+        )
+        self._recv_counter += 1
+        return plaintext
+
+
+class HandshakeInitiator:
+    """Client side of the two-message handshake (e.g. the X-Search broker)."""
+
+    def __init__(self, group: DhGroup = DEFAULT_GROUP):
+        self._keypair = DhKeyPair(group)
+        self._group = group
+
+    def hello(self) -> bytes:
+        """First flight: the initiator's ephemeral public value."""
+        return self._keypair.public_bytes()
+
+    def finish(self, responder_public: bytes) -> ChannelEndpoint:
+        """Process the responder's flight and derive the channel keys."""
+        peer = self._group.decode_element(responder_public)
+        secret = self._keypair.shared_secret(peer)
+        keys = _derive_channel_keys(secret)
+        return ChannelEndpoint(
+            send_key=keys["initiator->responder"],
+            recv_key=keys["responder->initiator"],
+        )
+
+
+class HandshakeResponder:
+    """Server side of the handshake (e.g. the code inside the enclave)."""
+
+    def __init__(self, group: DhGroup = DEFAULT_GROUP):
+        self._keypair = DhKeyPair(group)
+        self._group = group
+
+    def public_bytes(self) -> bytes:
+        """The responder's ephemeral public value (second flight).
+
+        When attestation is in play, this value is embedded in the quote's
+        report data so the client knows it is keying with the real enclave.
+        """
+        return self._keypair.public_bytes()
+
+    def finish(self, initiator_public: bytes) -> ChannelEndpoint:
+        peer = self._group.decode_element(initiator_public)
+        secret = self._keypair.shared_secret(peer)
+        keys = _derive_channel_keys(secret)
+        return ChannelEndpoint(
+            send_key=keys["responder->initiator"],
+            recv_key=keys["initiator->responder"],
+        )
+
+
+def _derive_channel_keys(secret: bytes) -> dict:
+    return derive_subkeys(
+        secret,
+        ["initiator->responder", "responder->initiator"],
+        salt=b"repro.crypto.channel.v1",
+    )
+
+
+def establish_pair() -> tuple:
+    """Run the handshake in-process; returns (initiator_end, responder_end).
+
+    Convenience for tests and for simulations where both endpoints live in
+    the same address space.
+    """
+    initiator = HandshakeInitiator()
+    responder = HandshakeResponder()
+    hello = initiator.hello()
+    responder_end = responder.finish(hello)
+    initiator_end = initiator.finish(responder.public_bytes())
+    return initiator_end, responder_end
+
+
+def raise_on_mismatch(condition: bool, message: str) -> None:
+    """Protocol-level assertion helper used by handshake drivers."""
+    if not condition:
+        raise ProtocolError(message)

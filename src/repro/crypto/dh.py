@@ -1,0 +1,93 @@
+"""Finite-field Diffie-Hellman key agreement (RFC 3526 MODP groups).
+
+The reproduction uses ephemeral DH in three places: the broker establishes a
+tunnel whose endpoint lives inside the SGX enclave, Tor clients negotiate a
+key with each relay on a circuit, and PEAS clients share a key with the
+issuer proxy through the receiver proxy.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+
+from repro.errors import CryptoError
+
+# RFC 3526 group 14: 2048-bit MODP prime, generator 2.  Widely deployed and
+# the smallest group still considered safe; fine for a reproduction.
+MODP_2048_PRIME = int(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD1"
+    "29024E088A67CC74020BBEA63B139B22514A08798E3404DD"
+    "EF9519B3CD3A431B302B0A6DF25F14374FE1356D6D51C245"
+    "E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3D"
+    "C2007CB8A163BF0598DA48361C55D39A69163FA8FD24CF5F"
+    "83655D23DCA3AD961C62F356208552BB9ED529077096966D"
+    "670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"
+    "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9"
+    "DE2BCBF6955817183995497CEA956AE515D2261898FA0510"
+    "15728E5A8AACAA68FFFFFFFFFFFFFFFF",
+    16,
+)
+MODP_2048_GENERATOR = 2
+
+# RFC 5114-style small test group is intentionally NOT provided: every key
+# agreement in the library runs over the 2048-bit group.
+
+
+@dataclass(frozen=True)
+class DhGroup:
+    """A multiplicative group modulo a safe prime."""
+
+    prime: int
+    generator: int
+
+    @property
+    def byte_length(self) -> int:
+        return (self.prime.bit_length() + 7) // 8
+
+    def encode_element(self, element: int) -> bytes:
+        """Fixed-width big-endian encoding of a group element."""
+        return element.to_bytes(self.byte_length, "big")
+
+    def decode_element(self, data: bytes) -> int:
+        element = int.from_bytes(data, "big")
+        self.validate_public(element)
+        return element
+
+    def validate_public(self, element: int) -> None:
+        """Reject degenerate public values (0, 1, p-1, out of range).
+
+        Small-subgroup confinement with generator 2 over a safe prime leaves
+        only these trivial elements to exclude.
+        """
+        if not 2 <= element <= self.prime - 2:
+            raise CryptoError("invalid DH public value")
+
+
+DEFAULT_GROUP = DhGroup(prime=MODP_2048_PRIME, generator=MODP_2048_GENERATOR)
+
+
+class DhKeyPair:
+    """An ephemeral Diffie-Hellman key pair over ``group``."""
+
+    def __init__(self, group: DhGroup = DEFAULT_GROUP, *, _private: int = None):
+        self.group = group
+        if _private is None:
+            # 256 bits of private exponent gives ~128-bit security in a
+            # 2048-bit group.
+            _private = secrets.randbits(256) | (1 << 255)
+        self._private = _private
+        self.public = pow(group.generator, self._private, group.prime)
+
+    def shared_secret(self, peer_public: int) -> bytes:
+        """Compute the raw shared secret with a peer's public value.
+
+        Callers must pass the result through HKDF before using it as a key.
+        """
+        self.group.validate_public(peer_public)
+        secret = pow(peer_public, self._private, self.group.prime)
+        return self.group.encode_element(secret)
+
+    def public_bytes(self) -> bytes:
+        return self.group.encode_element(self.public)

@@ -1,0 +1,269 @@
+"""A minimal TLS-like secure transport for enclave → search-engine traffic.
+
+The paper sends the obfuscated query to the engine in the clear and notes
+(footnote 2) that "using HTTPS could be also supported by the SGX
+enclave".  This module implements that option end to end:
+
+* a :class:`CertificateAuthority` signs server certificates (RSA-SHA256
+  over a canonical JSON body);
+* the server proves possession of its certified key by signing the
+  handshake transcript (certificate + both ephemeral DH publics);
+* both sides derive directional ChaCha20-Poly1305 record keys via HKDF.
+
+The handshake is two flights (ClientHello → ServerHello) and the record
+layer is the same replay-protected :class:`~repro.crypto.channel.ChannelEndpoint`
+used everywhere else.  Wire messages are length-prefixed frames so the
+protocol runs over the enclave's byte-stream socket ocalls.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import struct
+from dataclasses import dataclass
+
+from repro.crypto.channel import ChannelEndpoint
+from repro.crypto.dh import DEFAULT_GROUP, DhKeyPair
+from repro.crypto.kdf import derive_subkeys
+from repro.crypto.rsa import RsaKeyPair, RsaPublicKey
+from repro.errors import AuthenticationError, CryptoError, ProtocolError
+
+_FRAME_HEADER = struct.Struct(">I")
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+
+# ---------------------------------------------------------------------------
+# Framing
+# ---------------------------------------------------------------------------
+
+def encode_frame(payload: bytes) -> bytes:
+    """Length-prefix a payload for transport over a byte stream."""
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError("frame exceeds the maximum size")
+    return _FRAME_HEADER.pack(len(payload)) + payload
+
+
+def decode_frames(buffer: bytes):
+    """Split a buffer into ``(complete_frames, remainder)``."""
+    frames = []
+    while len(buffer) >= _FRAME_HEADER.size:
+        (length,) = _FRAME_HEADER.unpack_from(buffer)
+        if length > MAX_FRAME_BYTES:
+            raise ProtocolError("oversized frame announced")
+        end = _FRAME_HEADER.size + length
+        if len(buffer) < end:
+            break
+        frames.append(buffer[_FRAME_HEADER.size:end])
+        buffer = buffer[end:]
+    return frames, buffer
+
+
+# ---------------------------------------------------------------------------
+# Certificates
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Certificate:
+    """A server certificate: subject + public key, signed by the CA."""
+
+    subject: str
+    public_key: RsaPublicKey
+    signature: bytes
+
+    def body(self) -> bytes:
+        return _certificate_body(self.subject, self.public_key)
+
+    def encode(self) -> dict:
+        return {
+            "subject": self.subject,
+            "modulus": hex(self.public_key.modulus),
+            "exponent": self.public_key.exponent,
+            "signature": base64.b64encode(self.signature).decode("ascii"),
+        }
+
+    @classmethod
+    def decode(cls, doc: dict) -> "Certificate":
+        try:
+            return cls(
+                subject=str(doc["subject"]),
+                public_key=RsaPublicKey(
+                    modulus=int(doc["modulus"], 16),
+                    exponent=int(doc["exponent"]),
+                ),
+                signature=base64.b64decode(doc["signature"]),
+            )
+        except (KeyError, ValueError, TypeError) as exc:
+            raise ProtocolError("malformed certificate") from exc
+
+
+def _certificate_body(subject: str, public_key: RsaPublicKey) -> bytes:
+    return json.dumps(
+        {"subject": subject, "modulus": hex(public_key.modulus),
+         "exponent": public_key.exponent},
+        sort_keys=True,
+    ).encode("ascii")
+
+
+class CertificateAuthority:
+    """Issues and anchors server certificates (the trust root the enclave
+    pins, like a browser's CA store)."""
+
+    def __init__(self, key_bits: int = 1024, rng=None):
+        self._key = RsaKeyPair(key_bits, rng=rng)
+
+    @property
+    def public_key(self) -> RsaPublicKey:
+        return self._key.public
+
+    def issue(self, subject: str, public_key: RsaPublicKey) -> Certificate:
+        body = _certificate_body(subject, public_key)
+        return Certificate(
+            subject=subject, public_key=public_key,
+            signature=self._key.sign(body),
+        )
+
+
+def verify_certificate(certificate: Certificate, ca_key: RsaPublicKey,
+                       expected_subject: str) -> None:
+    """Validate the chain and the subject; raises on any mismatch."""
+    try:
+        ca_key.verify(certificate.body(), certificate.signature)
+    except AuthenticationError as exc:
+        raise AuthenticationError(
+            "server certificate not signed by the pinned CA"
+        ) from exc
+    if certificate.subject != expected_subject:
+        raise AuthenticationError(
+            f"certificate subject {certificate.subject!r} does not match "
+            f"{expected_subject!r}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Handshake
+# ---------------------------------------------------------------------------
+
+def _transcript(certificate: Certificate, client_public: bytes,
+                server_public: bytes) -> bytes:
+    return b"|".join(
+        (b"TLSv0-transcript", certificate.body(), client_public,
+         server_public)
+    )
+
+
+def _record_keys(secret: bytes) -> dict:
+    return derive_subkeys(
+        secret, ["client->server", "server->client"],
+        salt=b"repro.crypto.https.v1",
+    )
+
+
+class TlsClient:
+    """The enclave side: initiates, authenticates the server, encrypts."""
+
+    def __init__(self, ca_key: RsaPublicKey, server_name: str):
+        self._ca_key = ca_key
+        self._server_name = server_name
+        self._ephemeral = DhKeyPair()
+        self._endpoint = None
+
+    def client_hello(self) -> bytes:
+        return json.dumps(
+            {"type": "client-hello",
+             "public": base64.b64encode(
+                 self._ephemeral.public_bytes()
+             ).decode("ascii")}
+        ).encode("ascii")
+
+    def process_server_hello(self, payload: bytes) -> None:
+        try:
+            doc = json.loads(payload.decode("ascii"))
+            certificate = Certificate.decode(doc["certificate"])
+            server_public = base64.b64decode(doc["public"])
+            signature = base64.b64decode(doc["signature"])
+        except (ValueError, KeyError) as exc:
+            raise ProtocolError("malformed server hello") from exc
+        verify_certificate(certificate, self._ca_key, self._server_name)
+        transcript = _transcript(
+            certificate, self._ephemeral.public_bytes(), server_public
+        )
+        certificate.public_key.verify(transcript, signature)
+
+        peer = DEFAULT_GROUP.decode_element(server_public)
+        keys = _record_keys(self._ephemeral.shared_secret(peer))
+        self._endpoint = ChannelEndpoint(
+            send_key=keys["client->server"], recv_key=keys["server->client"]
+        )
+
+    @property
+    def is_established(self) -> bool:
+        return self._endpoint is not None
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        return self._require_endpoint().encrypt(plaintext)
+
+    def decrypt(self, record: bytes) -> bytes:
+        return self._require_endpoint().decrypt(record)
+
+    def _require_endpoint(self) -> ChannelEndpoint:
+        if self._endpoint is None:
+            raise ProtocolError("TLS handshake not complete")
+        return self._endpoint
+
+
+class TlsServer:
+    """The search engine side: one instance per connection."""
+
+    def __init__(self, certificate: Certificate, key: RsaKeyPair):
+        if key.public != certificate.public_key:
+            raise CryptoError("certificate does not match the private key")
+        self._certificate = certificate
+        self._key = key
+        self._endpoint = None
+
+    def process_client_hello(self, payload: bytes) -> bytes:
+        """Consume the ClientHello; returns the ServerHello."""
+        try:
+            doc = json.loads(payload.decode("ascii"))
+            if doc.get("type") != "client-hello":
+                raise ProtocolError("expected a client hello")
+            client_public = base64.b64decode(doc["public"])
+        except (ValueError, KeyError) as exc:
+            raise ProtocolError("malformed client hello") from exc
+
+        ephemeral = DhKeyPair()
+        server_public = ephemeral.public_bytes()
+        transcript = _transcript(
+            self._certificate, client_public, server_public
+        )
+        signature = self._key.sign(transcript)
+
+        peer = DEFAULT_GROUP.decode_element(client_public)
+        keys = _record_keys(ephemeral.shared_secret(peer))
+        self._endpoint = ChannelEndpoint(
+            send_key=keys["server->client"], recv_key=keys["client->server"]
+        )
+        return json.dumps(
+            {
+                "type": "server-hello",
+                "certificate": self._certificate.encode(),
+                "public": base64.b64encode(server_public).decode("ascii"),
+                "signature": base64.b64encode(signature).decode("ascii"),
+            }
+        ).encode("ascii")
+
+    @property
+    def is_established(self) -> bool:
+        return self._endpoint is not None
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        return self._require_endpoint().encrypt(plaintext)
+
+    def decrypt(self, record: bytes) -> bytes:
+        return self._require_endpoint().decrypt(record)
+
+    def _require_endpoint(self) -> ChannelEndpoint:
+        if self._endpoint is None:
+            raise ProtocolError("TLS handshake not complete")
+        return self._endpoint

@@ -1,0 +1,60 @@
+"""HKDF key derivation (RFC 5869) over HMAC-SHA256.
+
+Session keys for the broker<->enclave tunnel, Tor circuit hop keys and PEAS
+hybrid keys are all derived through HKDF from raw Diffie-Hellman shared
+secrets, so no protocol ever uses a DH output directly as a cipher key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+from repro.errors import CryptoError
+
+HASH_LEN = 32  # SHA-256 output size.
+
+
+def hkdf_extract(salt: bytes, input_key_material: bytes) -> bytes:
+    """HKDF-Extract: concentrate entropy into a pseudorandom key."""
+    if not salt:
+        salt = b"\x00" * HASH_LEN
+    return hmac.new(salt, input_key_material, hashlib.sha256).digest()
+
+
+def hkdf_expand(pseudo_random_key: bytes, info: bytes, length: int) -> bytes:
+    """HKDF-Expand: stretch a PRK into ``length`` bytes of key material."""
+    if length <= 0:
+        raise CryptoError("HKDF output length must be positive")
+    if length > 255 * HASH_LEN:
+        raise CryptoError("HKDF output length exceeds RFC 5869 bound")
+    blocks = []
+    previous = b""
+    counter = 1
+    while sum(len(b) for b in blocks) < length:
+        previous = hmac.new(
+            pseudo_random_key, previous + info + bytes([counter]), hashlib.sha256
+        ).digest()
+        blocks.append(previous)
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+def hkdf(input_key_material: bytes, *, salt: bytes = b"", info: bytes = b"",
+         length: int = 32) -> bytes:
+    """One-shot HKDF (extract-then-expand)."""
+    return hkdf_expand(hkdf_extract(salt, input_key_material), info, length)
+
+
+def derive_subkeys(secret: bytes, labels: list, *, salt: bytes = b"",
+                   length: int = 32) -> dict:
+    """Derive one independent subkey per label from a single secret.
+
+    Returns ``{label: key}``; labels must be unique ASCII strings.
+    """
+    if len(set(labels)) != len(labels):
+        raise CryptoError("subkey labels must be unique")
+    prk = hkdf_extract(salt, secret)
+    return {
+        label: hkdf_expand(prk, label.encode("ascii"), length) for label in labels
+    }

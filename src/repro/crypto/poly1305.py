@@ -1,0 +1,50 @@
+"""Pure-Python Poly1305 one-time authenticator (RFC 8439 §2.5).
+
+Used by the ChaCha20-Poly1305 AEAD construction in :mod:`repro.crypto.aead`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CryptoError
+
+KEY_SIZE = 32
+TAG_SIZE = 16
+
+_P = (1 << 130) - 5
+_R_CLAMP = 0x0FFFFFFC0FFFFFFC0FFFFFFC0FFFFFFF
+
+
+def poly1305_mac(key: bytes, message: bytes) -> bytes:
+    """Compute the 16-byte Poly1305 tag of ``message`` under a one-time key.
+
+    The 32-byte ``key`` splits into ``r`` (clamped per RFC 8439) and ``s``.
+    The key MUST NOT be reused across messages; the AEAD derives a fresh one
+    per nonce from ChaCha20 block 0.
+    """
+    if len(key) != KEY_SIZE:
+        raise CryptoError(f"Poly1305 key must be {KEY_SIZE} bytes, got {len(key)}")
+    r = int.from_bytes(key[:16], "little") & _R_CLAMP
+    s = int.from_bytes(key[16:], "little")
+
+    accumulator = 0
+    for offset in range(0, len(message), 16):
+        chunk = message[offset:offset + 16]
+        # Append the 0x01 high byte that marks the chunk length.
+        n = int.from_bytes(chunk + b"\x01", "little")
+        accumulator = ((accumulator + n) * r) % _P
+    accumulator = (accumulator + s) & ((1 << 128) - 1)
+    return accumulator.to_bytes(16, "little")
+
+
+def constant_time_equal(a: bytes, b: bytes) -> bool:
+    """Compare two byte strings without early exit on the first mismatch.
+
+    Python cannot give hard constant-time guarantees, but this mirrors the
+    structure real implementations use and is what the AEAD verifier calls.
+    """
+    if len(a) != len(b):
+        return False
+    diff = 0
+    for x, y in zip(a, b):
+        diff |= x ^ y
+    return diff == 0

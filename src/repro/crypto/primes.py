@@ -1,0 +1,86 @@
+"""Prime generation and testing for the RSA signature substrate.
+
+Miller-Rabin with enough rounds for a vanishing error probability, plus a
+small trial-division fast path.  Key generation accepts an injectable RNG so
+tests can be deterministic while production paths use :mod:`secrets`.
+"""
+
+from __future__ import annotations
+
+import secrets
+
+from repro.errors import CryptoError
+
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149,
+    151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199, 211, 223, 227,
+    229, 233, 239, 241, 251,
+)
+
+
+def is_probable_prime(candidate: int, rounds: int = 40, rng=None) -> bool:
+    """Miller-Rabin primality test.
+
+    ``rounds`` witnesses give an error bound of 4**-rounds for composites.
+    """
+    if candidate < 2:
+        return False
+    for prime in _SMALL_PRIMES:
+        if candidate == prime:
+            return True
+        if candidate % prime == 0:
+            return False
+
+    # Write candidate - 1 as d * 2^r with d odd.
+    d = candidate - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+
+    def _random_below(bound: int) -> int:
+        if rng is not None:
+            return rng.randrange(2, bound)
+        return 2 + secrets.randbelow(bound - 2)
+
+    for _ in range(rounds):
+        witness = _random_below(candidate - 1)
+        x = pow(witness, d, candidate)
+        if x in (1, candidate - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, candidate)
+            if x == candidate - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def generate_prime(bits: int, rng=None) -> int:
+    """Generate a random probable prime of exactly ``bits`` bits."""
+    if bits < 16:
+        raise CryptoError("refusing to generate primes below 16 bits")
+    while True:
+        if rng is not None:
+            candidate = rng.getrandbits(bits)
+        else:
+            candidate = secrets.randbits(bits)
+        # Force top bit (exact size) and bottom bit (odd).
+        candidate |= (1 << (bits - 1)) | 1
+        if is_probable_prime(candidate, rng=rng):
+            return candidate
+
+
+def modular_inverse(value: int, modulus: int) -> int:
+    """Return value^-1 mod modulus via the extended Euclidean algorithm."""
+    old_r, r = value % modulus, modulus
+    old_s, s = 1, 0
+    while r:
+        quotient = old_r // r
+        old_r, r = r, old_r - quotient * r
+        old_s, s = s, old_s - quotient * s
+    if old_r != 1:
+        raise CryptoError("value is not invertible modulo the given modulus")
+    return old_s % modulus

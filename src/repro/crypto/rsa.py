@@ -1,0 +1,101 @@
+"""RSA signatures for the attestation substrate.
+
+The simulated Intel attestation service signs attestation reports, the
+quoting enclave signs quotes, and Tor directory authorities sign consensus
+documents.  Signatures are RSASSA with PKCS#1 v1.5-style deterministic
+padding over SHA-256 — enough structure to make forgery tests meaningful
+without pulling in external dependencies.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.crypto.primes import generate_prime, modular_inverse
+from repro.errors import AuthenticationError, CryptoError
+
+# DER prefix for a SHA-256 DigestInfo (RFC 8017 §9.2 note 1).
+_SHA256_DIGEST_INFO = bytes.fromhex(
+    "3031300d060960864801650304020105000420"
+)
+
+DEFAULT_KEY_BITS = 2048
+_PUBLIC_EXPONENT = 65537
+
+
+@dataclass(frozen=True)
+class RsaPublicKey:
+    """An RSA public key (modulus, exponent)."""
+
+    modulus: int
+    exponent: int = _PUBLIC_EXPONENT
+
+    @property
+    def byte_length(self) -> int:
+        return (self.modulus.bit_length() + 7) // 8
+
+    def fingerprint(self) -> bytes:
+        """SHA-256 fingerprint used to pin keys in directories."""
+        encoded = self.modulus.to_bytes(self.byte_length, "big")
+        return hashlib.sha256(encoded).digest()
+
+    def verify(self, message: bytes, signature: bytes) -> None:
+        """Verify a signature; raises :class:`AuthenticationError` on failure."""
+        if len(signature) != self.byte_length:
+            raise AuthenticationError("RSA signature has wrong length")
+        as_int = int.from_bytes(signature, "big")
+        if as_int >= self.modulus:
+            raise AuthenticationError("RSA signature out of range")
+        recovered = pow(as_int, self.exponent, self.modulus)
+        expected = int.from_bytes(_pad_digest(message, self.byte_length), "big")
+        if recovered != expected:
+            raise AuthenticationError("RSA signature verification failed")
+
+
+class RsaKeyPair:
+    """An RSA key pair with CRT-accelerated signing."""
+
+    def __init__(self, bits: int = DEFAULT_KEY_BITS, rng=None):
+        if bits < 512:
+            raise CryptoError("RSA keys below 512 bits are not supported")
+        half = bits // 2
+        while True:
+            p = generate_prime(half, rng=rng)
+            q = generate_prime(bits - half, rng=rng)
+            if p == q:
+                continue
+            modulus = p * q
+            phi = (p - 1) * (q - 1)
+            if phi % _PUBLIC_EXPONENT == 0:
+                continue
+            if modulus.bit_length() == bits:
+                break
+        self._p = p
+        self._q = q
+        self._d = modular_inverse(_PUBLIC_EXPONENT, phi)
+        self._dp = self._d % (p - 1)
+        self._dq = self._d % (q - 1)
+        self._q_inv = modular_inverse(q, p)
+        self.public = RsaPublicKey(modulus=modulus)
+
+    def sign(self, message: bytes) -> bytes:
+        """Produce a deterministic PKCS#1 v1.5 signature over SHA-256."""
+        padded = int.from_bytes(
+            _pad_digest(message, self.public.byte_length), "big"
+        )
+        # CRT: two half-size exponentiations instead of one full-size.
+        s1 = pow(padded % self._p, self._dp, self._p)
+        s2 = pow(padded % self._q, self._dq, self._q)
+        h = (self._q_inv * (s1 - s2)) % self._p
+        signature = s2 + h * self._q
+        return signature.to_bytes(self.public.byte_length, "big")
+
+
+def _pad_digest(message: bytes, length: int) -> bytes:
+    """EMSA-PKCS1-v1_5 encoding of SHA-256(message) into ``length`` bytes."""
+    digest_info = _SHA256_DIGEST_INFO + hashlib.sha256(message).digest()
+    padding_len = length - len(digest_info) - 3
+    if padding_len < 8:
+        raise CryptoError("RSA modulus too small for SHA-256 signatures")
+    return b"\x00\x01" + b"\xff" * padding_len + b"\x00" + digest_info

@@ -1,0 +1,39 @@
+"""Synthetic AOL-style web-search workload.
+
+The original AOL query log (21 M queries, 650 k users, March-May 2006) is
+no longer distributable; this package generates a calibrated synthetic
+substitute (see DESIGN.md §1 for the substitution argument) and implements
+the paper's evaluation methodology: most-active-user selection and the
+chronological 2/3-1/3 train/test split.
+"""
+
+from repro.datasets.generator import (
+    AolStyleGenerator,
+    GeneratorConfig,
+    generate_log,
+)
+from repro.datasets.io import load_aol_tsv, save_aol_tsv
+from repro.datasets.queries import Query, QueryLog, train_test_split
+from repro.datasets.topics import (
+    BACKGROUND_TERMS,
+    MODIFIERS,
+    TOPIC_TERMS,
+    TopicModel,
+    zipf_rank,
+)
+
+__all__ = [
+    "Query",
+    "QueryLog",
+    "train_test_split",
+    "AolStyleGenerator",
+    "GeneratorConfig",
+    "generate_log",
+    "TopicModel",
+    "TOPIC_TERMS",
+    "MODIFIERS",
+    "BACKGROUND_TERMS",
+    "zipf_rank",
+    "load_aol_tsv",
+    "save_aol_tsv",
+]

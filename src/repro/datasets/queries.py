@@ -1,0 +1,102 @@
+"""Query and query-log data types.
+
+A :class:`Query` mirrors one AOL log line: an anonymised user id, the query
+string and a timestamp.  :class:`QueryLog` wraps a chronologically sorted
+sequence with the per-user views the experiments need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections import defaultdict
+
+from repro.errors import DatasetError
+
+
+@dataclass(frozen=True)
+class Query:
+    """One logged web-search query."""
+
+    query_id: int
+    user_id: str
+    text: str
+    timestamp: float  # seconds since the start of the trace
+
+    def __post_init__(self):
+        if not self.text:
+            raise DatasetError("a query cannot be empty")
+
+
+class QueryLog:
+    """A chronologically ordered collection of queries with user views."""
+
+    def __init__(self, queries):
+        self._queries = sorted(queries, key=lambda q: (q.timestamp, q.query_id))
+        self._by_user = defaultdict(list)
+        for query in self._queries:
+            self._by_user[query.user_id].append(query)
+
+    def __len__(self) -> int:
+        return len(self._queries)
+
+    def __iter__(self):
+        return iter(self._queries)
+
+    def __getitem__(self, index):
+        return self._queries[index]
+
+    @property
+    def users(self) -> list:
+        """User ids sorted by descending activity then name (stable)."""
+        return sorted(
+            self._by_user, key=lambda uid: (-len(self._by_user[uid]), uid)
+        )
+
+    def queries_of(self, user_id: str) -> list:
+        if user_id not in self._by_user:
+            raise DatasetError(f"no queries for user {user_id!r}")
+        return list(self._by_user[user_id])
+
+    def most_active_users(self, count: int) -> list:
+        """The ``count`` most active users — the paper's evaluation focus.
+
+        The most active users "have exposed more preliminary information to
+        the search engine" (§5.1) and are therefore the hardest case for a
+        privacy mechanism.
+        """
+        return self.users[:count]
+
+    def restricted_to(self, user_ids) -> "QueryLog":
+        """A sub-log containing only the given users."""
+        wanted = set(user_ids)
+        return QueryLog([q for q in self._queries if q.user_id in wanted])
+
+    def unique_texts(self) -> list:
+        """Distinct query strings in first-seen order (Figure 6 workload)."""
+        seen = set()
+        out = []
+        for query in self._queries:
+            if query.text not in seen:
+                seen.add(query.text)
+                out.append(query.text)
+        return out
+
+
+def train_test_split(log: QueryLog, train_fraction: float = 2.0 / 3.0):
+    """Split each user's queries chronologically into train and test sets.
+
+    Matches the paper's methodology (§5.1): the first two thirds of each
+    user's queries build the adversary's profile, the rest are protected and
+    attacked.  Returns ``(train_log, test_log)``.
+    """
+    if not 0.0 < train_fraction < 1.0:
+        raise DatasetError("train_fraction must be in (0, 1)")
+    train, test = [], []
+    for user_id in log.users:
+        queries = log.queries_of(user_id)
+        cut = int(len(queries) * train_fraction)
+        # Keep at least one query on each side for users with few queries.
+        cut = max(1, min(cut, len(queries) - 1)) if len(queries) > 1 else 1
+        train.extend(queries[:cut])
+        test.extend(queries[cut:])
+    return QueryLog(train), QueryLog(test)

@@ -1,0 +1,65 @@
+"""Exception hierarchy shared across the X-Search reproduction.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so that
+callers can distinguish failures of this library from programming errors
+(``TypeError``, ``ValueError`` raised on misuse are still used for argument
+validation, following stdlib conventions).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class CryptoError(ReproError):
+    """A cryptographic operation failed (bad key sizes, corrupt data...)."""
+
+
+class AuthenticationError(CryptoError):
+    """An AEAD tag or signature failed verification.
+
+    Raised instead of returning corrupt plaintext; callers must treat the
+    message as hostile.
+    """
+
+
+class EnclaveError(ReproError):
+    """The simulated SGX enclave rejected an operation."""
+
+
+class EnclaveMemoryError(EnclaveError):
+    """The enclave page cache (EPC) could not satisfy an allocation."""
+
+
+class AttestationError(EnclaveError):
+    """Remote attestation failed: wrong measurement, bad quote signature..."""
+
+
+class SealingError(EnclaveError):
+    """Sealed data could not be unsealed (wrong enclave or tampering)."""
+
+
+class ProtocolError(ReproError):
+    """A malformed or out-of-order wire message was received."""
+
+
+class SearchError(ReproError):
+    """The search-engine substrate rejected a request."""
+
+
+class NetworkError(ReproError):
+    """The simulated network could not deliver a message."""
+
+
+class CircuitError(NetworkError):
+    """A Tor-style circuit could not be built or used."""
+
+
+class DatasetError(ReproError):
+    """A dataset could not be generated, loaded or split as requested."""
+
+
+class ExperimentError(ReproError):
+    """An experiment was configured inconsistently."""

@@ -1,0 +1,160 @@
+"""Shared experimental setup (paper §5).
+
+Every figure starts from the same pipeline: generate the query log, focus
+on the 100 most active users, split train/test chronologically 2/3-1/3,
+build the adversary's profiles from the training set, and stand up the
+search engine.  :class:`ExperimentContext` builds all of it once from a
+seed, so figures compose without re-deriving state and the whole
+evaluation is reproducible from the seed alone.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.attacks import SimAttack, build_profiles
+from repro.baselines.cooccurrence import CooccurrenceModel
+from repro.datasets import (
+    GeneratorConfig,
+    AolStyleGenerator,
+    QueryLog,
+    train_test_split,
+)
+from repro.errors import ExperimentError
+from repro.search import SearchEngine
+
+PAPER_FOCUS_USERS = 100  # "the 100 most active users" (§5.1)
+
+
+@dataclass
+class ContextConfig:
+    """Scale knobs: defaults reproduce the paper's methodology; the *fast*
+    preset keeps CI latency sane while preserving every qualitative
+    conclusion."""
+
+    seed: int = 42
+    n_users: int = 300
+    mean_queries_per_user: float = 120.0
+    focus_users: int = PAPER_FOCUS_USERS
+    queries_per_user: int = 2  # attacked test queries sampled per user
+    corpus_seed: int = 1
+
+    @classmethod
+    def fast(cls) -> "ContextConfig":
+        return cls(n_users=120, mean_queries_per_user=60.0, focus_users=40,
+                   queries_per_user=1)
+
+
+class ExperimentContext:
+    """Lazily built shared state for all figures."""
+
+    def __init__(self, config: ContextConfig = None):
+        self.config = config if config is not None else ContextConfig()
+        self._log = None
+        self._train = None
+        self._test = None
+        self._focus = None
+        self._profiles = None
+        self._attack = None
+        self._engine = None
+        self._cooccurrence = None
+
+    # ------------------------------------------------------------------
+    # Dataset
+    # ------------------------------------------------------------------
+    @property
+    def log(self) -> QueryLog:
+        if self._log is None:
+            generator_config = GeneratorConfig(
+                n_users=self.config.n_users,
+                mean_queries_per_user=self.config.mean_queries_per_user,
+            )
+            self._log = AolStyleGenerator(
+                generator_config, seed=self.config.seed
+            ).generate()
+        return self._log
+
+    def _ensure_split(self):
+        if self._train is None:
+            self._train, self._test = train_test_split(self.log)
+            self._focus = self._train.most_active_users(
+                self.config.focus_users
+            )
+
+    @property
+    def train(self) -> QueryLog:
+        self._ensure_split()
+        return self._train
+
+    @property
+    def test(self) -> QueryLog:
+        self._ensure_split()
+        return self._test
+
+    @property
+    def focus_users(self) -> list:
+        self._ensure_split()
+        return list(self._focus)
+
+    @property
+    def train_texts(self) -> list:
+        return [q.text for q in self.train]
+
+    # ------------------------------------------------------------------
+    # Adversary
+    # ------------------------------------------------------------------
+    @property
+    def profiles(self) -> dict:
+        if self._profiles is None:
+            self._profiles = build_profiles(self.train, self.focus_users)
+        return self._profiles
+
+    @property
+    def attack(self) -> SimAttack:
+        if self._attack is None:
+            self._attack = SimAttack(self.profiles)
+        return self._attack
+
+    # ------------------------------------------------------------------
+    # Fake-query models and the engine
+    # ------------------------------------------------------------------
+    @property
+    def cooccurrence(self) -> CooccurrenceModel:
+        if self._cooccurrence is None:
+            self._cooccurrence = CooccurrenceModel(self.train_texts)
+        return self._cooccurrence
+
+    @property
+    def engine(self) -> SearchEngine:
+        if self._engine is None:
+            self._engine = SearchEngine.with_synthetic_corpus(
+                seed=self.config.corpus_seed
+            )
+        return self._engine
+
+    # ------------------------------------------------------------------
+    # Test-query sampling (rate-limit methodology of §5.3.2)
+    # ------------------------------------------------------------------
+    def sample_test_queries(self, *, per_user: int = None,
+                            seed_offset: int = 0) -> list:
+        """``(user_id, query_text)`` pairs sampled from the testing set."""
+        per_user = (
+            per_user if per_user is not None else self.config.queries_per_user
+        )
+        rng = random.Random(self.config.seed + 1000 + seed_offset)
+        pairs = []
+        for user_id in self.focus_users:
+            queries = self.test.queries_of(user_id)
+            chosen = rng.sample(queries, min(per_user, len(queries)))
+            pairs.extend((user_id, q.text) for q in chosen)
+        if not pairs:
+            raise ExperimentError("no test queries sampled")
+        return pairs
+
+    def sample_random_test_texts(self, count: int,
+                                 seed_offset: int = 0) -> list:
+        """A random subset of testing queries (Figure 4/7 use 100)."""
+        rng = random.Random(self.config.seed + 2000 + seed_offset)
+        texts = [q.text for q in self.test]
+        return rng.sample(texts, min(count, len(texts)))

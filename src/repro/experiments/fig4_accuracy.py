@@ -1,0 +1,100 @@
+"""Figure 4 — precision and recall of X-Search's filtered results vs k.
+
+Methodology of §5.3.2: for each sampled test query, fetch the engine's
+results for the original query (the reference R_or), then build the
+obfuscated query, execute each sub-query independently and merge the
+(k+1) result sets (the Bing single-word-OR workaround), filter with
+Algorithm 2, and compare the returned list R_xs with the reference.
+
+Paper's findings to reproduce: precision and recall decrease slowly with
+k and both stay above 0.8 at k = 2 (first 20 results considered).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.filtering import filter_results
+from repro.core.history import QueryHistory
+from repro.core.obfuscation import obfuscate_query
+from repro.errors import ExperimentError
+from repro.experiments.context import ExperimentContext
+from repro.metrics.accuracy import precision_recall
+
+DEFAULT_K_VALUES = tuple(range(8))
+QUERIES_PER_K = 100  # the paper's Bing rate-limit workaround (§5.3.2)
+RESULT_DEPTH = 20  # "the first 20 results" (§5.3.2)
+
+
+@dataclass
+class Fig4Result:
+    k_values: tuple
+    precisions: list
+    recalls: list
+    n_queries: int
+
+
+def run(context: ExperimentContext = None, *, k_values=DEFAULT_K_VALUES,
+        queries_per_k: int = QUERIES_PER_K, depth: int = RESULT_DEPTH,
+        seed: int = 0) -> Fig4Result:
+    context = context if context is not None else ExperimentContext()
+    if queries_per_k <= 0 or depth <= 0:
+        raise ExperimentError("queries_per_k and depth must be positive")
+    engine = context.engine
+    train_texts = context.train_texts
+
+    precisions, recalls = [], []
+    for k in k_values:
+        rng = random.Random(seed + 97 * k)
+        texts = context.sample_random_test_texts(queries_per_k,
+                                                 seed_offset=k)
+        history = QueryHistory(max(len(train_texts) + len(texts), 1))
+        history.extend(train_texts)
+
+        precision_sum = recall_sum = 0.0
+        for text in texts:
+            reference = engine.search(text, depth)
+            obfuscated = obfuscate_query(text, history, k, rng)
+            merged = engine.search_or(list(obfuscated.subqueries), depth)
+            filtered = filter_results(
+                obfuscated.original, obfuscated.fake_queries, merged
+            )[:depth]
+            precision, recall = precision_recall(reference, filtered)
+            precision_sum += precision
+            recall_sum += recall
+        precisions.append(precision_sum / len(texts))
+        recalls.append(recall_sum / len(texts))
+
+    return Fig4Result(
+        k_values=tuple(k_values),
+        precisions=precisions,
+        recalls=recalls,
+        n_queries=queries_per_k,
+    )
+
+
+def format_table(result: Fig4Result) -> str:
+    lines = ["   k   precision     recall"]
+    for i, k in enumerate(result.k_values):
+        lines.append(
+            f"{k:>4}   {result.precisions[i]:>9.3f}   {result.recalls[i]:>8.3f}"
+        )
+    return "\n".join(lines)
+
+
+def main(fast: bool = False) -> Fig4Result:
+    from repro.experiments.context import ContextConfig
+
+    context = ExperimentContext(ContextConfig.fast() if fast else None)
+    k_values = (0, 2, 5) if fast else DEFAULT_K_VALUES
+    result = run(context, k_values=k_values,
+                 queries_per_k=25 if fast else QUERIES_PER_K)
+    print(f"Figure 4 — accuracy vs k ({result.n_queries} queries per k, "
+          f"top-{RESULT_DEPTH})")
+    print(format_table(result))
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,97 @@
+"""Figure 5 — latency vs throughput for the X-Search proxy, PEAS and Tor.
+
+Open-loop (wrk2-style) load sweeps against each system's service model,
+measured "without actually hitting the web search engine, to better
+understand the saturation point of the proxy" (§6.3).  Expected shape:
+
+* X-Search serves up to ~25,000 req/s with sub-second latency;
+* PEAS deteriorates much faster — ~1,000 req/s at sub-second latency;
+* Tor handles ~100 req/s (mean latency around 8.9 ms below saturation),
+  an order of magnitude slower than X-Search serving 1,000 req/s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.service_models import (
+    dissent_station,
+    peas_station,
+    rac_station,
+    tor_station,
+    xsearch_station,
+)
+from repro.net.loadgen import saturation_rate, sweep
+
+# Log-spaced offered-rate ladder, 100 → 30,000 req/s like the figure axes.
+DEFAULT_RATES = (
+    100, 200, 400, 700, 1_000, 2_000, 4_000, 7_000,
+    10_000, 15_000, 20_000, 25_000, 28_000, 30_000, 33_000,
+)
+_TOR_RATES = (25, 50, 75, 100, 110, 120, 150, 200)
+_PEAS_RATES = (100, 200, 400, 700, 900, 1_000, 1_100, 1_250, 1_500, 2_000)
+_RAC_RATES = (5, 10, 15, 20, 25, 30, 40)
+_DISSENT_RATES = (2, 4, 6, 8, 10, 15, 20)
+
+
+@dataclass
+class Fig5Result:
+    series: dict  # system name -> list of SweepPoint
+    saturation: dict  # system name -> highest sub-second rate
+
+    def ordering_holds(self) -> bool:
+        """X-Search ≫ PEAS ≫ Tor in sustainable throughput."""
+        return (
+            self.saturation["X-Search"] > 10 * self.saturation["PEAS"]
+            > 10 * self.saturation["Tor"]
+        )
+
+
+def run(*, duration_seconds: float = 2.0, seed: int = 0,
+        rates=DEFAULT_RATES, include_extended: bool = False) -> Fig5Result:
+    """The Figure 5 sweep; ``include_extended`` adds the RAC and Dissent
+    series the paper discusses qualitatively in §2.1.1 (both well below
+    Tor's throughput)."""
+    stations = {
+        "X-Search": (xsearch_station(seed), rates),
+        "PEAS": (peas_station(seed), _PEAS_RATES),
+        "Tor": (tor_station(seed), _TOR_RATES),
+    }
+    if include_extended:
+        stations["RAC"] = (rac_station(seed), _RAC_RATES)
+        stations["Dissent"] = (dissent_station(seed), _DISSENT_RATES)
+    series = {}
+    saturation = {}
+    for name, (station, ladder) in stations.items():
+        points = sweep(station, ladder, duration_seconds=duration_seconds,
+                       seed=seed)
+        series[name] = points
+        saturation[name] = saturation_rate(points)
+    return Fig5Result(series=series, saturation=saturation)
+
+
+def format_table(result: Fig5Result) -> str:
+    lines = []
+    for name, points in result.series.items():
+        lines.append(f"{name} (sub-second up to "
+                     f"{result.saturation[name]:,.0f} req/s)")
+        lines.append("  offered req/s   achieved req/s   p50 (ms)   p99 (ms)")
+        for point in points:
+            lines.append(
+                f"  {point.offered_rps:>13,.0f}   {point.achieved_rps:>14,.0f}"
+                f"   {point.p50_latency * 1e3:>8.2f}"
+                f"   {point.p99_latency * 1e3:>8.2f}"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def main(fast: bool = False) -> Fig5Result:
+    result = run(duration_seconds=0.5 if fast else 2.0)
+    print("Figure 5 — latency/throughput saturation sweep (proxy only)")
+    print(format_table(result))
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

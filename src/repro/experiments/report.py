@@ -1,0 +1,109 @@
+"""Render all experiment results into one markdown reproduction report.
+
+``xsearch-experiments report [--fast] [--output FILE]`` runs every figure
+and emits a self-contained markdown document: per-figure tables plus the
+analytical adversary-model comparison — the machine-generated counterpart
+of the hand-curated EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import io
+import time
+
+from repro.analysis import format_comparison_table
+from repro.experiments import (
+    fig1_fake_queries,
+    fig3_reidentification,
+    fig4_accuracy,
+    fig5_throughput_latency,
+    fig6_memory,
+    fig7_round_trip,
+)
+from repro.experiments.context import ContextConfig, ExperimentContext
+
+
+def generate_report(*, fast: bool = True, seed: int = 42) -> str:
+    """Run every figure and return the markdown report text."""
+    out = io.StringIO()
+    config = ContextConfig.fast() if fast else ContextConfig()
+    config.seed = seed
+    context = ExperimentContext(config)
+    scale = "fast (CI)" if fast else "paper"
+
+    out.write("# X-Search reproduction report\n\n")
+    out.write(f"Scale: **{scale}**, dataset seed {seed}, "
+              f"{config.n_users} users, {config.focus_users} attacked.\n\n")
+
+    sections = [
+        (
+            "Figure 1 — CCDF of max similarity(fake, past queries)",
+            lambda: fig1_fake_queries.format_table(
+                fig1_fake_queries.run(
+                    context, n_fakes=120 if fast else 400
+                )
+            ),
+        ),
+        (
+            "Figure 3 — re-identification rate vs k",
+            lambda: fig3_reidentification.format_table(
+                fig3_reidentification.run(
+                    context, k_values=(0, 1, 3, 5) if fast else tuple(range(8))
+                )
+            ),
+        ),
+        (
+            "Figure 4 — precision/recall vs k",
+            lambda: fig4_accuracy.format_table(
+                fig4_accuracy.run(
+                    context,
+                    k_values=(0, 2, 5) if fast else tuple(range(8)),
+                    queries_per_k=25 if fast else 100,
+                )
+            ),
+        ),
+        (
+            "Figure 5 — latency vs throughput",
+            lambda: fig5_throughput_latency.format_table(
+                fig5_throughput_latency.run(
+                    duration_seconds=0.5 if fast else 2.0,
+                    include_extended=True,
+                )
+            ),
+        ),
+        (
+            "Figure 6 — enclave memory vs stored queries",
+            lambda: fig6_memory.format_table(
+                fig6_memory.run(
+                    max_queries=100_000 if fast else 1_000_000,
+                    samples=10 if fast else 20,
+                )
+            ),
+        ),
+        (
+            "Figure 7 — end-to-end round-trip time",
+            lambda: fig7_round_trip.format_table(
+                fig7_round_trip.run(n_queries=50 if fast else 100)
+            ),
+        ),
+    ]
+    for title, render in sections:
+        started = time.time()
+        table = render()
+        out.write(f"## {title}\n\n```\n{table}\n```\n\n")
+        out.write(f"_(generated in {time.time() - started:.1f}s)_\n\n")
+
+    out.write("## Adversary-model comparison (analytical, §2/§3)\n\n")
+    out.write(f"```\n{format_comparison_table()}\n```\n")
+    return out.getvalue()
+
+
+def main(*, fast: bool = True, output: str = None) -> str:
+    report = generate_report(fast=fast)
+    if output:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(report)
+        print(f"report written to {output}")
+    else:
+        print(report)
+    return report

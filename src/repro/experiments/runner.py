@@ -1,0 +1,73 @@
+"""Command-line runner regenerating every figure of the paper.
+
+Usage::
+
+    xsearch-experiments all          # every figure, paper-scale
+    xsearch-experiments fig3 --fast  # one figure, CI-scale
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    fig1_fake_queries,
+    fig3_reidentification,
+    fig4_accuracy,
+    fig5_throughput_latency,
+    fig6_memory,
+    fig7_round_trip,
+)
+
+EXPERIMENTS = {
+    "fig1": fig1_fake_queries,
+    "fig3": fig3_reidentification,
+    "fig4": fig4_accuracy,
+    "fig5": fig5_throughput_latency,
+    "fig6": fig6_memory,
+    "fig7": fig7_round_trip,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate the figures of the X-Search paper "
+                    "(Middleware 2017)."
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all", "report"],
+        help="which figure to regenerate ('report' renders all of them "
+             "into one markdown document)",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="reduced scale (smaller dataset / fewer samples)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="for 'report': write the markdown to this file",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "report":
+        from repro.experiments import report
+
+        report.main(fast=args.fast, output=args.output)
+        return 0
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        module = EXPERIMENTS[name]
+        start = time.time()
+        module.main(fast=args.fast)
+        print(f"[{name} completed in {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

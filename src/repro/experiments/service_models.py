@@ -1,0 +1,100 @@
+"""Per-system proxy service-time models for the performance figures.
+
+Figure 5 measures the proxies *in isolation* (no live search engine), so
+what matters is each system's per-request service cost and parallelism.
+The constants below are calibrated to the saturation points the paper
+reports on an i7-6700 (§6.3) and are derived from each system's mechanics:
+
+* **X-Search** — one ecall + four socket ocalls per request (~41 k cycles
+  of mode transitions ≈ 12 µs at 3.4 GHz, from the
+  :mod:`repro.sgx.runtime` cost model) plus AEAD decrypt/encrypt of a
+  small record, Algorithm 1 sampling and Algorithm 2 filtering — a few
+  hundred µs in the authors' C++ prototype.  With the engine's worker
+  pool ("the proxy uses multiple threads", §4.1) this saturates around
+  the paper's 25 k req/s with sub-second latency.
+* **PEAS** — two proxy traversals with hybrid public-key crypto per
+  request (the receiver relays, the issuer decrypts and re-encrypts):
+  milliseconds per request, saturating around 1 k req/s as in the paper.
+* **Tor** — three relays with per-hop AEAD plus scheduling overhead; the
+  paper measured ~100 req/s at ~8.9 ms mean latency.
+
+The *shape* conclusions (who saturates where, by what orders of
+magnitude) come from the queueing dynamics, not from these constants
+alone; the ablation benchmark varies them to show robustness.
+"""
+
+from __future__ import annotations
+
+from repro.net.queueing import QueueingStation, ServiceTime
+from repro.sgx.runtime import (
+    DEFAULT_CLOCK_HZ,
+    DEFAULT_ECALL_CYCLES,
+    DEFAULT_OCALL_CYCLES,
+)
+
+# X-Search per-request enclave boundary crossings: 1 request ecall,
+# 4 socket ocalls (connect, send, recv, close).
+_XSEARCH_TRANSITION_SECONDS = (
+    DEFAULT_ECALL_CYCLES + 4 * DEFAULT_OCALL_CYCLES
+) / DEFAULT_CLOCK_HZ
+# Crypto + obfuscation + filtering in native code, per request.
+_XSEARCH_COMPUTE_SECONDS = 280e-6
+
+XSEARCH_WORKERS = 8
+PEAS_WORKERS = 4
+TOR_WORKERS = 1
+
+XSEARCH_SERVICE = ServiceTime(
+    median_seconds=_XSEARCH_TRANSITION_SECONDS + _XSEARCH_COMPUTE_SECONDS,
+    sigma=0.25,
+)
+PEAS_SERVICE = ServiceTime(median_seconds=3.2e-3, sigma=0.30)
+TOR_SERVICE = ServiceTime(median_seconds=8.5e-3, sigma=0.35)
+
+# Extension: the robust anonymous-communication systems of §2.1.1, whose
+# throughput the paper reports as "orders of magnitude lower than Tor".
+# RAC broadcasts every relayed message around its ring (×N messages);
+# Dissent's DC-net derives O(N²) pads and needs N transmissions per round.
+_RING_SIZE = 5
+RAC_SERVICE = ServiceTime(
+    median_seconds=TOR_SERVICE.median_seconds * _RING_SIZE, sigma=0.35
+)
+DISSENT_SERVICE = ServiceTime(
+    median_seconds=TOR_SERVICE.median_seconds * _RING_SIZE * 2, sigma=0.40
+)
+
+
+def xsearch_station(seed: int = 0) -> QueueingStation:
+    return QueueingStation(
+        "X-Search", workers=XSEARCH_WORKERS, service=XSEARCH_SERVICE,
+        seed=seed,
+    )
+
+
+def peas_station(seed: int = 0) -> QueueingStation:
+    return QueueingStation(
+        "PEAS", workers=PEAS_WORKERS, service=PEAS_SERVICE, seed=seed
+    )
+
+
+def tor_station(seed: int = 0) -> QueueingStation:
+    return QueueingStation(
+        "Tor", workers=TOR_WORKERS, service=TOR_SERVICE, seed=seed
+    )
+
+
+def rac_station(seed: int = 0) -> QueueingStation:
+    return QueueingStation(
+        "RAC", workers=TOR_WORKERS, service=RAC_SERVICE, seed=seed
+    )
+
+
+def dissent_station(seed: int = 0) -> QueueingStation:
+    return QueueingStation(
+        "Dissent", workers=TOR_WORKERS, service=DISSENT_SERVICE, seed=seed
+    )
+
+
+def xsearch_proxy_service_seconds() -> float:
+    """Mean in-proxy time per request (used by the Figure 7 RTT model)."""
+    return XSEARCH_SERVICE.approximate_mean

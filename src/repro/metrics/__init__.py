@@ -1,0 +1,17 @@
+"""Evaluation metrics (paper §5.4)."""
+
+from repro.metrics.accuracy import precision_recall, result_url_set
+from repro.metrics.distributions import ccdf_points, cdf_points
+from repro.metrics.privacy import protection_level, reidentification_rate
+from repro.metrics.ranking_quality import dcg, ndcg
+
+__all__ = [
+    "precision_recall",
+    "result_url_set",
+    "ndcg",
+    "dcg",
+    "reidentification_rate",
+    "protection_level",
+    "ccdf_points",
+    "cdf_points",
+]

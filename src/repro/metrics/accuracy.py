@@ -1,0 +1,31 @@
+"""Accuracy metrics: precision and recall of filtered result lists (§5.4.2).
+
+``precision = |R_or ∩ R_xs| / |R_xs|`` and ``recall = |R_or ∩ R_xs| / |R_or|``
+where ``R_or`` is the engine's result set for the original query and
+``R_xs`` the set X-Search returned after obfuscation + filtering.
+Results are compared by canonical URL (tracking redirects stripped).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExperimentError
+
+
+def result_url_set(results) -> set:
+    """Canonical URL set of a result page."""
+    return {r.strip_tracking().url for r in results}
+
+
+def precision_recall(reference_results, system_results) -> tuple:
+    """``(precision, recall)`` of a system result list vs the reference.
+
+    Edge conventions: with an empty reference, recall is 1.0 (nothing to
+    retrieve); with an empty system list, precision is 1.0 (nothing wrong
+    was returned) — and (1.0, 1.0) when both are empty.
+    """
+    reference = result_url_set(reference_results)
+    system = result_url_set(system_results)
+    intersection = reference & system
+    precision = len(intersection) / len(system) if system else 1.0
+    recall = len(intersection) / len(reference) if reference else 1.0
+    return precision, recall

@@ -1,0 +1,40 @@
+"""Distribution helpers: CDF/CCDF point extraction for figures 1 and 7."""
+
+from __future__ import annotations
+
+from repro.errors import ExperimentError
+
+
+def cdf_points(values, points: int = 100) -> list:
+    """``(x, P[X <= x])`` pairs over ``points`` evenly spaced quantiles."""
+    ordered = sorted(values)
+    if not ordered:
+        raise ExperimentError("cannot build a CDF from no values")
+    n = len(ordered)
+    out = []
+    step = max(1, n // points)
+    for i in range(0, n, step):
+        out.append((ordered[i], (i + 1) / n))
+    if out[-1][0] != ordered[-1] or out[-1][1] != 1.0:
+        out.append((ordered[-1], 1.0))
+    return out
+
+
+def ccdf_points(values, thresholds) -> list:
+    """``(t, P[X >= t])`` pairs at the given thresholds (Figure 1 axes)."""
+    ordered = sorted(values)
+    if not ordered:
+        raise ExperimentError("cannot build a CCDF from no values")
+    n = len(ordered)
+    out = []
+    for threshold in thresholds:
+        # Count values >= threshold.
+        lo, hi = 0, n
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if ordered[mid] < threshold:
+                lo = mid + 1
+            else:
+                hi = mid
+        out.append((threshold, (n - lo) / n))
+    return out

@@ -1,0 +1,23 @@
+"""Privacy metrics: the re-identification rate (§5.4.1).
+
+``re-identification rate = |Q_id| / |Q|`` — the fraction of protected
+queries for which the adversary recovered *both* the initial query and the
+requesting user.  0 is perfect protection, 1 is no protection.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.simattack import SimAttack
+from repro.errors import ExperimentError
+
+
+def reidentification_rate(attack: SimAttack, protected_queries) -> float:
+    """Fraction of ``(true_user, true_query, subqueries)`` re-identified."""
+    return attack.reidentification_rate(protected_queries)
+
+
+def protection_level(rate: float) -> float:
+    """``1 - re-identification rate`` (the paper's improvement basis)."""
+    if not 0.0 <= rate <= 1.0:
+        raise ExperimentError("a rate must live in [0, 1]")
+    return 1.0 - rate

@@ -1,0 +1,55 @@
+"""Rank-aware accuracy: nDCG of a filtered result list vs the reference.
+
+The paper evaluates with set-based precision/recall; nDCG additionally
+penalises the filtering step for *reordering* the surviving results — a
+stricter lens used by the ablation benches.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ExperimentError
+from repro.metrics.accuracy import result_url_set
+
+
+def dcg(relevances) -> float:
+    """Discounted cumulative gain of a relevance sequence."""
+    return sum(
+        rel / math.log2(position + 2)
+        for position, rel in enumerate(relevances)
+    )
+
+
+def ndcg(reference_results, system_results, *, depth: int = None) -> float:
+    """nDCG of the system list against graded reference relevance.
+
+    A reference result at rank r receives relevance ``depth - r + 1`` (the
+    engine's own ordering is the ground truth); system results not in the
+    reference score 0.  Returns a value in [0, 1]; 1 means the system
+    returned the reference list in reference order.
+    """
+    reference = list(reference_results)
+    system = list(system_results)
+    if depth is None:
+        depth = max(len(reference), 1)
+    if depth <= 0:
+        raise ExperimentError("depth must be positive")
+    reference = reference[:depth]
+    system = system[:depth]
+    if not reference:
+        return 1.0 if not system else 0.0
+
+    relevance_of = {
+        result.strip_tracking().url: len(reference) - position
+        for position, result in enumerate(reference)
+    }
+    gains = [
+        relevance_of.get(result.strip_tracking().url, 0)
+        for result in system
+    ]
+    ideal = sorted(relevance_of.values(), reverse=True)
+    ideal_dcg = dcg(ideal)
+    if ideal_dcg == 0:
+        return 0.0
+    return dcg(gains) / ideal_dcg

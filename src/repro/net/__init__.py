@@ -1,0 +1,37 @@
+"""Network and load simulation substrate.
+
+* :class:`~repro.net.latency.LatencyModel` — calibrated stochastic legs
+  for the Figure 7 end-to-end round-trip study;
+* :class:`~repro.net.queueing.QueueingStation` — event-driven FIFO
+  multi-worker service model for Figure 5's saturation study;
+* :class:`~repro.net.loadgen.OpenLoopLoadGenerator` — the wrk2 analogue
+  (constant-rate open-loop arrivals, no coordinated omission);
+* :class:`~repro.net.histogram.LatencyRecorder` — percentile/CDF
+  extraction.
+"""
+
+from repro.net.histogram import LatencyRecorder
+from repro.net.latency import LatencyModel, LogNormalDelay, NetworkPath
+from repro.net.loadgen import (
+    OpenLoopLoadGenerator,
+    SweepPoint,
+    run_load,
+    saturation_rate,
+    sweep,
+)
+from repro.net.queueing import QueueingStation, ServiceTime, StationRun
+
+__all__ = [
+    "LatencyRecorder",
+    "LatencyModel",
+    "NetworkPath",
+    "LogNormalDelay",
+    "QueueingStation",
+    "ServiceTime",
+    "StationRun",
+    "OpenLoopLoadGenerator",
+    "run_load",
+    "sweep",
+    "saturation_rate",
+    "SweepPoint",
+]

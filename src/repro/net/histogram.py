@@ -1,0 +1,121 @@
+"""Latency recording with percentile/CDF extraction.
+
+An HdrHistogram-style recorder: fixed-resolution logarithmic buckets so a
+multi-million-sample Figure 5 sweep stays O(1) per record, plus exact
+small-sample mode for Figure 7's 100-query CDFs.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ExperimentError
+
+_BUCKETS_PER_DECADE = 200
+_MIN_LATENCY = 1e-6  # 1 µs resolution floor
+_DECADES = 9  # up to 1000 s
+
+
+class LatencyRecorder:
+    """Records latency samples (seconds) and answers distribution queries."""
+
+    def __init__(self, *, exact: bool = False):
+        self._exact = exact
+        self._samples = []
+        self._buckets = [0] * (_BUCKETS_PER_DECADE * _DECADES)
+        self._count = 0
+        self._sum = 0.0
+        self._max = 0.0
+        self._min = math.inf
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(self, latency_seconds: float) -> None:
+        if latency_seconds < 0:
+            raise ExperimentError("latency cannot be negative")
+        self._count += 1
+        self._sum += latency_seconds
+        self._max = max(self._max, latency_seconds)
+        self._min = min(self._min, latency_seconds)
+        if self._exact:
+            self._samples.append(latency_seconds)
+        else:
+            self._buckets[self._bucket_index(latency_seconds)] += 1
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        if self._count == 0:
+            raise ExperimentError("no samples recorded")
+        return self._sum / self._count
+
+    @property
+    def max(self) -> float:
+        return self._max
+
+    @property
+    def min(self) -> float:
+        return self._min if self._count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """The p-th percentile (p in [0, 100])."""
+        if not 0.0 <= p <= 100.0:
+            raise ExperimentError("percentile must be within [0, 100]")
+        if self._count == 0:
+            raise ExperimentError("no samples recorded")
+        target = max(1, math.ceil(self._count * p / 100.0))
+        if self._exact:
+            ordered = sorted(self._samples)
+            return ordered[min(target, self._count) - 1]
+        seen = 0
+        for index, count in enumerate(self._buckets):
+            seen += count
+            if seen >= target:
+                return self._bucket_value(index)
+        return self._max  # pragma: no cover - defensive
+
+    @property
+    def median(self) -> float:
+        return self.percentile(50.0)
+
+    def cdf(self, points: int = 100) -> list:
+        """``(latency, fraction ≤ latency)`` pairs for plotting."""
+        if self._count == 0:
+            raise ExperimentError("no samples recorded")
+        if self._exact:
+            ordered = sorted(self._samples)
+            step = max(1, len(ordered) // points)
+            out = []
+            for i in range(0, len(ordered), step):
+                out.append((ordered[i], (i + 1) / len(ordered)))
+            if out[-1][0] != ordered[-1]:
+                out.append((ordered[-1], 1.0))
+            return out
+        out = []
+        seen = 0
+        for index, count in enumerate(self._buckets):
+            if count == 0:
+                continue
+            seen += count
+            out.append((self._bucket_value(index), seen / self._count))
+        return out
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _bucket_index(latency: float) -> int:
+        clamped = max(latency, _MIN_LATENCY)
+        position = math.log10(clamped / _MIN_LATENCY) * _BUCKETS_PER_DECADE
+        return min(int(position), _BUCKETS_PER_DECADE * _DECADES - 1)
+
+    @staticmethod
+    def _bucket_value(index: int) -> float:
+        return _MIN_LATENCY * 10 ** ((index + 0.5) / _BUCKETS_PER_DECADE)

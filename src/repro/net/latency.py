@@ -1,0 +1,121 @@
+"""Network latency models for the end-to-end experiments.
+
+Figure 7 measures the user-perceived round-trip time of a web search under
+three deployments (Direct, X-Search, Tor).  The absolute numbers in the
+paper come from a live Bing + live Tor in May 2017; we reproduce the
+*shape* with calibrated stochastic legs:
+
+* a LAN/edge leg between the client and its first hop;
+* WAN legs between infrastructure nodes (cloud proxy, Tor relays);
+* a heavy-tailed search-engine backend time (log-normal, like real engine
+  response-time distributions).
+
+Every leg is an independent :class:`NetworkPath` sampled per message, so
+percentiles emerge from composition rather than being hard-coded.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.errors import NetworkError
+
+
+@dataclass(frozen=True)
+class NetworkPath:
+    """One network leg: base one-way delay plus exponential jitter."""
+
+    base_seconds: float
+    jitter_seconds: float = 0.0
+
+    def __post_init__(self):
+        if self.base_seconds < 0 or self.jitter_seconds < 0:
+            raise NetworkError("latency parameters cannot be negative")
+
+    def sample(self, rng: random.Random) -> float:
+        jitter = rng.expovariate(1.0 / self.jitter_seconds) \
+            if self.jitter_seconds > 0 else 0.0
+        return self.base_seconds + jitter
+
+
+@dataclass(frozen=True)
+class LogNormalDelay:
+    """Heavy-tailed processing delay (median/sigma parameterised)."""
+
+    median_seconds: float
+    sigma: float = 0.35
+
+    def sample(self, rng: random.Random) -> float:
+        mu = math.log(self.median_seconds)
+        return rng.lognormvariate(mu, self.sigma)
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """The legs of the three Figure 7 deployments.
+
+    Calibration targets (May 2017 measurements reported in §6.3): Direct is
+    fastest; X-Search median ≈ 0.58 s with a tight p99 ≈ 0.87 s; Tor median
+    ≈ 1.06 s with a long tail to ≈ 3 s at p99.
+    """
+
+    client_to_engine: NetworkPath = NetworkPath(0.040, 0.010)
+    client_to_proxy: NetworkPath = NetworkPath(0.025, 0.008)
+    proxy_to_engine: NetworkPath = NetworkPath(0.015, 0.005)
+    tor_hop: NetworkPath = NetworkPath(0.045, 0.060)
+    exit_to_engine: NetworkPath = NetworkPath(0.050, 0.030)
+    engine_backend: LogNormalDelay = LogNormalDelay(0.260, 0.30)
+    # Bigger result pages (k+1 merged sub-queries) take longer to produce
+    # and transfer: per-sub-query increment of the backend time.
+    per_subquery_backend: float = 0.070
+    # Occasional congested Tor relays give the long tail the paper observed
+    # (p99 up to ~3 s): probability and mean of an extra queueing delay.
+    tor_congestion_probability: float = 0.05
+    tor_congestion_mean: float = 0.5
+
+    def engine_delay(self, rng: random.Random, subqueries: int = 1) -> float:
+        backend = self.engine_backend.sample(rng)
+        return backend + self.per_subquery_backend * max(0, subqueries - 1)
+
+    def direct_round_trip(self, rng: random.Random) -> float:
+        """Client ↔ engine with no protection."""
+        return (
+            self.client_to_engine.sample(rng)
+            + self.engine_delay(rng)
+            + self.client_to_engine.sample(rng)
+        )
+
+    def xsearch_round_trip(self, rng: random.Random, *, k: int,
+                           proxy_service_seconds: float = 0.0) -> float:
+        """Client ↔ proxy ↔ engine, including enclave service time."""
+        return (
+            self.client_to_proxy.sample(rng)
+            + proxy_service_seconds
+            + self.proxy_to_engine.sample(rng)
+            + self.engine_delay(rng, subqueries=k + 1)
+            + self.proxy_to_engine.sample(rng)
+            + self.client_to_proxy.sample(rng)
+        )
+
+    def _tor_hop_delay(self, rng: random.Random) -> float:
+        delay = self.tor_hop.sample(rng)
+        if rng.random() < self.tor_congestion_probability:
+            delay += rng.expovariate(1.0 / self.tor_congestion_mean)
+        return delay
+
+    def tor_round_trip(self, rng: random.Random, *, hops: int = 3,
+                       relay_service_seconds: float = 0.002) -> float:
+        """Client ↔ (guard, middle, exit) ↔ engine, both directions."""
+        one_way = sum(self._tor_hop_delay(rng) for _ in range(hops))
+        back = sum(self._tor_hop_delay(rng) for _ in range(hops))
+        relays = 2 * hops * relay_service_seconds
+        return (
+            one_way
+            + self.exit_to_engine.sample(rng)
+            + self.engine_delay(rng)
+            + self.exit_to_engine.sample(rng)
+            + back
+            + relays
+        )

@@ -1,0 +1,113 @@
+"""Open-loop constant-rate load generation (the wrk2 analogue).
+
+The paper drives the proxies with wrk2 (§6.3), which issues requests at a
+fixed rate regardless of how slowly the system responds and measures
+latency from the *intended* send time — the open-loop discipline that
+exposes saturation honestly.  :class:`OpenLoopLoadGenerator` produces the
+same arrival schedules, and :func:`sweep` runs a full rate ladder against
+a station, yielding the (throughput, latency) series of Figure 5.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import ExperimentError
+from repro.net.queueing import QueueingStation, StationRun
+
+
+@dataclass(frozen=True)
+class OpenLoopLoadGenerator:
+    """Generates arrival timestamps at a constant offered rate."""
+
+    rate_rps: float
+    duration_seconds: float
+    poisson: bool = False  # wrk2 paces uniformly; Poisson optional
+    seed: int = 0
+
+    def arrival_times(self) -> list:
+        if self.rate_rps <= 0:
+            raise ExperimentError("offered rate must be positive")
+        if self.duration_seconds <= 0:
+            raise ExperimentError("duration must be positive")
+        count = int(self.rate_rps * self.duration_seconds)
+        if count == 0:
+            raise ExperimentError("rate x duration yields no requests")
+        if not self.poisson:
+            interval = 1.0 / self.rate_rps
+            return [i * interval for i in range(count)]
+        rng = random.Random(self.seed)
+        times = []
+        t = 0.0
+        for _ in range(count):
+            t += rng.expovariate(self.rate_rps)
+            times.append(t)
+        return times
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of the latency/throughput curve."""
+
+    offered_rps: float
+    achieved_rps: float
+    mean_latency: float
+    p50_latency: float
+    p99_latency: float
+
+
+def run_load(station: QueueingStation, rate_rps: float,
+             duration_seconds: float = 5.0, *,
+             poisson: bool = False, seed: int = 0) -> StationRun:
+    """One load level: schedule arrivals and run them through the station."""
+    generator = OpenLoopLoadGenerator(
+        rate_rps=rate_rps,
+        duration_seconds=duration_seconds,
+        poisson=poisson,
+        seed=seed,
+    )
+    return station.run(generator.arrival_times())
+
+
+def sweep(station: QueueingStation, rates_rps, *,
+          duration_seconds: float = 5.0, poisson: bool = False,
+          seed: int = 0) -> list:
+    """Run a rate ladder; returns one :class:`SweepPoint` per rate."""
+    points = []
+    for rate in rates_rps:
+        run = run_load(
+            station, rate, duration_seconds, poisson=poisson, seed=seed
+        )
+        points.append(
+            SweepPoint(
+                offered_rps=rate,
+                achieved_rps=run.throughput_rps,
+                mean_latency=run.latency.mean,
+                p50_latency=run.latency.percentile(50.0),
+                p99_latency=run.latency.percentile(99.0),
+            )
+        )
+    return points
+
+
+def saturation_rate(points, latency_budget_seconds: float = 1.0,
+                    percentile: str = "p50",
+                    keep_up_fraction: float = 0.98) -> float:
+    """The highest offered rate still served within the latency budget.
+
+    The paper summarises Figure 5 as "X-Search is capable of serving up to
+    25,000 requests/sec with sub-second latencies" — this helper extracts
+    that summary number from a sweep.  A rate only qualifies if the system
+    also *keeps up* with it (achieved ≥ ``keep_up_fraction`` × offered):
+    past saturation a short run can still show low latencies while the
+    queue silently grows.
+    """
+    best = 0.0
+    for point in points:
+        latency = point.p50_latency if percentile == "p50" else point.p99_latency
+        keeps_up = point.achieved_rps >= keep_up_fraction * point.offered_rps
+        if keeps_up and latency <= latency_budget_seconds \
+                and point.offered_rps > best:
+            best = point.offered_rps
+    return best

@@ -1,0 +1,24 @@
+"""Private Information Retrieval substrate (paper §2.1.3).
+
+Two-server information-theoretic PIR (XOR subsets over a replicated block
+database) plus a private web-search client that ranks on public metadata
+and retrieves result documents obliviously.  Included to cover the third
+category of private-web-search systems the paper surveys, and to quantify
+why it is excluded from the head-to-head evaluation: per-query server work
+is Θ(database size).
+"""
+
+from repro.pir.database import DEFAULT_BLOCK_SIZE, BlockDatabase
+from repro.pir.protocol import PirClient, PirServer, ServerObservation, collude
+from repro.pir.search import PirSearchService, PirWebSearchClient
+
+__all__ = [
+    "BlockDatabase",
+    "DEFAULT_BLOCK_SIZE",
+    "PirClient",
+    "PirServer",
+    "ServerObservation",
+    "collude",
+    "PirSearchService",
+    "PirWebSearchClient",
+]

@@ -1,0 +1,65 @@
+"""Block database for private information retrieval.
+
+PIR protocols operate over a database of equal-sized blocks; the server's
+answer to a query is the XOR of a selected subset of blocks.  The cost
+structure that makes PIR "unpractical" for web-scale search (paper §2.1.3)
+is visible right here: *every* query makes each server touch *every*
+block — O(n) work per query by design, since skipping a block would reveal
+that it was not the one requested.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProtocolError
+
+DEFAULT_BLOCK_SIZE = 1024
+
+
+class BlockDatabase:
+    """Fixed-size-block storage with XOR-subset answering."""
+
+    def __init__(self, records, *, block_size: int = DEFAULT_BLOCK_SIZE):
+        if block_size <= 0:
+            raise ProtocolError("block size must be positive")
+        self.block_size = block_size
+        self._blocks = []
+        for record in records:
+            if len(record) > block_size:
+                raise ProtocolError(
+                    f"record of {len(record)} bytes exceeds the "
+                    f"{block_size}-byte block size"
+                )
+            self._blocks.append(
+                bytes(record) + bytes(block_size - len(record))
+            )
+        if not self._blocks:
+            raise ProtocolError("a PIR database needs at least one block")
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def total_bytes(self) -> int:
+        return len(self._blocks) * self.block_size
+
+    def block(self, index: int) -> bytes:
+        """Direct (non-private) access, for tests and the baseline."""
+        if not 0 <= index < len(self._blocks):
+            raise ProtocolError(f"block index {index} out of range")
+        return self._blocks[index]
+
+    def xor_subset(self, indices) -> tuple:
+        """XOR of the selected blocks; returns ``(answer, blocks_touched)``.
+
+        ``blocks_touched`` is len(db) — the server must scan everything to
+        answer obliviously; the subset only decides what enters the XOR.
+        """
+        answer = bytearray(self.block_size)
+        wanted = set(indices)
+        for bad in wanted - set(range(len(self._blocks))):
+            raise ProtocolError(f"block index {bad} out of range")
+        for index, block in enumerate(self._blocks):
+            if index in wanted:
+                for position in range(self.block_size):
+                    answer[position] ^= block[position]
+        return bytes(answer), len(self._blocks)

@@ -1,0 +1,114 @@
+"""A PIR-based alternative search engine (paper §2.1.3).
+
+The third category of private web search: the engine is redesigned so
+that it *cannot* see what is retrieved.  Documents live in a replicated
+block database; the client holds the (public) keyword → block-index
+dictionary, ranks candidate blocks locally, and fetches the winners with
+two-server PIR.  "The only information known by the search engine is that
+the user has sent a query."
+
+The paper excludes this category from its head-to-head evaluation because
+it "requires crypto-based search engines" and performs poorly on large
+stores; the extension bench quantifies exactly that — per-query server
+work is Θ(database size), versus the posting-list lookups of a normal
+engine.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter, defaultdict
+
+from repro.errors import ProtocolError, SearchError
+from repro.pir.database import DEFAULT_BLOCK_SIZE, BlockDatabase
+from repro.pir.protocol import PirClient, PirServer
+from repro.search.documents import SearchResult, WebDocument
+from repro.textutils import tokenize
+
+
+def _serialise(document: WebDocument) -> bytes:
+    return json.dumps(
+        {"url": document.url, "title": document.title,
+         "body": document.body[:600]},
+        separators=(",", ":"),
+    ).encode("utf-8")
+
+
+def _deserialise(block: bytes) -> dict:
+    try:
+        return json.loads(block.rstrip(b"\x00").decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError("corrupt PIR block") from exc
+
+
+class PirSearchService:
+    """The server-side deployment: two replicas + public metadata."""
+
+    def __init__(self, documents, *, block_size: int = DEFAULT_BLOCK_SIZE):
+        documents = list(documents)
+        if not documents:
+            raise SearchError("the PIR service needs documents")
+        records = [_serialise(d) for d in documents]
+        database = BlockDatabase(records, block_size=block_size)
+        self.server_a = PirServer(database, name="replica-a")
+        self.server_b = PirServer(database, name="replica-b")
+        self.n_blocks = len(database)
+        self.block_size = block_size
+
+        # Public metadata shipped to clients offline: term -> block indices
+        # with term weights for local ranking.  Publishing the dictionary
+        # leaks nothing about *queries*.
+        index = defaultdict(dict)
+        for block_index, document in enumerate(documents):
+            counts = Counter(tokenize(document.title, drop_stopwords=True))
+            counts.update(tokenize(document.body, drop_stopwords=True))
+            for term, count in counts.items():
+                index[term][block_index] = count
+        self.public_dictionary = {
+            term: dict(postings) for term, postings in index.items()
+        }
+
+
+class PirWebSearchClient:
+    """A user searching privately through the PIR service."""
+
+    def __init__(self, service: PirSearchService, rng=None):
+        self._service = service
+        self._client = PirClient(service.n_blocks, rng=rng)
+        self._dictionary = service.public_dictionary
+
+    @property
+    def bytes_uploaded(self) -> int:
+        return self._client.bytes_uploaded
+
+    @property
+    def bytes_downloaded(self) -> int:
+        return self._client.bytes_downloaded
+
+    def search(self, query: str, limit: int = 10) -> list:
+        """Rank locally on public metadata, retrieve winners via PIR."""
+        terms = tokenize(query, drop_stopwords=True)
+        if not terms:
+            return []
+        scores = Counter()
+        for term in terms:
+            for block_index, weight in self._dictionary.get(term, {}).items():
+                scores[block_index] += weight
+        winners = [index for index, _ in scores.most_common(limit)]
+
+        results = []
+        for rank, block_index in enumerate(winners, start=1):
+            block = self._client.retrieve(
+                block_index, self._service.server_a, self._service.server_b
+            )
+            doc = _deserialise(block)
+            results.append(
+                SearchResult(
+                    rank=rank,
+                    url=doc["url"],
+                    title=doc["title"],
+                    snippet=doc["body"][:160],
+                    score=float(scores[block_index]),
+                )
+            )
+        return results

@@ -1,0 +1,29 @@
+"""Search-engine substrate: a local Bing stand-in.
+
+Inverted index + BM25 ranking over a synthetic topical web corpus, with
+the single-word-OR quirk the paper worked around, analytics-redirect URLs
+for the proxy to strip, and an honest-but-curious tracking wrapper for the
+adversary-model experiments.
+"""
+
+from repro.search.corpus import CorpusConfig, CorpusGenerator
+from repro.search.documents import SearchResult, WebDocument
+from repro.search.engine import DEFAULT_PAGE_SIZE, SearchEngine
+from repro.search.index import InvertedIndex, Posting
+from repro.search.ranking import Bm25Parameters, Bm25Ranker
+from repro.search.tracking import ObservedRequest, TrackingSearchEngine
+
+__all__ = [
+    "WebDocument",
+    "SearchResult",
+    "InvertedIndex",
+    "Posting",
+    "Bm25Ranker",
+    "Bm25Parameters",
+    "SearchEngine",
+    "DEFAULT_PAGE_SIZE",
+    "CorpusGenerator",
+    "CorpusConfig",
+    "TrackingSearchEngine",
+    "ObservedRequest",
+]

@@ -1,0 +1,52 @@
+"""Document and result types for the search-engine substrate."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SearchError
+
+
+@dataclass(frozen=True)
+class WebDocument:
+    """A synthetic web page: what the engine indexes."""
+
+    doc_id: int
+    url: str
+    title: str
+    body: str
+
+    def __post_init__(self):
+        if not self.url:
+            raise SearchError("a document needs a URL")
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """One entry of a result page, as the user (and the proxy) sees it.
+
+    ``title`` and ``snippet`` are what Algorithm 2 scores with
+    ``nbCommonWords`` — the proxy never re-fetches the documents.
+    """
+
+    rank: int
+    url: str
+    title: str
+    snippet: str
+    score: float
+
+    def strip_tracking(self) -> "SearchResult":
+        """Remove analytics redirection from the URL (paper §4.1: results
+        are 'tampered by the proxy to remove any URL redirection used for
+        analytics')."""
+        url = self.url
+        marker = "/redirect?target="
+        if marker in url:
+            url = url.split(marker, 1)[1]
+        return SearchResult(
+            rank=self.rank,
+            url=url,
+            title=self.title,
+            snippet=self.snippet,
+            score=self.score,
+        )

@@ -1,0 +1,142 @@
+"""The search-engine substrate (Bing stand-in).
+
+Serves ranked result pages with titles, snippets and analytics-redirect
+URLs.  Mirrors the quirk the paper had to work around (§5.3.2): the ``OR``
+operator only works for single-word queries, so multi-word obfuscated
+queries are executed by submitting each sub-query independently and merging
+the (k+1) result sets — :meth:`SearchEngine.search_or` implements exactly
+that behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SearchError
+from repro.search.corpus import CorpusConfig, CorpusGenerator
+from repro.search.documents import SearchResult, WebDocument
+from repro.search.index import InvertedIndex
+from repro.search.ranking import Bm25Parameters, Bm25Ranker
+from repro.textutils import tokenize
+
+DEFAULT_PAGE_SIZE = 20
+_SNIPPET_WORDS = 24
+
+
+class SearchEngine:
+    """An in-process web search engine over a document collection."""
+
+    def __init__(self, documents, *, bm25: Bm25Parameters = Bm25Parameters(),
+                 add_tracking_redirects: bool = True):
+        self._index = InvertedIndex()
+        self._index.add_all(documents)
+        self._ranker = Bm25Ranker(self._index, bm25)
+        self._add_tracking = add_tracking_redirects
+        self.queries_served = 0
+
+    @classmethod
+    def with_synthetic_corpus(cls, *, seed: int = 0,
+                              config: CorpusConfig = None) -> "SearchEngine":
+        """Build an engine over the default synthetic web corpus."""
+        documents = CorpusGenerator(config, seed=seed).generate()
+        return cls(documents)
+
+    # ------------------------------------------------------------------
+    # Query API
+    # ------------------------------------------------------------------
+    def search(self, query: str, limit: int = DEFAULT_PAGE_SIZE,
+               offset: int = 0) -> list:
+        """Execute one query; returns up to ``limit`` ranked results.
+
+        ``offset`` selects deeper result pages (ranks continue from the
+        absolute position, as on a real engine's page 2).
+        """
+        if limit <= 0:
+            raise SearchError("result limit must be positive")
+        if offset < 0:
+            raise SearchError("result offset cannot be negative")
+        terms = tokenize(query, drop_stopwords=True)
+        if not terms:
+            # Engines return an empty page for stopword-only queries.
+            return []
+        self.queries_served += 1
+        ranked = self._ranker.top(terms, offset + limit)[offset:]
+        results = []
+        for position, (doc_id, score) in enumerate(ranked):
+            document = self._index.document(doc_id)
+            results.append(
+                SearchResult(
+                    rank=offset + position + 1,
+                    url=self._result_url(document),
+                    title=document.title,
+                    snippet=self._snippet(document, terms),
+                    score=score,
+                )
+            )
+        return results
+
+    def search_or(self, subqueries, limit: int = DEFAULT_PAGE_SIZE) -> list:
+        """Execute ``q1 OR q2 OR ...`` the way the paper did against Bing.
+
+        Each sub-query runs independently; the (k+1) result pages are
+        interleaved round-robin and deduplicated by URL, producing one
+        merged page per obfuscated query.  The merged page is what travels
+        back to the X-Search proxy for filtering.
+        """
+        if not subqueries:
+            raise SearchError("search_or needs at least one sub-query")
+        pages = [self.search(q, limit) for q in subqueries]
+        merged = []
+        seen_urls = set()
+        depth = 0
+        while len(merged) < limit * len(pages):
+            progressed = False
+            for page in pages:
+                if depth < len(page):
+                    progressed = True
+                    result = page[depth]
+                    if result.url not in seen_urls:
+                        seen_urls.add(result.url)
+                        merged.append(result)
+            if not progressed:
+                break
+            depth += 1
+        # Re-rank positions in the merged page.
+        return [
+            SearchResult(
+                rank=i + 1,
+                url=r.url,
+                title=r.title,
+                snippet=r.snippet,
+                score=r.score,
+            )
+            for i, r in enumerate(merged)
+        ]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_documents(self) -> int:
+        return self._index.n_documents
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _result_url(self, document: WebDocument) -> str:
+        if self._add_tracking:
+            return (
+                "http://engine.example.com/redirect?target=" + document.url
+            )
+        return document.url
+
+    @staticmethod
+    def _snippet(document: WebDocument, terms) -> str:
+        """A keyword-in-context snippet: the window around the first hit."""
+        words = document.body.split()
+        hit = 0
+        wanted = set(terms)
+        for position, word in enumerate(words):
+            if word in wanted:
+                hit = position
+                break
+        start = max(0, hit - _SNIPPET_WORDS // 4)
+        return " ".join(words[start:start + _SNIPPET_WORDS])

@@ -1,0 +1,59 @@
+"""BM25 ranking over the inverted index.
+
+Okapi BM25 with field-weighted term frequencies; disjunctive semantics (a
+document matching any query term is a candidate), which is exactly the
+behaviour the paper's obfuscated ``q1 OR q2 OR ...`` queries rely on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.search.index import InvertedIndex
+
+
+@dataclass(frozen=True)
+class Bm25Parameters:
+    k1: float = 1.2
+    b: float = 0.75
+
+
+class Bm25Ranker:
+    """Scores documents for a bag of query terms."""
+
+    def __init__(self, index: InvertedIndex,
+                 parameters: Bm25Parameters = Bm25Parameters()):
+        self._index = index
+        self._params = parameters
+
+    def _idf(self, term: str) -> float:
+        n = self._index.n_documents
+        df = self._index.document_frequency(term)
+        if df == 0:
+            return 0.0
+        # BM25+ style floor at 0 to avoid negative IDF for very common terms.
+        return max(0.0, math.log((n - df + 0.5) / (df + 0.5) + 1.0))
+
+    def score(self, terms) -> dict:
+        """Return ``{doc_id: score}`` for all documents matching any term."""
+        k1, b = self._params.k1, self._params.b
+        avgdl = self._index.average_doc_length or 1.0
+        scores = {}
+        for term in set(terms):
+            idf = self._idf(term)
+            if idf == 0.0:
+                continue
+            for posting in self._index.postings(term):
+                tf = posting.weighted_tf
+                dl = self._index.doc_length(posting.doc_id)
+                denom = tf + k1 * (1.0 - b + b * dl / avgdl)
+                contribution = idf * (tf * (k1 + 1.0)) / denom
+                scores[posting.doc_id] = scores.get(posting.doc_id, 0.0) + contribution
+        return scores
+
+    def top(self, terms, limit: int) -> list:
+        """The ``limit`` best ``(doc_id, score)`` pairs, ties broken by id."""
+        scores = self.score(terms)
+        ranked = sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked[:limit]

@@ -1,0 +1,75 @@
+"""The honest-but-curious search engine of the adversary model (§3).
+
+The engine "behaves correctly when it comes to fetching answers" but
+"collects and exploits in all possible ways the information received from
+clients": every request is logged with the network identity it arrived
+from, and per-identity interest profiles are accumulated.  The SimAttack
+experiments feed these observations to the re-identification adversary.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+from repro.search.engine import DEFAULT_PAGE_SIZE, SearchEngine
+from repro.textutils import term_vector
+
+
+@dataclass(frozen=True)
+class ObservedRequest:
+    """One request as seen from the search engine's vantage point."""
+
+    source: str  # network identity (IP analogue) the request came from
+    text: str
+    timestamp: float
+
+
+class TrackingSearchEngine:
+    """A :class:`SearchEngine` wrapper that spies on its clients.
+
+    What the engine learns is exactly what crossed the wire: for a Direct
+    user it links queries to the user's own address; behind X-Search, Tor or
+    PEAS it only sees the proxy/exit address, and behind an obfuscating
+    proxy it sees the (k+1)-way OR query rather than the original.
+    """
+
+    def __init__(self, engine: SearchEngine):
+        self._engine = engine
+        self.observations = []
+        self._profiles = defaultdict(Counter)
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Serving (honest part)
+    # ------------------------------------------------------------------
+    def search_from(self, source: str, query: str,
+                    limit: int = DEFAULT_PAGE_SIZE,
+                    timestamp: float = 0.0) -> list:
+        self._observe(source, query, timestamp)
+        return self._engine.search(query, limit)
+
+    def search_or_from(self, source: str, subqueries,
+                       limit: int = DEFAULT_PAGE_SIZE,
+                       timestamp: float = 0.0) -> list:
+        self._observe(source, " OR ".join(subqueries), timestamp)
+        return self._engine.search_or(subqueries, limit)
+
+    # ------------------------------------------------------------------
+    # Spying (curious part)
+    # ------------------------------------------------------------------
+    def _observe(self, source: str, text: str, timestamp: float) -> None:
+        with self._lock:
+            self.observations.append(ObservedRequest(source, text, timestamp))
+            self._profiles[source].update(term_vector(text))
+
+    def observed_profile(self, source: str) -> Counter:
+        """The engine's accumulated interest profile for one address."""
+        return Counter(self._profiles[source])
+
+    def observed_sources(self) -> list:
+        return sorted(self._profiles)
+
+    def queries_seen_from(self, source: str) -> list:
+        return [o.text for o in self.observations if o.source == source]

@@ -1,0 +1,69 @@
+"""Software model of Intel SGX for the X-Search reproduction.
+
+The model covers the slice of SGX that X-Search's design and evaluation
+rest on (paper §2.3 and §5.3.3):
+
+* **Isolation & lifecycle** — :class:`~repro.sgx.runtime.Enclave` loads a
+  trusted class, computes its :class:`~repro.sgx.measurement.Measurement`
+  and only dispatches methods exported with
+  :func:`~repro.sgx.runtime.ecall`.
+* **Bounded protected memory** — the 90 MiB
+  :class:`~repro.sgx.epc.EnclavePageCache` with paging costs (Figure 6).
+* **Boundary-crossing costs** — ecall/ocall transitions are metered
+  (Figure 5's service-time model).
+* **Sealing** — :class:`~repro.sgx.sealing.SealingPlatform`.
+* **Remote attestation** — quoting enclave + IAS analogue in
+  :mod:`repro.sgx.attestation`.
+"""
+
+from repro.sgx.attestation import (
+    AttestationService,
+    AttestationVerdict,
+    Quote,
+    QuotingEnclave,
+    RemoteVerifier,
+    report_data_for_key,
+)
+from repro.sgx.epc import (
+    PAGE_SIZE,
+    PAGE_SWAP_CYCLES,
+    USABLE_EPC_BYTES,
+    EnclavePageCache,
+    pages_for,
+)
+from repro.sgx.measurement import Measurement, measure_bytes, measure_code
+from repro.sgx.runtime import (
+    CostModel,
+    CycleCounter,
+    Enclave,
+    EnclaveMemory,
+    OcallTable,
+    ecall,
+    estimate_size,
+)
+from repro.sgx.sealing import SealingPlatform
+
+__all__ = [
+    "Enclave",
+    "EnclaveMemory",
+    "OcallTable",
+    "ecall",
+    "CostModel",
+    "CycleCounter",
+    "estimate_size",
+    "EnclavePageCache",
+    "PAGE_SIZE",
+    "PAGE_SWAP_CYCLES",
+    "USABLE_EPC_BYTES",
+    "pages_for",
+    "Measurement",
+    "measure_code",
+    "measure_bytes",
+    "SealingPlatform",
+    "QuotingEnclave",
+    "AttestationService",
+    "AttestationVerdict",
+    "Quote",
+    "RemoteVerifier",
+    "report_data_for_key",
+]

@@ -1,0 +1,200 @@
+"""Remote attestation: quotes, the quoting enclave and the IAS analogue.
+
+The client-side broker must check that "a certified proxy is running within
+a trustworthy TEE" (paper §2.3/§4.2) before sending any query.  We model
+Intel's EPID-based remote attestation flow with RSA signatures:
+
+1. a platform's :class:`QuotingEnclave` holds an attestation key whose
+   public half is provisioned to the :class:`AttestationService` (the IAS
+   analogue);
+2. the application enclave produces a *report* — its measurement plus
+   64 bytes of report data, which X-Search uses to bind the enclave's
+   ephemeral Diffie-Hellman public value to the attestation;
+3. the quoting enclave signs the report into a :class:`Quote`;
+4. the verifier submits the quote to the attestation service, which checks
+   the platform signature and returns a signed :class:`AttestationVerdict`;
+5. the verifier checks the service signature and compares the measurement
+   against the expected value for the published X-Search proxy code.
+
+A wrong measurement, an unprovisioned platform or a tampered quote all fail
+closed with :class:`~repro.errors.AttestationError`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import secrets
+from dataclasses import dataclass
+
+from repro.crypto.rsa import RsaKeyPair, RsaPublicKey
+from repro.errors import AttestationError, AuthenticationError
+from repro.sgx.measurement import Measurement
+
+REPORT_DATA_SIZE = 64
+
+
+def report_data_for_key(public_key_bytes: bytes) -> bytes:
+    """Bind a channel public key into the 64-byte quote report data."""
+    return hashlib.sha512(public_key_bytes).digest()[:REPORT_DATA_SIZE]
+
+
+@dataclass(frozen=True)
+class Quote:
+    """A signed statement: 'platform X runs enclave M with report data D'."""
+
+    platform_id: bytes
+    measurement: Measurement
+    report_data: bytes
+    signature: bytes
+
+    def signed_body(self) -> bytes:
+        return _quote_body(self.platform_id, self.measurement, self.report_data)
+
+
+def _quote_body(platform_id: bytes, measurement: Measurement,
+                report_data: bytes) -> bytes:
+    return b"|".join((b"QUOTEv1", platform_id, measurement.digest, report_data))
+
+
+class QuotingEnclave:
+    """The platform's quoting enclave holding its attestation key."""
+
+    def __init__(self, key_bits: int = 2048, rng=None):
+        self.platform_id = secrets.token_bytes(16)
+        self._key = RsaKeyPair(key_bits, rng=rng)
+
+    @property
+    def attestation_public_key(self) -> RsaPublicKey:
+        return self._key.public
+
+    def quote_enclave(self, enclave) -> Quote:
+        """Quote a live application enclave (the EREPORT path).
+
+        On real hardware the QE only signs reports the CPU MACed for the
+        target enclave: the measurement comes from the silicon and the
+        report data from code *inside* the enclave.  We model that by
+        reading the measurement off the :class:`~repro.sgx.runtime.Enclave`
+        object and fetching the report data through the enclave's exported
+        ``report_data`` ecall — the untrusted host never supplies either.
+        """
+        report_data = enclave.call("report_data")
+        return self.quote(enclave.measurement, report_data)
+
+    def quote(self, measurement: Measurement, report_data: bytes) -> Quote:
+        """Sign an application enclave's report into a quote."""
+        if len(report_data) != REPORT_DATA_SIZE:
+            raise AttestationError(
+                f"report data must be {REPORT_DATA_SIZE} bytes, "
+                f"got {len(report_data)}"
+            )
+        body = _quote_body(self.platform_id, measurement, report_data)
+        return Quote(
+            platform_id=self.platform_id,
+            measurement=measurement,
+            report_data=report_data,
+            signature=self._key.sign(body),
+        )
+
+
+@dataclass(frozen=True)
+class AttestationVerdict:
+    """The attestation service's signed answer to a quote verification."""
+
+    quote: Quote
+    status: str  # "OK" or a rejection reason
+    report_bytes: bytes
+    signature: bytes
+
+    @property
+    def is_ok(self) -> bool:
+        return self.status == "OK"
+
+
+class AttestationService:
+    """The Intel Attestation Service analogue.
+
+    Platforms are provisioned out of band (:meth:`provision_platform`);
+    verifiers trust this service's public signing key, distributed with
+    client software like a CA root.
+    """
+
+    def __init__(self, key_bits: int = 2048, rng=None):
+        self._key = RsaKeyPair(key_bits, rng=rng)
+        self._platform_keys = {}
+
+    @property
+    def public_key(self) -> RsaPublicKey:
+        return self._key.public
+
+    def provision_platform(self, quoting_enclave: QuotingEnclave) -> None:
+        """Register a platform's attestation public key."""
+        self._platform_keys[quoting_enclave.platform_id] = (
+            quoting_enclave.attestation_public_key
+        )
+
+    def verify_quote(self, quote: Quote) -> AttestationVerdict:
+        """Check a quote's platform signature and issue a signed verdict."""
+        status = "OK"
+        platform_key = self._platform_keys.get(quote.platform_id)
+        if platform_key is None:
+            status = "UNKNOWN_PLATFORM"
+        else:
+            try:
+                platform_key.verify(quote.signed_body(), quote.signature)
+            except AuthenticationError:
+                status = "INVALID_SIGNATURE"
+        report = json.dumps(
+            {
+                "status": status,
+                "platform_id": quote.platform_id.hex(),
+                "measurement": quote.measurement.hex(),
+                "report_data": quote.report_data.hex(),
+            },
+            sort_keys=True,
+        ).encode("ascii")
+        return AttestationVerdict(
+            quote=quote,
+            status=status,
+            report_bytes=report,
+            signature=self._key.sign(report),
+        )
+
+
+class RemoteVerifier:
+    """Client-side attestation policy: the broker's trust decision."""
+
+    def __init__(self, service_public_key: RsaPublicKey,
+                 expected_measurement: Measurement):
+        self._service_key = service_public_key
+        self._expected = expected_measurement
+
+    def verify(self, verdict: AttestationVerdict,
+               expected_report_data: bytes = None) -> None:
+        """Accept or reject an attestation verdict.
+
+        Raises :class:`AttestationError` unless (a) the service signature is
+        valid, (b) the service accepted the quote, (c) the measurement is the
+        expected published X-Search proxy measurement and (d) when given, the
+        report data matches (binding the channel key to the enclave).
+        """
+        try:
+            self._service_key.verify(verdict.report_bytes, verdict.signature)
+        except AuthenticationError as exc:
+            raise AttestationError(
+                "attestation report signature invalid"
+            ) from exc
+        if not verdict.is_ok:
+            raise AttestationError(
+                f"attestation service rejected the quote: {verdict.status}"
+            )
+        if verdict.quote.measurement != self._expected:
+            raise AttestationError(
+                "enclave measurement mismatch: refusing to talk to a "
+                "modified proxy"
+            )
+        if (expected_report_data is not None
+                and verdict.quote.report_data != expected_report_data):
+            raise AttestationError(
+                "quote report data does not bind the expected channel key"
+            )

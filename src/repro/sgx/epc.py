@@ -1,0 +1,195 @@
+"""Enclave Page Cache (EPC) model.
+
+SGX v1 machines reserve ~128 MiB of Processor Reserved Memory of which
+roughly 93 MiB are usable as EPC pages; the paper rounds this to "about
+90 MB" per enclave (§2.3) and Figure 6 plots the X-Search history store
+against that line.
+
+This module models the EPC at page granularity:
+
+* allocations are rounded up to 4 KiB pages and charged to an enclave;
+* exceeding the usable EPC does not fail — as on real hardware, the OS
+  *swaps* encrypted pages out to untrusted memory, and the model charges a
+  per-page cryptographic cost and tracks a replay-protection version counter
+  per page (the hash-chain root kept inside the CPU, §2.3);
+* an occupancy meter exposes exactly the "memory usage vs queries stored"
+  series that Figure 6 reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import EnclaveMemoryError
+
+PAGE_SIZE = 4096
+USABLE_EPC_BYTES = 90 * 1024 * 1024  # the paper's "approximately 90MB"
+
+# Cycle costs of EPC paging, order-of-magnitude from SGX literature: an
+# EWB/ELDU pair encrypts/decrypts and re-hashes a 4 KiB page.
+PAGE_SWAP_CYCLES = 40_000
+
+
+def pages_for(nbytes: int) -> int:
+    """Number of 4 KiB pages needed to hold ``nbytes``."""
+    if nbytes < 0:
+        raise EnclaveMemoryError("allocation size cannot be negative")
+    return -(-nbytes // PAGE_SIZE)
+
+
+@dataclass
+class _Allocation:
+    handle: int
+    nbytes: int
+    pages: int
+    resident: bool = True
+    version: int = 0  # bumped on every swap-out, models anti-replay state
+
+
+@dataclass
+class EpcStats:
+    """Counters exposed for experiments and tests."""
+
+    allocated_bytes: int = 0
+    resident_pages: int = 0
+    swapped_pages: int = 0
+    swap_events: int = 0
+    swap_cycles: int = 0
+    peak_allocated_bytes: int = 0
+
+
+class EnclavePageCache:
+    """Page-granular accounting of one enclave's protected memory.
+
+    The model is intentionally *logical*: it does not copy byte buffers
+    around, it meters them.  The enclave's Python objects are its "pages";
+    what matters for fidelity is that byte counts, the 90 MiB boundary and
+    swap costs are tracked exactly.
+    """
+
+    def __init__(self, usable_bytes: int = USABLE_EPC_BYTES):
+        if usable_bytes <= 0:
+            raise EnclaveMemoryError("EPC size must be positive")
+        self.usable_bytes = usable_bytes
+        self.usable_pages = usable_bytes // PAGE_SIZE
+        self._allocations = {}
+        self._next_handle = 1
+        self.stats = EpcStats()
+
+    # ------------------------------------------------------------------
+    # Allocation API
+    # ------------------------------------------------------------------
+    def allocate(self, nbytes: int) -> int:
+        """Reserve ``nbytes`` of enclave memory; returns an allocation handle.
+
+        If the EPC is full, resident pages are swapped out (with their
+        cryptographic cost charged) to make room — mirroring the OS-driven
+        paging described in the paper rather than failing hard.
+        """
+        pages = pages_for(nbytes)
+        self._make_room(pages)
+        handle = self._next_handle
+        self._next_handle += 1
+        self._allocations[handle] = _Allocation(handle, nbytes, pages)
+        self.stats.allocated_bytes += nbytes
+        self.stats.resident_pages += pages
+        self.stats.peak_allocated_bytes = max(
+            self.stats.peak_allocated_bytes, self.stats.allocated_bytes
+        )
+        return handle
+
+    def free(self, handle: int) -> None:
+        """Release an allocation."""
+        allocation = self._allocations.pop(handle, None)
+        if allocation is None:
+            raise EnclaveMemoryError(f"unknown EPC allocation handle {handle}")
+        self.stats.allocated_bytes -= allocation.nbytes
+        if allocation.resident:
+            self.stats.resident_pages -= allocation.pages
+        else:
+            self.stats.swapped_pages -= allocation.pages
+
+    def resize(self, handle: int, nbytes: int) -> None:
+        """Grow or shrink an allocation in place (used by dynamic stores)."""
+        allocation = self._allocations.get(handle)
+        if allocation is None:
+            raise EnclaveMemoryError(f"unknown EPC allocation handle {handle}")
+        new_pages = pages_for(nbytes)
+        delta_pages = new_pages - allocation.pages
+        if delta_pages > 0 and allocation.resident:
+            self._make_room(delta_pages)
+        self.stats.allocated_bytes += nbytes - allocation.nbytes
+        if allocation.resident:
+            self.stats.resident_pages += delta_pages
+        else:
+            self.stats.swapped_pages += delta_pages
+        allocation.nbytes = nbytes
+        allocation.pages = new_pages
+        self.stats.peak_allocated_bytes = max(
+            self.stats.peak_allocated_bytes, self.stats.allocated_bytes
+        )
+
+    def touch(self, handle: int) -> int:
+        """Access an allocation; swapped pages fault back in.
+
+        Returns the cycle cost incurred by the access (0 when resident).
+        """
+        allocation = self._allocations.get(handle)
+        if allocation is None:
+            raise EnclaveMemoryError(f"unknown EPC allocation handle {handle}")
+        if allocation.resident:
+            return 0
+        # Fault the whole allocation back in, possibly evicting others.
+        self._make_room(allocation.pages)
+        allocation.resident = True
+        allocation.version += 1
+        self.stats.swapped_pages -= allocation.pages
+        self.stats.resident_pages += allocation.pages
+        cycles = allocation.pages * PAGE_SWAP_CYCLES
+        self.stats.swap_cycles += cycles
+        self.stats.swap_events += 1
+        return cycles
+
+    # ------------------------------------------------------------------
+    # Introspection (Figure 6 and tests)
+    # ------------------------------------------------------------------
+    @property
+    def occupancy_bytes(self) -> int:
+        """Bytes currently allocated inside the enclave (Massif analogue)."""
+        return self.stats.allocated_bytes
+
+    @property
+    def resident_bytes(self) -> int:
+        return self.stats.resident_pages * PAGE_SIZE
+
+    def exceeds_epc(self) -> bool:
+        """True when the working set no longer fits in the usable EPC."""
+        return self.stats.allocated_bytes > self.usable_bytes
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _make_room(self, pages_needed: int) -> None:
+        if pages_needed > self.usable_pages:
+            raise EnclaveMemoryError(
+                f"single allocation of {pages_needed} pages exceeds the whole "
+                f"EPC ({self.usable_pages} pages)"
+            )
+        while self.stats.resident_pages + pages_needed > self.usable_pages:
+            victim = self._pick_victim()
+            if victim is None:
+                raise EnclaveMemoryError("EPC full and no swappable pages left")
+            victim.resident = False
+            victim.version += 1
+            self.stats.resident_pages -= victim.pages
+            self.stats.swapped_pages += victim.pages
+            cycles = victim.pages * PAGE_SWAP_CYCLES
+            self.stats.swap_cycles += cycles
+            self.stats.swap_events += 1
+
+    def _pick_victim(self) -> _Allocation:
+        # FIFO eviction over resident allocations: oldest handle first.
+        for allocation in self._allocations.values():
+            if allocation.resident:
+                return allocation
+        return None

@@ -1,0 +1,341 @@
+"""Enclave lifecycle and the ecall/ocall execution model.
+
+The paper (§5.3.3) identifies the two SGX performance bottlenecks the
+prototype had to engineer around: (i) transitions between trusted and
+untrusted mode and (ii) memory pressure against the cache and the EPC.
+This runtime makes both explicit and measurable:
+
+* every ecall and ocall is dispatched through :class:`Enclave`, which
+  charges mode-transition cycle costs to a :class:`CycleCounter`;
+* enclave-private data must live in an :class:`EnclaveMemory`, which meters
+  bytes against the :class:`~repro.sgx.epc.EnclavePageCache`;
+* the host can only reach code explicitly exported with :func:`ecall`;
+  anything else raises, modelling the hardware access checks.
+
+The X-Search proxy (repro.core.proxy) exposes exactly the interface listed
+in the paper: ecalls ``init`` and ``request``; ocalls ``sock_connect``,
+``send``, ``recv`` and ``close``.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from dataclasses import dataclass, field
+
+from repro.errors import EnclaveError
+from repro.sgx.epc import EnclavePageCache
+from repro.sgx.measurement import Measurement, measure_code
+
+# Mode-transition costs, order of magnitude from SGX micro-benchmarks on
+# Skylake (the paper's i7-6700): ~8k cycles per boundary crossing.
+DEFAULT_ECALL_CYCLES = 8_000
+DEFAULT_OCALL_CYCLES = 8_300
+DEFAULT_CLOCK_HZ = 3.4e9  # i7-6700 boost clock
+
+# Thread Control Structures: SGX fixes at build time how many logical
+# threads can be inside an enclave simultaneously.  The X-Search prototype
+# "uses multiple threads" (§4.1); 8 TCS matches the i7-6700's 8 hardware
+# threads and the worker count of the Figure 5 service model.
+DEFAULT_TCS_COUNT = 8
+
+
+def ecall(func):
+    """Mark an enclave method as an exported entry point (ECALL)."""
+    func.__sgx_ecall__ = True
+    return func
+
+
+@dataclass
+class CostModel:
+    """Cycle costs of crossing the enclave boundary."""
+
+    ecall_cycles: int = DEFAULT_ECALL_CYCLES
+    ocall_cycles: int = DEFAULT_OCALL_CYCLES
+    clock_hz: float = DEFAULT_CLOCK_HZ
+
+
+@dataclass
+class CycleCounter:
+    """Accumulates simulated cycles spent inside the SGX machinery."""
+
+    cycles: int = 0
+    ecalls: int = 0
+    ocalls: int = 0
+
+    def charge(self, cycles: int) -> None:
+        self.cycles += cycles
+
+    def seconds(self, clock_hz: float = DEFAULT_CLOCK_HZ) -> float:
+        return self.cycles / clock_hz
+
+
+@dataclass
+class BoundaryRecord:
+    """One observed boundary crossing, recorded for security tests.
+
+    ``payload`` captures the bytes that crossed the trusted/untrusted
+    boundary so tests can assert that plaintext queries never leave the
+    enclave unencrypted.
+    """
+
+    direction: str  # "ecall" or "ocall"
+    name: str
+    payload: bytes
+
+
+class OcallTable:
+    """Host-side services the enclave may call out to.
+
+    Register plain callables under a name; enclave code reaches them via
+    ``self.ocalls.<name>(...)``.  Every invocation is charged a transition
+    cost and its byte payloads are recorded at the boundary.
+    """
+
+    def __init__(self):
+        self._handlers = {}
+
+    def register(self, name: str, handler) -> None:
+        if not callable(handler):
+            raise EnclaveError(f"ocall handler {name!r} is not callable")
+        self._handlers[name] = handler
+
+    def names(self):
+        return sorted(self._handlers)
+
+    def _invoke(self, name: str, *args, **kwargs):
+        if name not in self._handlers:
+            raise EnclaveError(f"undefined ocall {name!r}")
+        return self._handlers[name](*args, **kwargs)
+
+
+class _OcallProxy:
+    """The view of the :class:`OcallTable` handed to enclave code."""
+
+    def __init__(self, table: OcallTable, enclave: "Enclave"):
+        self._table = table
+        self._enclave = enclave
+
+    def __getattr__(self, name: str):
+        table = object.__getattribute__(self, "_table")
+        enclave = object.__getattribute__(self, "_enclave")
+
+        def call(*args, **kwargs):
+            enclave._on_boundary("ocall", name, args)
+            return table._invoke(name, *args, **kwargs)
+
+        call.__name__ = name
+        return call
+
+
+class EnclaveMemory:
+    """Byte-metered object store backing the enclave's protected heap.
+
+    Enclave code stores Python objects under string keys with an explicit
+    byte size (measured with :func:`estimate_size` when omitted).  The sizes
+    are charged to the EPC model so Figure 6 falls out of real accounting.
+    """
+
+    def __init__(self, epc: EnclavePageCache):
+        self._epc = epc
+        self._objects = {}
+        self._handles = {}
+        self._sizes = {}
+
+    def store(self, key: str, obj, nbytes: int = None) -> None:
+        if nbytes is None:
+            nbytes = estimate_size(obj)
+        if key in self._objects:
+            self._epc.resize(self._handles[key], nbytes)
+        else:
+            self._handles[key] = self._epc.allocate(nbytes)
+        self._objects[key] = obj
+        self._sizes[key] = nbytes
+
+    def load(self, key: str):
+        if key not in self._objects:
+            raise EnclaveError(f"no enclave object under key {key!r}")
+        self._epc.touch(self._handles[key])
+        return self._objects[key]
+
+    def delete(self, key: str) -> None:
+        if key not in self._objects:
+            raise EnclaveError(f"no enclave object under key {key!r}")
+        self._epc.free(self._handles.pop(key))
+        del self._objects[key]
+        del self._sizes[key]
+
+    def size_of(self, key: str) -> int:
+        return self._sizes[key]
+
+    @property
+    def occupancy_bytes(self) -> int:
+        return self._epc.occupancy_bytes
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._objects
+
+
+def estimate_size(obj) -> int:
+    """Deep byte-size estimate of a Python object graph.
+
+    Follows lists/tuples/sets/dicts one level at a time with cycle
+    protection.  Good enough to meter query strings and index structures.
+    """
+    seen = set()
+    total = 0
+    stack = [obj]
+    while stack:
+        current = stack.pop()
+        if id(current) in seen:
+            continue
+        seen.add(id(current))
+        total += sys.getsizeof(current)
+        if isinstance(current, dict):
+            stack.extend(current.keys())
+            stack.extend(current.values())
+        elif isinstance(current, (list, tuple, set, frozenset)):
+            stack.extend(current)
+    return total
+
+
+class Enclave:
+    """A loaded SGX enclave instance.
+
+    Parameters
+    ----------
+    enclave_class:
+        The trusted code: a class whose exported methods are decorated with
+        :func:`ecall`.  Its constructor receives ``(memory, ocalls)`` plus
+        any ``init_args``.
+    config:
+        Launch configuration folded into the measurement.
+    ocalls:
+        The host services available to the trusted code.
+    """
+
+    def __init__(self, enclave_class: type, *, config: bytes = b"",
+                 ocalls: OcallTable = None, epc: EnclavePageCache = None,
+                 cost_model: CostModel = None, sealing_platform=None,
+                 tcs_count: int = DEFAULT_TCS_COUNT):
+        if tcs_count <= 0:
+            raise EnclaveError("an enclave needs at least one TCS")
+        self._enclave_class = enclave_class
+        self._config = config
+        self._ocall_table = ocalls if ocalls is not None else OcallTable()
+        self.epc = epc if epc is not None else EnclavePageCache()
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.counter = CycleCounter()
+        self.measurement: Measurement = measure_code(enclave_class, config)
+        self.memory = EnclaveMemory(self.epc)
+        self._sealing_platform = sealing_platform
+        # Concurrent ecalls are bounded by the number of TCS pages: excess
+        # callers block at the enclave boundary, exactly as on hardware.
+        self.tcs_count = tcs_count
+        self._tcs = threading.BoundedSemaphore(tcs_count)
+        self._concurrency_lock = threading.Lock()
+        self._threads_inside = 0
+        self.max_threads_inside = 0
+        self._instance = None
+        self._initialized = False
+        self._destroyed = False
+        self._boundary_log = []
+        self._ecall_names = {
+            name
+            for name in dir(enclave_class)
+            if getattr(getattr(enclave_class, name), "__sgx_ecall__", False)
+        }
+        if not self._ecall_names:
+            raise EnclaveError(
+                f"{enclave_class.__name__} exports no ecalls; an enclave "
+                "without entry points cannot be used"
+            )
+
+    # ------------------------------------------------------------------
+    # Lifecycle (ECREATE / EINIT / destruction)
+    # ------------------------------------------------------------------
+    def initialize(self, *init_args, **init_kwargs) -> None:
+        """EINIT: construct the trusted instance; measurement is now final."""
+        if self._destroyed:
+            raise EnclaveError("enclave has been destroyed")
+        if self._initialized:
+            raise EnclaveError("enclave is already initialized")
+        proxy = _OcallProxy(self._ocall_table, self)
+        self._instance = self._enclave_class(
+            self.memory, proxy, *init_args, **init_kwargs
+        )
+        # EGETKEY analogue: hand trusted code a sealer bound to this
+        # enclave's measurement — the host has no say in the binding.
+        if (self._sealing_platform is not None
+                and hasattr(self._instance, "attach_sealer")):
+            from repro.sgx.sealing import EnclaveSealer
+
+            self._instance.attach_sealer(
+                EnclaveSealer(self._sealing_platform, self.measurement)
+            )
+        self._initialized = True
+
+    def destroy(self) -> None:
+        """Tear the enclave down; all enclave memory becomes inaccessible."""
+        self._instance = None
+        self._initialized = False
+        self._destroyed = True
+
+    @property
+    def is_initialized(self) -> bool:
+        return self._initialized and not self._destroyed
+
+    # ------------------------------------------------------------------
+    # ECALL dispatch
+    # ------------------------------------------------------------------
+    def call(self, name: str, *args, **kwargs):
+        """Invoke an exported ecall, charging the mode-transition cost."""
+        if self._destroyed:
+            raise EnclaveError("enclave has been destroyed")
+        if not self._initialized:
+            raise EnclaveError("enclave is not initialized (EINIT missing)")
+        if name not in self._ecall_names:
+            raise EnclaveError(
+                f"{name!r} is not an exported ecall of "
+                f"{self._enclave_class.__name__}"
+            )
+        with self._tcs:  # blocks when all TCS are occupied
+            with self._concurrency_lock:
+                self._threads_inside += 1
+                self.max_threads_inside = max(
+                    self.max_threads_inside, self._threads_inside
+                )
+            try:
+                self._on_boundary("ecall", name, args)
+                return getattr(self._instance, name)(*args, **kwargs)
+            finally:
+                with self._concurrency_lock:
+                    self._threads_inside -= 1
+
+    def _on_boundary(self, direction: str, name: str, args) -> None:
+        cycles = (
+            self.cost_model.ecall_cycles
+            if direction == "ecall"
+            else self.cost_model.ocall_cycles
+        )
+        payload = b"".join(a for a in args if isinstance(a, (bytes, bytearray)))
+        with self._concurrency_lock:
+            self.counter.charge(cycles)
+            if direction == "ecall":
+                self.counter.ecalls += 1
+            else:
+                self.counter.ocalls += 1
+            self._boundary_log.append(BoundaryRecord(direction, name, payload))
+
+    # ------------------------------------------------------------------
+    # Security-test instrumentation
+    # ------------------------------------------------------------------
+    @property
+    def boundary_log(self):
+        """All boundary crossings with the byte payloads that crossed."""
+        return tuple(self._boundary_log)
+
+    def transition_seconds(self) -> float:
+        """Simulated wall time spent on transitions and paging."""
+        total_cycles = self.counter.cycles + self.epc.stats.swap_cycles
+        return total_cycles / self.cost_model.clock_hz

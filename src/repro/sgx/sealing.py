@@ -1,0 +1,86 @@
+"""Sealed storage: enclave data encrypted for persistence outside the EPC.
+
+SGX derives sealing keys inside the CPU from a fused root key and the
+enclave's identity; data sealed by one enclave can only be unsealed by an
+enclave with the same measurement (MRENCLAVE policy).  We model the fused
+root key as a per-platform secret held by :class:`SealingPlatform` and
+derive per-enclave keys with HKDF, so the unsealing-requires-same-identity
+property is enforced cryptographically, not by convention.
+"""
+
+from __future__ import annotations
+
+import secrets
+
+from repro.crypto.aead import aead_decrypt, aead_encrypt
+from repro.crypto.kdf import hkdf
+from repro.errors import AuthenticationError, SealingError
+from repro.sgx.measurement import Measurement
+
+_NONCE_SIZE = 12
+
+
+class EnclaveSealer:
+    """The sealing facility as seen from *inside* an enclave.
+
+    Bound at initialisation time to the enclave's own measurement by the
+    runtime (the EGETKEY analogue): trusted code can seal and unseal, but
+    cannot choose which identity the data is sealed to — so a Byzantine
+    host cannot trick an enclave into sealing secrets to an identity the
+    host controls.
+    """
+
+    def __init__(self, platform: "SealingPlatform", measurement):
+        self._platform = platform
+        self._measurement = measurement
+
+    def seal(self, plaintext: bytes, aad: bytes = b"") -> bytes:
+        return self._platform.seal(self._measurement, plaintext, aad)
+
+    def unseal(self, sealed: bytes, aad: bytes = b"") -> bytes:
+        return self._platform.unseal(self._measurement, sealed, aad)
+
+
+class SealingPlatform:
+    """One physical CPU's sealing-key root.
+
+    Two different platforms (two instances) cannot unseal each other's data,
+    matching SGX's per-CPU fuse keys.
+    """
+
+    def __init__(self, root_key: bytes = None):
+        if root_key is None:
+            root_key = secrets.token_bytes(32)
+        if len(root_key) != 32:
+            raise SealingError("platform root key must be 32 bytes")
+        self._root_key = root_key
+
+    def _sealing_key(self, measurement: Measurement) -> bytes:
+        return hkdf(
+            self._root_key,
+            salt=b"repro.sgx.sealing.v1",
+            info=measurement.digest,
+            length=32,
+        )
+
+    def seal(self, measurement: Measurement, plaintext: bytes,
+             aad: bytes = b"") -> bytes:
+        """Seal ``plaintext`` to enclaves with this exact measurement."""
+        key = self._sealing_key(measurement)
+        nonce = secrets.token_bytes(_NONCE_SIZE)
+        return nonce + aead_encrypt(key, nonce, plaintext, aad)
+
+    def unseal(self, measurement: Measurement, sealed: bytes,
+               aad: bytes = b"") -> bytes:
+        """Unseal data; fails for a different measurement or platform."""
+        if len(sealed) < _NONCE_SIZE:
+            raise SealingError("sealed blob too short")
+        key = self._sealing_key(measurement)
+        nonce, body = sealed[:_NONCE_SIZE], sealed[_NONCE_SIZE:]
+        try:
+            return aead_decrypt(key, nonce, body, aad)
+        except AuthenticationError as exc:
+            raise SealingError(
+                "unsealing failed: wrong enclave identity, wrong platform, "
+                "or tampered blob"
+            ) from exc

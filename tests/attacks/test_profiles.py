@@ -1,0 +1,34 @@
+"""Adversary profile construction."""
+
+import pytest
+
+from repro.attacks.profiles import UserProfile, build_profiles
+from repro.errors import DatasetError
+
+
+def test_profile_precomputes_vectors():
+    profile = UserProfile(user_id="u", query_texts=["hotel rome", "hotel"])
+    assert len(profile.query_vectors) == 2
+    assert profile.aggregate["hotel"] == 2
+    assert len(profile) == 2
+
+
+def test_empty_profile_rejected():
+    with pytest.raises(DatasetError):
+        UserProfile(user_id="u", query_texts=[])
+
+
+def test_build_profiles_from_log(split_log):
+    train, _ = split_log
+    users = train.most_active_users(5)
+    profiles = build_profiles(train, users)
+    assert set(profiles) == set(users)
+    for user, profile in profiles.items():
+        assert profile.user_id == user
+        assert len(profile) == len(train.queries_of(user))
+
+
+def test_build_profiles_defaults_to_all_users(split_log):
+    train, _ = split_log
+    profiles = build_profiles(train)
+    assert set(profiles) == set(train.users)

@@ -1,0 +1,121 @@
+"""SimAttack re-identification behaviour."""
+
+import random
+
+import pytest
+
+from repro.attacks.profiles import UserProfile
+from repro.attacks.simattack import SimAttack
+from repro.errors import ExperimentError
+
+PROFILES = {
+    "traveller": UserProfile("traveller", [
+        "cheap hotel rome", "flight paris", "cruise caribbean",
+        "hotel booking vegas",
+    ]),
+    "patient": UserProfile("patient", [
+        "diabetes symptoms", "diabetes diet plan", "insulin treatment",
+    ]),
+    "fan": UserProfile("fan", [
+        "nfl playoffs", "nba standings", "baseball scores",
+    ]),
+}
+
+
+@pytest.fixture()
+def attack():
+    return SimAttack(PROFILES)
+
+
+def test_identifies_obvious_query(attack):
+    outcome = attack.attack(["hotel rome cheap"])
+    assert outcome.successful
+    assert outcome.identified_user == "traveller"
+    assert outcome.identified_query == "hotel rome cheap"
+
+
+def test_is_correct_requires_both(attack):
+    outcome = attack.attack(["hotel rome cheap"])
+    assert attack.is_correct(outcome, "traveller", "hotel rome cheap")
+    assert not attack.is_correct(outcome, "patient", "hotel rome cheap")
+    assert not attack.is_correct(outcome, "traveller", "other query")
+
+
+def test_tie_means_unsuccessful(attack):
+    # Algorithm 1 samples fakes with replacement, so an obfuscated query can
+    # carry the same sub-query twice; both (query, user) pairs then score
+    # identically and the attack cannot pick a unique best pair.
+    outcome = attack.attack(["diabetes symptoms", "diabetes symptoms"])
+    assert outcome.unsuccessful
+
+
+def test_identical_profiles_tie():
+    profiles = {
+        "twin-a": UserProfile("twin-a", ["hotel rome", "flight paris"]),
+        "twin-b": UserProfile("twin-b", ["hotel rome", "flight paris"]),
+    }
+    outcome = SimAttack(profiles).attack(["hotel rome"])
+    assert outcome.unsuccessful
+
+
+def test_good_fake_confuses_the_attack(attack):
+    # A fake pointing strongly at another profile can beat the real query.
+    outcome = attack.attack(["hotel rome cheap flights", "diabetes symptoms"])
+    # "diabetes symptoms" is an exact profile query (similarity ~1 for
+    # patient); the attack picks the wrong pair.
+    assert (not outcome.successful) or outcome.identified_user == "patient"
+
+
+def test_reidentification_rate(attack):
+    triples = [
+        ("traveller", "hotel rome cheap", ["hotel rome cheap"]),
+        ("patient", "diabetes diet", ["diabetes diet"]),
+        ("fan", "quantum physics", ["quantum physics"]),  # out of profile
+    ]
+    rate = attack.reidentification_rate(triples)
+    assert 0.0 <= rate <= 1.0
+    assert rate == pytest.approx(2 / 3, abs=1e-9)
+
+
+def test_rate_requires_queries(attack):
+    with pytest.raises(ExperimentError):
+        attack.reidentification_rate([])
+
+
+def test_attack_requires_subqueries(attack):
+    with pytest.raises(ExperimentError):
+        attack.attack([])
+
+
+def test_profiles_required():
+    with pytest.raises(ExperimentError):
+        SimAttack({})
+
+
+def test_score_cache_consistency(attack):
+    first = attack.attack(["hotel rome cheap"])
+    second = attack.attack(["hotel rome cheap"])
+    assert first == second
+
+
+def test_obfuscation_lowers_reidentification(split_log, rng):
+    """More fakes -> fewer re-identifications, on the real synthetic log."""
+    from repro.attacks.profiles import build_profiles
+    from repro.core.history import QueryHistory
+    from repro.core.obfuscation import obfuscate_query
+
+    train, test = split_log
+    users = train.most_active_users(15)
+    attack = SimAttack(build_profiles(train, users))
+    history = QueryHistory(50_000)
+    history.extend(q.text for q in train)
+
+    def rate_for(k):
+        triples = []
+        for user in users:
+            for query in test.queries_of(user)[:3]:
+                obfuscated = obfuscate_query(query.text, history, k, rng)
+                triples.append((user, query.text, list(obfuscated.subqueries)))
+        return attack.reidentification_rate(triples)
+
+    assert rate_for(5) < rate_for(0)

@@ -1,0 +1,99 @@
+"""The SimAttack similarity metric and the Figure 1 similarity index."""
+
+import pytest
+
+from repro.attacks.profiles import UserProfile
+from repro.attacks.similarity import (
+    SimilarityIndex,
+    exponential_smoothing,
+    max_similarity_to_log,
+    profile_similarity,
+    query_similarity,
+)
+from repro.errors import ExperimentError
+from repro.textutils import term_vector
+
+
+def test_exponential_smoothing_single_value():
+    assert exponential_smoothing([0.7]) == 0.7
+
+
+def test_exponential_smoothing_weights_top():
+    # Ascending sequence: the last (largest) value dominates with alpha=0.5.
+    smoothed = exponential_smoothing([0.0, 0.0, 1.0], alpha=0.5)
+    assert smoothed == 0.5
+    smoothed_flat = exponential_smoothing([1.0, 1.0, 1.0], alpha=0.5)
+    assert smoothed_flat == 1.0
+
+
+def test_exponential_smoothing_alpha_one_returns_last():
+    assert exponential_smoothing([0.1, 0.2, 0.9], alpha=1.0) == 0.9
+
+
+def test_exponential_smoothing_validation():
+    with pytest.raises(ExperimentError):
+        exponential_smoothing([], alpha=0.5)
+    with pytest.raises(ExperimentError):
+        exponential_smoothing([0.5], alpha=0.0)
+
+
+def test_profile_similarity_exact_member_is_high():
+    profile = UserProfile("u", ["hotel rome", "gardening soil", "nfl scores"])
+    member = query_similarity("hotel rome", profile)
+    stranger = query_similarity("quantum physics", profile)
+    assert member > stranger
+    assert stranger == 0.0
+
+
+def test_profile_similarity_monotone_in_overlap():
+    profile = UserProfile("u", ["cheap hotel rome booking"])
+    more = query_similarity("cheap hotel rome", profile)
+    less = query_similarity("cheap", profile)
+    assert more > less > 0.0
+
+
+def test_profile_similarity_takes_vector():
+    profile = UserProfile("u", ["hotel rome"])
+    assert profile_similarity(term_vector("hotel rome"), profile) == \
+        query_similarity("hotel rome", profile)
+
+
+# ---------------------------------------------------------------------------
+# SimilarityIndex
+# ---------------------------------------------------------------------------
+
+TEXTS = ["hotel rome", "diabetes diet", "nfl playoffs", "hotel cheap",
+         "rome weather forecast"]
+
+
+def test_index_matches_bruteforce():
+    index = SimilarityIndex(TEXTS)
+    vectors = [term_vector(t) for t in TEXTS]
+    for probe in ["hotel rome", "diet plans", "playoffs", "garden"]:
+        brute = max_similarity_to_log(probe, vectors)
+        assert index.max_similarity(probe) == pytest.approx(brute, abs=1e-9)
+
+
+def test_index_exact_match_snaps_to_one():
+    index = SimilarityIndex(TEXTS)
+    assert index.max_similarity("diabetes diet") == 1.0
+
+
+def test_index_disjoint_is_zero():
+    index = SimilarityIndex(TEXTS)
+    assert index.max_similarity("quantum entanglement") == 0.0
+
+
+def test_index_dedupes_texts():
+    index = SimilarityIndex(["a b", "a b", "c d"])
+    assert len(index) == 2
+
+
+def test_index_rejects_empty():
+    with pytest.raises(ExperimentError):
+        SimilarityIndex([])
+
+
+def test_index_empty_probe():
+    index = SimilarityIndex(TEXTS)
+    assert index.max_similarity("") == 0.0

@@ -1,0 +1,94 @@
+"""Property-based tests on the anonymity-network primitives."""
+
+import json
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.dissent import (
+    MESSAGE_SLOT_BYTES,
+    DissentMember,
+    _pack,
+    _unpack,
+    _xor,
+)
+from repro.crypto.channel import ChannelEndpoint
+from repro.crypto.kdf import derive_subkeys
+
+
+# ---------------------------------------------------------------------------
+# Onion layering (the Tor/RAC cell construction)
+# ---------------------------------------------------------------------------
+
+@given(
+    payload=st.binary(min_size=0, max_size=200),
+    n_layers=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=40, deadline=None)
+def test_onion_layers_peel_in_reverse_order(payload, n_layers, seed):
+    """Wrapping with N independent keys and peeling in reverse recovers
+    the payload; peeling out of order never does."""
+    rng = random.Random(seed)
+    pairs = []
+    for i in range(n_layers):
+        secret = bytes(rng.randrange(256) for _ in range(32))
+        keys = derive_subkeys(secret, ["f", "b"], salt=b"onion-test")
+        sender = ChannelEndpoint(send_key=keys["f"], recv_key=keys["b"])
+        receiver = ChannelEndpoint(send_key=keys["b"], recv_key=keys["f"])
+        pairs.append((sender, receiver))
+
+    onion = payload
+    for sender, _ in reversed(pairs):
+        onion = sender.encrypt(onion)
+    blob = onion
+    for _, receiver in pairs:
+        blob = receiver.decrypt(blob)
+    assert blob == payload
+
+
+# ---------------------------------------------------------------------------
+# DC-net algebra
+# ---------------------------------------------------------------------------
+
+@given(message=st.binary(min_size=0, max_size=MESSAGE_SLOT_BYTES - 2))
+@settings(max_examples=60, deadline=None)
+def test_slot_pack_unpack_roundtrip(message):
+    assert _unpack(_pack(message)) == message
+
+
+@given(
+    a=st.binary(min_size=16, max_size=16),
+    b=st.binary(min_size=16, max_size=16),
+)
+@settings(max_examples=60, deadline=None)
+def test_xor_properties(a, b):
+    assert _xor(a, b) == _xor(b, a)
+    assert _xor(_xor(a, b), b) == a
+    assert _xor(a, bytes(16)) == a
+
+
+@given(
+    n_members=st.integers(min_value=3, max_value=6),
+    sender=st.data(),
+    message=st.binary(min_size=1, max_size=64),
+)
+@settings(max_examples=20, deadline=None)
+def test_dcnet_pads_cancel_for_any_group_size(n_members, sender, message):
+    members = [DissentMember(f"m{i}") for i in range(n_members)]
+    for member in members:
+        for other in members:
+            if member is not other:
+                member.establish_pairwise(other)
+    sender_index = sender.draw(
+        st.integers(min_value=0, max_value=n_members - 1)
+    )
+    round_id = "fixed-round"
+    combined = bytes(MESSAGE_SLOT_BYTES)
+    for index, member in enumerate(members):
+        cloak = member.cloak(
+            round_id, message if index == sender_index else None
+        )
+        combined = _xor(combined, cloak)
+    assert _unpack(combined) == message

@@ -1,0 +1,89 @@
+"""The PEAS co-occurrence fake-query model."""
+
+import random
+
+import pytest
+
+from repro.baselines.cooccurrence import CooccurrenceModel
+from repro.errors import DatasetError
+
+TRAIN = [
+    "cheap hotel rome",
+    "hotel booking",
+    "rome weather",
+    "diabetes diet",
+    "diet plan",
+]
+
+
+@pytest.fixture()
+def model():
+    return CooccurrenceModel(TRAIN)
+
+
+def test_term_frequencies(model):
+    assert model.term_frequency["hotel"] == 2
+    assert model.term_frequency["rome"] == 2
+    assert model.term_frequency["plan"] == 1
+
+
+def test_cooccurrence_symmetric(model):
+    assert model.cooccurrence["hotel"]["rome"] == 1
+    assert model.cooccurrence["rome"]["hotel"] == 1
+    assert model.cooccurrence["diabetes"]["diet"] == 1
+
+
+def test_no_self_cooccurrence(model):
+    assert model.cooccurrence["hotel"]["hotel"] == 0
+
+
+def test_length_distribution(model):
+    assert model.length_distribution[3] == 1
+    assert model.length_distribution[2] == 4
+
+
+def test_sample_length_in_support(model):
+    rng = random.Random(1)
+    for _ in range(50):
+        assert model.sample_length(rng) in (2, 3)
+
+
+def test_generated_fake_uses_vocabulary(model):
+    rng = random.Random(2)
+    for _ in range(30):
+        fake = model.generate_fake(rng)
+        for word in fake.split():
+            assert word in model.term_frequency
+
+
+def test_generated_fake_respects_length(model):
+    rng = random.Random(3)
+    fake = model.generate_fake(rng, length=3)
+    assert 1 <= len(fake.split()) <= 3
+
+
+def test_fakes_follow_cooccurrence_edges(model):
+    rng = random.Random(4)
+    # With this small training set, consecutive words in a fake should be
+    # co-occurrence neighbours most of the time.
+    neighbour_pairs = 0
+    total_pairs = 0
+    for _ in range(100):
+        words = model.generate_fake(rng, length=2).split()
+        for a, b in zip(words, words[1:]):
+            total_pairs += 1
+            if model.cooccurrence[a][b] > 0:
+                neighbour_pairs += 1
+    assert total_pairs > 0
+    assert neighbour_pairs / total_pairs > 0.6
+
+
+def test_generate_fakes_count(model):
+    assert len(model.generate_fakes(5, random.Random(5))) == 5
+
+
+def test_empty_training_rejected():
+    with pytest.raises(DatasetError):
+        CooccurrenceModel([])
+    with pytest.raises(DatasetError):
+        CooccurrenceModel(["", "   "])

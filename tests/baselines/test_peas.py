@@ -1,0 +1,87 @@
+"""PEAS baseline: two-proxy unlinkability + client-side obfuscation."""
+
+import random
+
+import pytest
+
+from repro.baselines.peas import PeasSystem
+from repro.errors import ProtocolError
+
+TRAIN = [
+    "cheap hotel rome", "hotel booking paris", "diabetes symptoms",
+    "diabetes diet plan", "nfl playoffs schedule", "nba standings",
+    "gardening roses soil", "mortgage refinance rates",
+] * 5
+
+
+@pytest.fixture()
+def system(tracking_engine):
+    return PeasSystem.create(tracking_engine, TRAIN)
+
+
+def test_search_returns_filtered_results(system):
+    client = system.client("alice", k=2, rng=random.Random(1))
+    results = client.search("cheap hotel rome", 10)
+    assert results
+    assert all(r.title for r in results)
+
+
+def test_protect_contains_original_and_k_fakes(system):
+    client = system.client("alice", k=3, rng=random.Random(2))
+    subqueries = client.protect("my real query")
+    assert len(subqueries) == 4
+    assert subqueries.count("my real query") == 1
+
+
+def test_receiver_sees_identity_but_only_ciphertext(system):
+    client = system.client("alice", k=2, rng=random.Random(3))
+    client.search("supersecretquery", 5)
+    observation = system.receiver.observations[-1]
+    assert observation.client_address == "ip-alice"
+    assert observation.ciphertext_bytes > 0
+    # The receiver never handles anything containing the plaintext.
+    assert not hasattr(observation, "subqueries")
+
+
+def test_issuer_sees_queries_but_no_identity(system):
+    client = system.client("alice", k=2, rng=random.Random(4))
+    client.search("visible to issuer", 5)
+    observation = system.issuer.observations[-1]
+    assert "visible to issuer" in observation.subqueries
+    assert len(observation.subqueries) == 3
+    assert not any("alice" in q for q in observation.subqueries)
+
+
+def test_engine_sees_issuer_address(system, tracking_engine):
+    client = system.client("alice", k=1, rng=random.Random(5))
+    client.search("hotel rome", 5)
+    assert tracking_engine.observations[-1].source == system.issuer.address
+
+
+def test_collusion_receiver_plus_issuer_links_user_to_query(system):
+    """The weak adversary model the paper criticises: if the two proxies
+    collude, joining their observations re-links identity and query."""
+    client = system.client("alice", k=2, rng=random.Random(6))
+    client.search("deanonymized by collusion", 5)
+    receiver_view = system.receiver.observations[-1]
+    issuer_view = system.issuer.observations[-1]
+    # Same request position in both logs = trivially joinable.
+    assert receiver_view.client_address == "ip-alice"
+    assert "deanonymized by collusion" in issuer_view.subqueries
+
+
+def test_malformed_envelope_rejected(system):
+    with pytest.raises(ProtocolError):
+        system.issuer.handle(b"not a peas envelope")
+
+
+def test_fakes_come_from_cooccurrence_vocabulary(system):
+    client = system.client("alice", k=4, rng=random.Random(7))
+    subqueries = client.protect("zzz unseen query zzz")
+    from repro.textutils import tokenize
+
+    vocabulary = set(system.model.term_frequency)
+    for fake in subqueries:
+        if fake == "zzz unseen query zzz":
+            continue
+        assert set(tokenize(fake)) <= vocabulary

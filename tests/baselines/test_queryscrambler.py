@@ -1,0 +1,76 @@
+"""QueryScrambler: semantic generalisation instead of the real query."""
+
+import random
+
+import pytest
+
+from repro.baselines.queryscrambler import QueryScrambler, QueryScramblerClient
+from repro.errors import DatasetError
+
+
+@pytest.fixture()
+def scrambler():
+    return QueryScrambler(n_related=4, rng=random.Random(3))
+
+
+def test_related_queries_exclude_original(scrambler):
+    related = scrambler.related_queries("hotel flight rome")
+    assert related
+    assert "hotel flight rome" not in related
+    assert len(related) <= 4
+
+
+def test_related_queries_stay_on_topic(scrambler):
+    from repro.datasets.topics import TOPIC_TERMS
+
+    travel = set(TOPIC_TERMS["travel"])
+    for related in scrambler.related_queries("hotel flight"):
+        for word in related.split():
+            assert word in travel
+
+
+def test_unknown_terms_kept_verbatim(scrambler):
+    related = scrambler.related_queries("hotel best")
+    # 'best' is a modifier, not a topic concept: it survives scrambling.
+    assert all("best" == r.split()[1] for r in related)
+
+
+def test_empty_query_rejected(scrambler):
+    with pytest.raises(DatasetError):
+        scrambler.related_queries("  !! ")
+
+
+def test_n_related_validated():
+    with pytest.raises(DatasetError):
+        QueryScrambler(n_related=0)
+
+
+def test_client_never_sends_original(tracking_engine, scrambler):
+    client = QueryScramblerClient(
+        tracking_engine, scrambler, user_id="carol"
+    )
+    client.search("hotel flight rome", 10)
+    seen = tracking_engine.queries_seen_from("ip-carol")
+    assert seen
+    assert "hotel flight rome" not in seen
+    assert set(seen) == set(client.last_sent)
+
+
+def test_client_results_still_relevant(tracking_engine, scrambler):
+    client = QueryScramblerClient(
+        tracking_engine, scrambler, user_id="carol"
+    )
+    results = client.search("hotel flight rome", 10)
+    assert results
+    # Results come from the same topic neighbourhood as the original.
+    assert any("travel" in r.url for r in results)
+    assert [r.rank for r in results] == list(range(1, len(results) + 1))
+
+
+def test_client_results_deduplicated(tracking_engine, scrambler):
+    client = QueryScramblerClient(
+        tracking_engine, scrambler, user_id="carol"
+    )
+    results = client.search("hotel flight", 15)
+    urls = [r.url for r in results]
+    assert len(urls) == len(set(urls))

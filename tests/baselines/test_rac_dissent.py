@@ -1,0 +1,137 @@
+"""RAC (ring broadcasts + freerider detection) and Dissent (DC-nets)."""
+
+import random
+
+import pytest
+
+from repro.baselines.dissent import (
+    MESSAGE_SLOT_BYTES,
+    DissentGroup,
+)
+from repro.baselines.rac import RacRing
+from repro.errors import CircuitError, NetworkError, ProtocolError
+
+
+# ---------------------------------------------------------------------------
+# RAC
+# ---------------------------------------------------------------------------
+
+@pytest.fixture()
+def ring(tracking_engine):
+    return RacRing(tracking_engine, n_nodes=5)
+
+
+def test_rac_anonymous_search(ring, tracking_engine):
+    results = ring.anonymous_search(random.Random(1), "cheap hotel rome", 10)
+    assert len(results) == 10
+    assert tracking_engine.observations[-1].source.startswith("rac-")
+
+
+def test_rac_broadcast_amplification(ring):
+    before = ring.messages_sent
+    ring.anonymous_search(random.Random(2), "hotel", 5)
+    sent = ring.messages_sent - before
+    # Each of the 3 relays broadcasts to all 5 ring members, plus forwards
+    # and the response path: far more traffic than Tor's 1 message/hop.
+    assert sent >= 3 * len(ring.nodes)
+
+
+def test_rac_all_nodes_see_broadcasts(ring):
+    ring.anonymous_search(random.Random(3), "hotel", 5)
+    assert all(node.broadcast_ledger for node in ring.nodes)
+
+
+def test_rac_freerider_detected(ring):
+    ring.nodes[0].faulty = True
+    rng = random.Random(5)
+    # Run until the faulty node lands on a path; it must be accused.
+    with pytest.raises(NetworkError, match="freerider detected: node n00"):
+        for _ in range(50):
+            ring.anonymous_search(rng, "hotel", 5)
+
+
+def test_rac_honest_ring_never_accuses(ring):
+    rng = random.Random(7)
+    for _ in range(10):
+        ring.anonymous_search(rng, "hotel", 5)  # no exception
+
+
+def test_rac_minimum_size(tracking_engine):
+    with pytest.raises(CircuitError):
+        RacRing(tracking_engine, n_nodes=2)
+
+
+# ---------------------------------------------------------------------------
+# Dissent
+# ---------------------------------------------------------------------------
+
+@pytest.fixture()
+def group(tracking_engine):
+    return DissentGroup(tracking_engine, n_members=4)
+
+
+def test_dcnet_round_recovers_message(group):
+    recovered, _ = group.run_round(1, b"anonymous hello")
+    assert recovered == b"anonymous hello"
+
+
+def test_dcnet_any_member_can_send(group):
+    for sender in range(len(group.members)):
+        recovered, _ = group.run_round(sender, b"msg")
+        assert recovered == b"msg"
+
+
+def test_dcnet_cloaks_look_random(group):
+    """No single cloak reveals the message or the sender: each cloak is a
+    XOR of pseudo-random pads."""
+    message = b"supersecret" * 3
+    _, commitments = group.run_round(0, message)
+    for _, cloak in commitments:
+        assert message not in cloak
+
+
+def test_dcnet_sender_indistinguishable_across_rounds(group):
+    """The sender's cloak is not systematically distinguishable: cloak
+    sizes and entropy are identical for sender and non-senders."""
+    _, commitments = group.run_round(2, b"x")
+    lengths = {len(cloak) for _, cloak in commitments}
+    assert lengths == {MESSAGE_SLOT_BYTES}
+
+
+def test_dcnet_accountability_blames_cheater(group):
+    recovered, commitments = group.run_round(0, b"m")
+    # An honest round blames nobody.
+    assert DissentGroup.verify_round(commitments) == []
+    # A member who reveals a different cloak than committed is caught.
+    commitment, cloak = commitments[2]
+    forged = list(commitments)
+    forged[2] = (commitment, bytes(MESSAGE_SLOT_BYTES))
+    assert DissentGroup.verify_round(forged) == [2]
+
+
+def test_dcnet_cost_accounting(group):
+    group.run_round(0, b"m")
+    n = len(group.members)
+    assert group.pad_derivations == n * (n - 1)
+    assert group.transmissions == n
+
+
+def test_dissent_anonymous_search(group, tracking_engine):
+    results = group.anonymous_search(1, "cheap hotel rome", 10)
+    assert len(results) == 10
+    assert tracking_engine.observations[-1].source == group.address
+
+
+def test_dissent_message_size_bound(group):
+    with pytest.raises(ProtocolError):
+        group.run_round(0, b"x" * (MESSAGE_SLOT_BYTES + 1))
+
+
+def test_dissent_sender_index_validated(group):
+    with pytest.raises(ProtocolError):
+        group.anonymous_search(99, "q")
+
+
+def test_dissent_minimum_size(tracking_engine):
+    with pytest.raises(ProtocolError):
+        DissentGroup(tracking_engine, n_members=2)

@@ -1,0 +1,133 @@
+"""Tor baseline: functional onion routing and who-learns-what."""
+
+import random
+
+import pytest
+
+from repro.baselines.tor import DirectoryAuthority, Relay, TorNetwork
+from repro.errors import AuthenticationError, CircuitError
+
+
+@pytest.fixture()
+def network(tracking_engine):
+    return TorNetwork(tracking_engine, n_relays=5, n_exits=2, key_bits=1024)
+
+
+def test_search_through_circuit(network, tracking_engine):
+    client = network.client("alice", rng=random.Random(1))
+    results = client.search("cheap hotel rome", 10)
+    assert len(results) == 10
+    assert results[0].title
+
+
+def test_engine_sees_exit_not_client(network, tracking_engine):
+    client = network.client("alice", rng=random.Random(2))
+    client.search("very sensitive query", 5)
+    source = tracking_engine.observations[-1].source
+    assert source.startswith("relay-")
+    assert "alice" not in source
+
+
+def test_exit_sees_plaintext_query(network):
+    client = network.client("alice", rng=random.Random(3))
+    client.search("observable query", 5)
+    exit_views = [
+        o for relay in network.relays for o in relay.observations
+        if o.saw_plaintext_query
+    ]
+    assert exit_views
+    assert exit_views[-1].saw_plaintext_query == "observable query"
+
+
+def test_guard_sees_client_but_not_query(network):
+    client = network.client("alice", rng=random.Random(4))
+    client.search("hidden from guard", 5)
+    guard_views = [
+        o for relay in network.relays for o in relay.observations
+        if o.previous_hop == "ip-alice"
+    ]
+    assert guard_views
+    for view in guard_views:
+        assert not view.saw_plaintext_query
+        assert view.next_hop != "ENGINE"
+
+
+def test_middle_relay_sees_neither_endpoint(network):
+    client = network.client("alice", rng=random.Random(5))
+    client.search("q", 5)
+    # The middle relay's observation: previous hop is a relay, next hop is a
+    # relay — it never learns the client address or the query.
+    middle_views = [
+        o for relay in network.relays for o in relay.observations
+        if o.previous_hop.startswith("relay-") and o.next_hop.startswith("r")
+        and o.next_hop != "ENGINE"
+    ]
+    assert middle_views
+    for view in middle_views:
+        assert not view.saw_plaintext_query
+
+
+def test_collusion_exit_plus_engine_breaks_query_privacy(network,
+                                                         tracking_engine):
+    """The §3 collusion scenario the paper's analysis warns about: the exit
+    and the engine together hold the plaintext query (though still not the
+    client identity — only a traffic-analysis step away)."""
+    client = network.client("alice", rng=random.Random(6))
+    client.search("colluding parties see this", 5)
+    exit_query = next(
+        o.saw_plaintext_query for relay in network.relays
+        for o in relay.observations if o.saw_plaintext_query
+    )
+    assert exit_query == tracking_engine.observations[-1].text
+
+
+def test_consensus_signature_verifies(network):
+    document, signature = network.directory.consensus()
+    network.directory.public_key.verify(document, signature)
+
+
+def test_tampered_consensus_rejected(network):
+    document, signature = network.directory.consensus()
+    with pytest.raises(AuthenticationError):
+        network.directory.public_key.verify(document + b"x", signature)
+
+
+def test_layers_peel_in_order(network):
+    client = network.client("alice", rng=random.Random(7))
+    client.search("q", 5)
+    guard, middle, exit_relay = client._circuit.path
+    assert guard.observations[-1].next_hop == middle.relay_id
+    assert middle.observations[-1].next_hop == exit_relay.relay_id
+    assert exit_relay.observations[-1].next_hop == "ENGINE"
+
+
+def test_duplicate_circuit_id_rejected(network):
+    relay = network.relays[-1]
+    from repro.crypto.dh import DhKeyPair
+
+    ephemeral = DhKeyPair()
+    relay.create_circuit("c1", ephemeral.public_bytes())
+    with pytest.raises(CircuitError):
+        relay.create_circuit("c1", ephemeral.public_bytes())
+
+
+def test_unknown_circuit_rejected(network):
+    with pytest.raises(CircuitError):
+        network.relays[0].peel("ghost", "ip-x", b"\x00" * 32)
+
+
+def test_too_few_relays_rejected(tracking_engine):
+    with pytest.raises(CircuitError):
+        TorNetwork(tracking_engine, n_relays=3, n_exits=2, key_bits=1024)
+
+
+def test_relay_cannot_peel_foreign_layer(network):
+    client = network.client("alice", rng=random.Random(8))
+    client.build_circuit()
+    circuit = client._circuit
+    onion = circuit.endpoints[0].encrypt(b"layer for the guard")
+    wrong_relay = next(
+        r for r in network.relays if r not in circuit.path
+    )
+    with pytest.raises(CircuitError):
+        wrong_relay.peel(circuit.circuit_id, "ip-alice", onion)

@@ -1,0 +1,69 @@
+"""Tor path selection: bandwidth weighting and circuit rotation."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.baselines.tor import TorNetwork
+from repro.errors import CircuitError
+
+
+def test_bandwidth_weighted_selection(tracking_engine):
+    # One non-exit relay is 50x faster than the others; it should appear
+    # on the vast majority of circuits.
+    network = TorNetwork(
+        tracking_engine,
+        n_relays=5,
+        n_exits=1,
+        key_bits=1024,
+        bandwidths_kbps=[1000, 50_000, 1000, 1000, 1000],
+    )
+    fast_relay = network.relays[1].relay_id
+    rng = random.Random(7)
+    client = network.client("alice", rng=rng)
+    chosen = Counter()
+    for _ in range(40):
+        client.new_circuit()
+        for relay in client._circuit.path[:2]:  # guard + middle
+            chosen[relay.relay_id] += 1
+    assert chosen[fast_relay] > 30
+
+
+def test_guard_middle_exit_distinct(tracking_engine):
+    network = TorNetwork(tracking_engine, n_relays=5, n_exits=2,
+                         key_bits=1024)
+    client = network.client("alice", rng=random.Random(3))
+    for _ in range(20):
+        client.new_circuit()
+        ids = [relay.relay_id for relay in client._circuit.path]
+        assert len(set(ids)) == 3
+
+
+def test_new_circuit_changes_circuit_id(tracking_engine):
+    network = TorNetwork(tracking_engine, n_relays=5, n_exits=1,
+                         key_bits=1024)
+    client = network.client("alice", rng=random.Random(4))
+    first = client.build_circuit()
+    second = client.new_circuit()
+    assert first != second
+    # The new circuit still works.
+    assert client.search("hotel rome", 5)
+
+
+def test_bandwidth_vector_validated(tracking_engine):
+    with pytest.raises(CircuitError):
+        TorNetwork(tracking_engine, n_relays=5, n_exits=1, key_bits=1024,
+                   bandwidths_kbps=[100, 200])
+
+
+def test_consensus_carries_bandwidth(tracking_engine):
+    import json
+
+    network = TorNetwork(tracking_engine, n_relays=5, n_exits=1,
+                         key_bits=1024,
+                         bandwidths_kbps=[111, 222, 333, 444, 555])
+    document, _ = network.directory.consensus()
+    entries = json.loads(document.decode("utf-8"))
+    assert sorted(e["bandwidth"] for e in entries) == [111, 222, 333, 444,
+                                                       555]

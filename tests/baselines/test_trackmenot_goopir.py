@@ -1,0 +1,107 @@
+"""TrackMeNot and GooPIR fake-query generators, plus the Direct baseline."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.baselines.direct import DirectClient
+from repro.baselines.goopir import FrequencyDictionary, GooPir
+from repro.baselines.trackmenot import RssFeed, TrackMeNot, TrackMeNotClient
+from repro.errors import DatasetError
+
+
+# ---------------------------------------------------------------------------
+# TrackMeNot
+# ---------------------------------------------------------------------------
+
+def test_feed_is_deterministic():
+    a = RssFeed(seed=3)
+    b = RssFeed(seed=3)
+    assert a.headlines == b.headlines
+    assert len(a.headlines) == 500
+
+
+def test_fakes_are_headline_windows():
+    feed = RssFeed(seed=3, n_headlines=20)
+    generator = TrackMeNot(feed, seed=3)
+    headlines = [h.split() for h in feed.headlines]
+    for _ in range(30):
+        words = generator.generate_fake().split()
+        assert 2 <= len(words) <= 4
+        assert any(
+            words == headline[i:i + len(words)]
+            for headline in headlines
+            for i in range(len(headline))
+        )
+
+
+def test_tmn_client_emits_fakes_then_real(tracking_engine):
+    client = TrackMeNotClient(
+        tracking_engine, TrackMeNot(seed=5), user_id="alice",
+        fakes_per_query=3,
+    )
+    client.search("my real query", 5)
+    mine = tracking_engine.queries_seen_from("ip-alice")
+    assert len(mine) == 4
+    assert mine[-1] == "my real query"
+    # All traffic is attributed to the user: no unlinkability.
+    assert tracking_engine.observations[-1].source == "ip-alice"
+
+
+# ---------------------------------------------------------------------------
+# GooPIR
+# ---------------------------------------------------------------------------
+
+TEXTS = [
+    "hotel rome", "hotel paris", "hotel cheap", "rome weather",
+    "diabetes diet", "nfl scores", "mortgage rates", "garden soil",
+    "flight deals", "cruise caribbean",
+] * 3
+
+
+def test_dictionary_frequencies():
+    dictionary = FrequencyDictionary.from_texts(TEXTS)
+    assert dictionary.frequency("hotel") == 9
+    assert dictionary.frequency("unknown") == 0
+
+
+def test_similar_frequency_band_excludes_word():
+    dictionary = FrequencyDictionary.from_texts(TEXTS)
+    candidates = dictionary.similar_frequency_words("rome", band=5)
+    assert candidates
+    assert "rome" not in candidates
+
+
+def test_goopir_fake_matches_query_shape():
+    dictionary = FrequencyDictionary.from_texts(TEXTS)
+    goopir = GooPir(dictionary, k=2, rng=random.Random(1))
+    fake = goopir.generate_fake("hotel rome")
+    assert len(fake.split()) == 2
+    assert fake != "hotel rome"
+
+
+def test_goopir_protect_layout():
+    dictionary = FrequencyDictionary.from_texts(TEXTS)
+    goopir = GooPir(dictionary, k=3, rng=random.Random(2))
+    subqueries = goopir.protect("hotel rome")
+    assert len(subqueries) == 4
+    assert subqueries.count("hotel rome") == 1
+
+
+def test_goopir_empty_dictionary_rejected():
+    with pytest.raises(DatasetError):
+        FrequencyDictionary(Counter())
+
+
+# ---------------------------------------------------------------------------
+# Direct
+# ---------------------------------------------------------------------------
+
+def test_direct_client_fully_exposed(tracking_engine):
+    client = DirectClient(tracking_engine, user_id="bob")
+    results = client.search("diabetes symptoms treatment", 5)
+    assert results
+    observation = tracking_engine.observations[-1]
+    assert observation.source == "ip-bob"
+    assert observation.text == "diabetes symptoms treatment"

@@ -1,0 +1,24 @@
+"""The xsearch-demo CLI."""
+
+from repro.cli import main
+
+
+def test_demo_prints_results(capsys):
+    assert main(["cheap", "hotel", "rome", "--limit", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "results for 'cheap hotel rome'" in out
+    assert "http://" in out
+
+
+def test_demo_ledger(capsys):
+    assert main(["diabetes", "symptoms", "-k", "2", "--ledger"]) == 0
+    out = capsys.readouterr().out
+    assert "privacy ledger" in out
+    assert "engine saw query" in out
+    assert " OR " in out  # the obfuscated query is visible in the ledger
+
+
+def test_demo_handles_no_results(capsys):
+    assert main(["zzznonexistentterm"]) == 0
+    out = capsys.readouterr().out
+    assert "no results" in out

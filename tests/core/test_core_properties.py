@@ -1,0 +1,90 @@
+"""Property-based tests over the paper's two algorithms and the history."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.filtering import filter_results
+from repro.core.history import ENTRY_OVERHEAD_BYTES, QueryHistory
+from repro.core.obfuscation import obfuscate_query
+from repro.search.documents import SearchResult
+
+words = st.text(alphabet="abcdefghij", min_size=1, max_size=8)
+queries = st.lists(words, min_size=1, max_size=4).map(" ".join)
+
+
+@given(texts=st.lists(queries, min_size=1, max_size=60),
+       capacity=st.integers(min_value=1, max_value=25))
+@settings(max_examples=60, deadline=None)
+def test_history_never_exceeds_capacity_and_keeps_suffix(texts, capacity):
+    history = QueryHistory(capacity)
+    history.extend(texts)
+    assert len(history) == min(len(texts), capacity)
+    assert history.snapshot() == texts[-capacity:]
+    expected = sum(
+        len(t.encode()) + ENTRY_OVERHEAD_BYTES for t in texts[-capacity:]
+    )
+    assert history.byte_size == expected
+
+
+@given(texts=st.lists(queries, min_size=1, max_size=30),
+       query=queries,
+       k=st.integers(min_value=0, max_value=8),
+       seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=80, deadline=None)
+def test_obfuscation_invariants(texts, query, k, seed):
+    history = QueryHistory(100)
+    history.extend(texts)
+    past = set(texts)
+    obfuscated = obfuscate_query(query, history, k, random.Random(seed))
+    # Exactly one original at the recorded index.
+    assert obfuscated.subqueries[obfuscated.original_index] == query
+    assert len(obfuscated.subqueries) <= k + 1
+    # Every fake is a genuine past query.
+    for fake in obfuscated.fake_queries:
+        assert fake in past
+    # Line 9: the query is in the history afterwards.
+    assert query in history.snapshot()
+
+
+def result_from(title_words, snippet_words, rank):
+    return SearchResult(
+        rank=rank,
+        url=f"http://r{rank}.example.com",
+        title=" ".join(title_words),
+        snippet=" ".join(snippet_words),
+        score=1.0,
+    )
+
+
+@given(
+    original=queries,
+    fakes=st.lists(queries, min_size=0, max_size=4),
+    pages=st.lists(
+        st.tuples(st.lists(words, max_size=5), st.lists(words, max_size=8)),
+        min_size=0, max_size=10,
+    ),
+)
+@settings(max_examples=80, deadline=None)
+def test_filtering_invariants(original, fakes, pages):
+    results = [
+        result_from(title, snippet, rank + 1)
+        for rank, (title, snippet) in enumerate(pages)
+    ]
+    decisions = filter_results(original, fakes, results, explain=True)
+    kept = filter_results(original, fakes, results, strip_tracking=False)
+    # Decision rule: kept iff the original's score is maximal.
+    assert len(decisions) == len(results)
+    for decision in decisions:
+        assert decision.kept == (
+            decision.original_score == decision.best_score
+        )
+    # Output is a subset, re-ranked 1..n, preserving relative order.
+    assert len(kept) == sum(1 for d in decisions if d.kept)
+    assert [r.rank for r in kept] == list(range(1, len(kept) + 1))
+    kept_urls = [r.url for r in kept]
+    source_urls = [d.result.url for d in decisions if d.kept]
+    assert kept_urls == source_urls
+    # With no fakes, everything survives.
+    assert len(filter_results(original, [], results)) == len(results)

@@ -1,0 +1,109 @@
+"""Algorithm 2: result-filtering invariants."""
+
+import pytest
+
+from repro.core.filtering import filter_results, score_result
+from repro.errors import ProtocolError
+from repro.search.documents import SearchResult
+
+
+def result(rank, title, snippet, url=None):
+    return SearchResult(
+        rank=rank,
+        url=url or f"http://r{rank}.example.com",
+        title=title,
+        snippet=snippet,
+        score=1.0 / rank,
+    )
+
+
+ORIGINAL = "cheap hotel rome"
+FAKES = ["diabetes symptoms", "nfl playoffs"]
+
+PAGE = [
+    result(1, "hotel rome booking", "cheap hotel rome city centre"),
+    result(2, "diabetes symptoms explained", "diabetes symptoms and signs"),
+    result(3, "nfl playoffs schedule", "nfl playoffs bracket and scores"),
+    result(4, "rome travel guide", "hotel and flight deals for rome"),
+]
+
+
+def test_keeps_results_of_original_query():
+    kept = filter_results(ORIGINAL, FAKES, PAGE)
+    titles = [r.title for r in kept]
+    assert "hotel rome booking" in titles
+    assert "rome travel guide" in titles
+
+
+def test_drops_results_of_fake_queries():
+    kept = filter_results(ORIGINAL, FAKES, PAGE)
+    titles = [r.title for r in kept]
+    assert "diabetes symptoms explained" not in titles
+    assert "nfl playoffs schedule" not in titles
+
+
+def test_tie_favours_keeping():
+    # A result matching no query at all scores 0 for everyone: the original
+    # attains the (zero) maximum, so Algorithm 2 keeps it.
+    neutral = [result(1, "unrelated title", "unrelated words entirely")]
+    assert len(filter_results(ORIGINAL, FAKES, neutral)) == 1
+
+
+def test_reranks_from_one():
+    kept = filter_results(ORIGINAL, FAKES, PAGE)
+    assert [r.rank for r in kept] == list(range(1, len(kept) + 1))
+
+
+def test_no_fakes_keeps_everything():
+    kept = filter_results(ORIGINAL, [], PAGE)
+    assert len(kept) == len(PAGE)
+
+
+def test_score_result_uses_title_and_snippet():
+    r = result(1, "hotel rome", "cheap deals in rome")
+    assert score_result("cheap hotel rome", r) == 2 + 2
+
+
+def test_strip_tracking_applied():
+    tracked = [
+        SearchResult(
+            rank=1,
+            url="http://engine.example.com/redirect?target=http://real.example.com/",
+            title="hotel rome",
+            snippet="cheap hotel rome",
+            score=1.0,
+        )
+    ]
+    kept = filter_results(ORIGINAL, FAKES, tracked)
+    assert kept[0].url == "http://real.example.com/"
+    raw = filter_results(ORIGINAL, FAKES, tracked, strip_tracking=False)
+    assert raw[0].url.startswith("http://engine.example.com/redirect")
+
+
+def test_explain_mode_reports_decisions():
+    decisions = filter_results(ORIGINAL, FAKES, PAGE, explain=True)
+    assert len(decisions) == len(PAGE)
+    kept_map = {d.result.title: d.kept for d in decisions}
+    assert kept_map["hotel rome booking"]
+    assert not kept_map["diabetes symptoms explained"]
+    for decision in decisions:
+        assert decision.best_score >= decision.original_score
+        assert decision.kept == (
+            decision.original_score == decision.best_score
+        )
+
+
+def test_empty_page():
+    assert filter_results(ORIGINAL, FAKES, []) == []
+
+
+def test_original_query_required():
+    with pytest.raises(ProtocolError):
+        filter_results("", FAKES, PAGE)
+
+
+def test_fake_equal_to_original_keeps_results():
+    # Degenerate duplicate (possible with replacement sampling): scores tie,
+    # results of the original survive.
+    kept = filter_results(ORIGINAL, [ORIGINAL], PAGE)
+    assert any(r.title == "hotel rome booking" for r in kept)

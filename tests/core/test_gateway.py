@@ -1,0 +1,132 @@
+"""The host-side socket ocalls and the engine's HTTP front end."""
+
+import json
+
+import pytest
+
+from repro.core.gateway import (
+    ENGINE_HOST,
+    ENGINE_PORT,
+    EngineGateway,
+    parse_results_body,
+    split_http_response,
+)
+from repro.errors import NetworkError
+
+
+@pytest.fixture()
+def gateway(tracking_engine):
+    return EngineGateway(tracking_engine, source="test-proxy")
+
+
+def http_get(path):
+    return f"GET {path} HTTP/1.1\r\nHost: {ENGINE_HOST}\r\n\r\n".encode()
+
+
+def exchange(gateway, request_bytes):
+    fd = gateway.sock_connect(ENGINE_HOST, ENGINE_PORT)
+    gateway.send(fd, request_bytes)
+    raw = b""
+    while True:
+        chunk = gateway.recv(fd, 4096)
+        if not chunk:
+            break
+        raw += chunk
+    gateway.close(fd)
+    return split_http_response(raw)
+
+
+def test_search_request_roundtrip(gateway):
+    status, body = exchange(gateway, http_get("/search?q=hotel+rome&limit=5"))
+    assert status == 200
+    results = parse_results_body(body)
+    assert len(results) == 5
+    assert results[0].title
+
+
+def test_or_query_is_split_and_merged(gateway, tracking_engine):
+    status, body = exchange(
+        gateway, http_get("/search?q=hotel+rome+OR+diabetes&limit=5")
+    )
+    assert status == 200
+    assert len(parse_results_body(body)) > 5
+    assert tracking_engine.observations[-1].text == "hotel rome OR diabetes"
+
+
+def test_requests_attributed_to_proxy_source(gateway, tracking_engine):
+    exchange(gateway, http_get("/search?q=hotel&limit=3"))
+    assert tracking_engine.observations[-1].source == "test-proxy"
+
+
+def test_chunked_send_supported(gateway):
+    request = http_get("/search?q=hotel&limit=3")
+    fd = gateway.sock_connect(ENGINE_HOST, ENGINE_PORT)
+    for i in range(0, len(request), 7):
+        gateway.send(fd, request[i:i + 7])
+    raw = b""
+    while True:
+        chunk = gateway.recv(fd, 64)
+        if not chunk:
+            break
+        raw += chunk
+    status, body = split_http_response(raw)
+    assert status == 200
+
+
+def test_unknown_host_refused(gateway):
+    with pytest.raises(NetworkError):
+        gateway.sock_connect("evil.example.com", 80)
+    with pytest.raises(NetworkError):
+        gateway.sock_connect(ENGINE_HOST, 8080)
+
+
+def test_unknown_fd_rejected(gateway):
+    with pytest.raises(NetworkError):
+        gateway.send(99, b"x")
+    with pytest.raises(NetworkError):
+        gateway.recv(99, 10)
+    with pytest.raises(NetworkError):
+        gateway.close(99)
+
+
+def test_double_close_rejected(gateway):
+    fd = gateway.sock_connect(ENGINE_HOST, ENGINE_PORT)
+    gateway.close(fd)
+    with pytest.raises(NetworkError):
+        gateway.close(fd)
+
+
+def test_404_for_unknown_path(gateway):
+    status, body = exchange(gateway, http_get("/other"))
+    assert status == 404
+
+
+def test_400_for_missing_query(gateway):
+    status, _ = exchange(gateway, http_get("/search?limit=5"))
+    assert status == 400
+
+
+def test_400_for_bad_limit(gateway):
+    status, _ = exchange(gateway, http_get("/search?q=a&limit=ten"))
+    assert status == 400
+
+
+def test_405_for_post(gateway):
+    status, _ = exchange(gateway, b"POST /search HTTP/1.1\r\n\r\n")
+    assert status == 405
+
+
+def test_split_http_response_errors():
+    with pytest.raises(NetworkError):
+        split_http_response(b"HTTP/1.1 200 OK\r\nContent-Length: 5")
+    with pytest.raises(NetworkError):
+        split_http_response(
+            b"HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\nshort"
+        )
+    with pytest.raises(NetworkError):
+        split_http_response(b"garbage\r\n\r\n")
+
+
+def test_parse_results_body_errors():
+    with pytest.raises(NetworkError):
+        parse_results_body(b"not json at all {")

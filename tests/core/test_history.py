@@ -1,0 +1,138 @@
+"""The enclave-resident past-query table."""
+
+import random
+import threading
+
+import pytest
+
+from repro.core.history import ENTRY_OVERHEAD_BYTES, QueryHistory
+from repro.errors import EnclaveError
+from repro.sgx.epc import EnclavePageCache
+from repro.sgx.runtime import EnclaveMemory
+
+
+def test_add_and_len():
+    history = QueryHistory(10)
+    history.add("hotel rome")
+    history.add("diabetes")
+    assert len(history) == 2
+
+
+def test_capacity_enforced_fifo():
+    history = QueryHistory(3)
+    for text in ["a1", "b2", "c3", "d4", "e5"]:
+        history.add(text)
+    assert len(history) == 3
+    assert history.snapshot() == ["c3", "d4", "e5"]
+
+
+def test_sliding_window_is_most_recent(small_log):
+    history = QueryHistory(50)
+    texts = [q.text for q in small_log][:200]
+    history.extend(texts)
+    assert history.snapshot() == texts[-50:]
+
+
+def test_sample_with_replacement_possible():
+    history = QueryHistory(10)
+    history.add("only one")
+    rng = random.Random(1)
+    assert history.sample(3, rng) == ["only one"] * 3
+
+
+def test_sample_from_empty_returns_nothing():
+    assert QueryHistory(10).sample(5, random.Random(1)) == []
+
+
+def test_sample_zero():
+    history = QueryHistory(10)
+    history.add("x")
+    assert history.sample(0, random.Random(1)) == []
+
+
+def test_sample_is_uniform_ish():
+    history = QueryHistory(100)
+    for i in range(100):
+        history.add(f"query {i}")
+    rng = random.Random(42)
+    draws = history.sample(20_000, rng)
+    counts = {}
+    for text in draws:
+        counts[text] = counts.get(text, 0) + 1
+    # Each of 100 entries expects 200 draws; allow generous slack.
+    assert min(counts.values()) > 100
+    assert max(counts.values()) < 350
+
+
+def test_sample_negative_rejected():
+    with pytest.raises(EnclaveError):
+        QueryHistory(10).sample(-1, random.Random(1))
+
+
+def test_byte_accounting():
+    history = QueryHistory(10)
+    history.add("abcd")
+    assert history.byte_size == 4 + ENTRY_OVERHEAD_BYTES
+    history.add("xyz")
+    assert history.byte_size == 7 + 2 * ENTRY_OVERHEAD_BYTES
+
+
+def test_byte_accounting_shrinks_on_eviction():
+    history = QueryHistory(1)
+    history.add("a" * 100)
+    history.add("b")
+    assert history.byte_size == 1 + ENTRY_OVERHEAD_BYTES
+
+
+def test_enclave_memory_metering():
+    epc = EnclavePageCache()
+    memory = EnclaveMemory(epc)
+    history = QueryHistory(1000, enclave_memory=memory)
+    history.extend(f"query number {i}" for i in range(100))
+    assert epc.occupancy_bytes == history.byte_size
+    assert epc.occupancy_bytes > 0
+
+
+def test_invalid_entries_rejected():
+    history = QueryHistory(5)
+    with pytest.raises(EnclaveError):
+        history.add("")
+    with pytest.raises(EnclaveError):
+        history.add(123)
+
+
+def test_invalid_capacity_rejected():
+    with pytest.raises(EnclaveError):
+        QueryHistory(0)
+
+
+def test_concurrent_adds_and_samples():
+    """The table is shared among proxy worker threads (paper §4.1)."""
+    history = QueryHistory(500)
+    history.add("seed")
+    errors = []
+
+    def writer(tag):
+        try:
+            for i in range(300):
+                history.add(f"{tag}-{i}")
+        except Exception as exc:  # pragma: no cover
+            errors.append(exc)
+
+    def sampler():
+        rng = random.Random(9)
+        try:
+            for _ in range(300):
+                history.sample(3, rng)
+                len(history)
+        except Exception as exc:  # pragma: no cover
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer, args=(t,)) for t in "abc"]
+    threads += [threading.Thread(target=sampler) for _ in range(2)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    assert len(history) == 500  # capacity bound held under concurrency

@@ -1,0 +1,67 @@
+"""Segmented EPC metering of the query history."""
+
+import random
+
+from repro.core.history import SEGMENT_ENTRIES, QueryHistory
+from repro.sgx.epc import EnclavePageCache
+from repro.sgx.runtime import EnclaveMemory
+
+
+def test_segments_created_every_segment_entries():
+    epc = EnclavePageCache()
+    memory = EnclaveMemory(epc)
+    history = QueryHistory(10 * SEGMENT_ENTRIES, enclave_memory=memory)
+    history.extend(f"q{i}" for i in range(2 * SEGMENT_ENTRIES + 5))
+    assert "xsearch.query_history.seg0" in memory
+    assert "xsearch.query_history.seg1" in memory
+    assert "xsearch.query_history.seg2" in memory
+    assert "xsearch.query_history.seg3" not in memory
+
+
+def test_segment_freed_when_fully_evicted():
+    epc = EnclavePageCache()
+    memory = EnclaveMemory(epc)
+    history = QueryHistory(SEGMENT_ENTRIES, enclave_memory=memory)
+    # Fill two segments' worth; the first segment is then fully evicted.
+    history.extend(f"q{i}" for i in range(2 * SEGMENT_ENTRIES))
+    assert "xsearch.query_history.seg0" not in memory
+    assert "xsearch.query_history.seg1" in memory
+
+
+def test_total_bytes_match_epc_occupancy():
+    epc = EnclavePageCache()
+    history = QueryHistory(100_000, enclave_memory=EnclaveMemory(epc))
+    history.extend(f"query number {i}" for i in range(3000))
+    assert epc.occupancy_bytes == history.byte_size
+
+
+def test_namespaces_keep_two_histories_apart():
+    epc = EnclavePageCache()
+    memory = EnclaveMemory(epc)
+    a = QueryHistory(1000, enclave_memory=memory, memory_namespace="a")
+    b = QueryHistory(1000, enclave_memory=memory, memory_namespace="b")
+    a.extend(f"qa{i}" for i in range(10))
+    b.extend(f"qb{i}" for i in range(20))
+    assert epc.occupancy_bytes == a.byte_size + b.byte_size
+
+
+def test_sampling_touches_segments_without_memory_attached():
+    # No enclave memory: sampling still works, no metering side effects.
+    history = QueryHistory(100)
+    history.extend(f"q{i}" for i in range(50))
+    assert len(history.sample(5, random.Random(1))) == 5
+
+
+def test_sampling_faults_cold_segments():
+    """With the EPC shrunk below the table size, sampling pays paging."""
+    small_epc = EnclavePageCache(usable_bytes=64 * 4096)  # 256 KiB
+    history = QueryHistory(
+        100_000, enclave_memory=EnclaveMemory(small_epc)
+    )
+    history.extend(f"padded query {i} {'x' * 40}" for i in range(6000))
+    assert small_epc.exceeds_epc()
+    before = small_epc.stats.swap_events
+    rng = random.Random(3)
+    for _ in range(50):
+        history.sample(3, rng)
+    assert small_epc.stats.swap_events > before

@@ -1,0 +1,97 @@
+"""The enclave's HTTPS path to the search engine (paper footnote 2)."""
+
+import pytest
+
+from repro.core.gateway import TlsServerConfig
+from repro.core.protocol import SearchRequest, SearchResponse
+from repro.core.proxy import XSearchProxyHost
+from repro.crypto.channel import HandshakeInitiator
+from repro.crypto.https import CertificateAuthority
+from repro.crypto.rsa import RsaKeyPair
+from repro.errors import AuthenticationError, NetworkError
+from repro.search.tracking import TrackingSearchEngine
+
+
+@pytest.fixture(scope="module")
+def engine_pki():
+    ca = CertificateAuthority(1024)
+    key = RsaKeyPair(1024)
+    certificate = ca.issue("engine.example.com", key.public)
+    return ca, TlsServerConfig(certificate=certificate, key=key)
+
+
+def https_proxy(small_engine, engine_pki, *, ca_key=None):
+    ca, tls_config = engine_pki
+    return XSearchProxyHost(
+        TrackingSearchEngine(small_engine),
+        k=2,
+        history_capacity=500,
+        rng_seed=3,
+        engine_ca_key=ca_key if ca_key is not None else ca.public_key,
+        engine_tls_config=tls_config,
+    )
+
+
+def run_search(proxy, query="cheap hotel rome", session_id="s"):
+    initiator = HandshakeInitiator()
+    proxy.begin_session(session_id, initiator.hello())
+    endpoint = initiator.finish(proxy.channel_public())
+    record = endpoint.encrypt(SearchRequest(query, 10).encode())
+    reply = proxy.request(session_id, record)
+    return SearchResponse.decode(endpoint.decrypt(reply))
+
+
+def test_https_search_end_to_end(small_engine, engine_pki):
+    proxy = https_proxy(small_engine, engine_pki)
+    response = run_search(proxy)
+    assert response.results
+    assert all(r.title for r in response.results)
+
+
+def test_https_hides_query_from_the_wire(small_engine, engine_pki):
+    """With HTTPS on, even the obfuscated query crosses the boundary only
+    inside TLS records — an on-path observer between proxy and engine
+    learns nothing."""
+    proxy = https_proxy(small_engine, engine_pki)
+    run_search(proxy, query="wiretappedquery42", session_id="wire")
+    for crossing in proxy.enclave.boundary_log:
+        assert b"wiretappedquery42" not in crossing.payload
+
+
+def test_https_engine_still_observes_obfuscated_query(small_engine,
+                                                      engine_pki):
+    proxy = https_proxy(small_engine, engine_pki)
+    run_search(proxy, query="endpoint visible", session_id="obs")
+    tracking = proxy.gateway._engine
+    assert "endpoint visible" in tracking.observations[-1].text
+
+
+def test_https_measurement_differs_from_plain(small_engine, engine_pki):
+    ca, _ = engine_pki
+    https = https_proxy(small_engine, engine_pki)
+    plain = XSearchProxyHost(
+        TrackingSearchEngine(small_engine), k=2, history_capacity=500
+    )
+    assert https.measurement != plain.measurement
+
+
+def test_wrong_ca_pinned_fails_closed(small_engine, engine_pki):
+    """The enclave pins a different CA: the engine's certificate chain
+    does not verify and no query is ever sent."""
+    other_ca = CertificateAuthority(1024)
+    proxy = https_proxy(small_engine, engine_pki, ca_key=other_ca.public_key)
+    with pytest.raises(AuthenticationError):
+        run_search(proxy, session_id="badca")
+    assert not proxy.gateway._engine.observations
+
+
+def test_engine_without_tls_refuses_https(small_engine):
+    ca = CertificateAuthority(1024)
+    proxy = XSearchProxyHost(
+        TrackingSearchEngine(small_engine),
+        k=1,
+        engine_ca_key=ca.public_key,  # enclave wants HTTPS...
+        engine_tls_config=None,  # ...but the engine has no certificate
+    )
+    with pytest.raises(NetworkError):
+        run_search(proxy, session_id="no-tls")

@@ -1,0 +1,94 @@
+"""Algorithm 1: obfuscated-query generation invariants."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.core.history import QueryHistory
+from repro.core.obfuscation import ObfuscatedQuery, obfuscate_query
+from repro.errors import ProtocolError
+
+
+def warmed_history(n=50):
+    history = QueryHistory(1000)
+    history.extend(f"past query {i}" for i in range(n))
+    return history
+
+
+def test_contains_original_exactly_once():
+    history = warmed_history()
+    obfuscated = obfuscate_query("my secret", history, 4, random.Random(1))
+    assert obfuscated.subqueries.count("my secret") == 1
+    assert obfuscated.original == "my secret"
+
+
+def test_k_fakes_come_from_history():
+    history = warmed_history()
+    past = set(history.snapshot())
+    obfuscated = obfuscate_query("my secret", history, 5, random.Random(2))
+    assert len(obfuscated.subqueries) == 6
+    assert obfuscated.k == 5
+    for fake in obfuscated.fake_queries:
+        assert fake in past
+
+
+def test_history_updated_after_fake_selection():
+    """Line 9 of Algorithm 1: H <- Q happens last — a query is never its
+    own fake, but it becomes a candidate fake for later queries."""
+    history = warmed_history(3)
+    obfuscated = obfuscate_query("fresh query", history, 3, random.Random(3))
+    assert "fresh query" not in obfuscated.fake_queries
+    assert "fresh query" in history.snapshot()
+
+
+def test_original_position_is_uniform():
+    history = warmed_history()
+    rng = random.Random(4)
+    positions = Counter(
+        obfuscate_query("q", history, 3, rng).original_index
+        for _ in range(2000)
+    )
+    assert set(positions) == {0, 1, 2, 3}
+    for count in positions.values():
+        assert 380 < count < 620  # ~500 each
+
+
+def test_k_zero_passthrough():
+    history = warmed_history()
+    obfuscated = obfuscate_query("solo", history, 0, random.Random(5))
+    assert obfuscated.subqueries == ("solo",)
+    assert obfuscated.fake_queries == ()
+
+
+def test_cold_start_degrades_gracefully():
+    history = QueryHistory(100)  # empty
+    obfuscated = obfuscate_query("first ever", history, 3, random.Random(6))
+    assert obfuscated.subqueries == ("first ever",)
+    # The next query can now use the first as a fake.
+    second = obfuscate_query("second", history, 3, random.Random(7))
+    assert set(second.fake_queries) == {"first ever"}
+
+
+def test_as_or_query_format():
+    history = warmed_history()
+    obfuscated = obfuscate_query("mine", history, 2, random.Random(8))
+    rendered = obfuscated.as_or_query()
+    assert rendered.split(" OR ") == list(obfuscated.subqueries)
+
+
+def test_empty_query_rejected():
+    with pytest.raises(ProtocolError):
+        obfuscate_query("", warmed_history(), 3, random.Random(9))
+
+
+def test_negative_k_rejected():
+    with pytest.raises(ProtocolError):
+        obfuscate_query("q", warmed_history(), -1, random.Random(9))
+
+
+def test_obfuscated_query_accessors():
+    obfuscated = ObfuscatedQuery(subqueries=("a", "b", "c"), original_index=1)
+    assert obfuscated.original == "b"
+    assert obfuscated.fake_queries == ("a", "c")
+    assert obfuscated.k == 2

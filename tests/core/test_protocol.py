@@ -1,0 +1,110 @@
+"""Wire protocol encoding/decoding."""
+
+import json
+
+import pytest
+
+from repro.core.protocol import (
+    Ack,
+    IngestRequest,
+    SearchRequest,
+    SearchResponse,
+    decode_any_request,
+)
+from repro.errors import ProtocolError
+from repro.search.documents import SearchResult
+
+
+def test_search_request_roundtrip():
+    request = SearchRequest(query="hotel rome", limit=10)
+    assert SearchRequest.decode(request.encode()) == request
+
+
+def test_search_request_validation():
+    with pytest.raises(ProtocolError):
+        SearchRequest(query="", limit=10).encode()
+    with pytest.raises(ProtocolError):
+        SearchRequest(query="q", limit=0).encode()
+
+
+def test_search_response_roundtrip():
+    results = (
+        SearchResult(rank=1, url="http://a.example.com", title="t",
+                     snippet="s", score=2.5),
+        SearchResult(rank=2, url="http://b.example.com", title="t2",
+                     snippet="s2", score=1.0),
+    )
+    response = SearchResponse(results=results)
+    assert SearchResponse.decode(response.encode()).results == results
+
+
+def test_empty_response_roundtrip():
+    assert SearchResponse(results=()).encode()
+    assert SearchResponse.decode(SearchResponse(results=()).encode()).results == ()
+
+
+def test_ingest_roundtrip():
+    request = IngestRequest(queries=("a", "b"))
+    assert IngestRequest.decode(request.encode()) == request
+
+
+def test_ingest_validation():
+    with pytest.raises(ProtocolError):
+        IngestRequest(queries=()).encode()
+    bad = json.dumps({"v": 1, "op": "ingest", "queries": ["ok", ""]}).encode()
+    with pytest.raises(ProtocolError):
+        IngestRequest.decode(bad)
+
+
+def test_ack_roundtrip():
+    assert Ack.decode(Ack(5).encode()).count == 5
+
+
+def test_decode_any_dispatches():
+    assert isinstance(
+        decode_any_request(SearchRequest("q", 5).encode()), SearchRequest
+    )
+    assert isinstance(
+        decode_any_request(IngestRequest(("q",)).encode()), IngestRequest
+    )
+
+
+def test_decode_any_rejects_unknown_op():
+    blob = json.dumps({"v": 1, "op": "mystery"}).encode()
+    with pytest.raises(ProtocolError):
+        decode_any_request(blob)
+
+
+def test_version_mismatch_rejected():
+    blob = json.dumps({"v": 99, "op": "search", "q": "x", "limit": 5}).encode()
+    with pytest.raises(ProtocolError):
+        SearchRequest.decode(blob)
+
+
+def test_malformed_bytes_rejected():
+    with pytest.raises(ProtocolError):
+        SearchRequest.decode(b"\xff\xfe not json")
+    with pytest.raises(ProtocolError):
+        SearchRequest.decode(b"[1,2,3]")
+
+
+def test_wrong_op_rejected():
+    blob = SearchRequest("q", 5).encode()
+    with pytest.raises(ProtocolError):
+        SearchResponse.decode(blob)
+
+
+def test_malformed_result_entry_rejected():
+    blob = json.dumps(
+        {"v": 1, "op": "results", "results": [{"rank": "NaN?"}]}
+    ).encode()
+    with pytest.raises(ProtocolError):
+        SearchResponse.decode(blob)
+
+
+def test_limit_type_enforced():
+    blob = json.dumps(
+        {"v": 1, "op": "search", "q": "x", "limit": "ten"}
+    ).encode()
+    with pytest.raises(ProtocolError):
+        SearchRequest.decode(blob)

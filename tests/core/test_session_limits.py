@@ -1,0 +1,72 @@
+"""Bounded session table: handshake floods cannot exhaust the EPC."""
+
+import pytest
+
+from repro.core.proxy import XSearchProxyHost
+from repro.crypto.channel import HandshakeInitiator
+from repro.errors import EnclaveError
+from repro.search.tracking import TrackingSearchEngine
+
+
+def make_proxy(small_engine, max_sessions):
+    return XSearchProxyHost(
+        TrackingSearchEngine(small_engine),
+        k=1,
+        history_capacity=100,
+        max_sessions=max_sessions,
+        rng_seed=1,
+    )
+
+
+def open_session(proxy, session_id):
+    initiator = HandshakeInitiator()
+    proxy.begin_session(session_id, initiator.hello())
+    return initiator.finish(proxy.channel_public())
+
+
+def test_session_table_bounded(small_engine):
+    proxy = make_proxy(small_engine, max_sessions=5)
+    for i in range(12):
+        open_session(proxy, f"s{i}")
+    sessions = proxy.enclave._instance._sessions
+    assert len(sessions) == 5
+    # The survivors are the most recent ones.
+    assert set(sessions) == {f"s{i}" for i in range(7, 12)}
+
+
+def test_evicted_session_rejected(small_engine):
+    from repro.core.protocol import SearchRequest
+
+    proxy = make_proxy(small_engine, max_sessions=2)
+    first = open_session(proxy, "first")
+    open_session(proxy, "second")
+    open_session(proxy, "third")  # evicts "first"
+    record = first.encrypt(SearchRequest("hotel", 5).encode())
+    with pytest.raises(EnclaveError):
+        proxy.request("first", record)
+
+
+def test_surviving_sessions_unaffected_by_eviction(small_engine):
+    from repro.core.protocol import SearchRequest, SearchResponse
+
+    proxy = make_proxy(small_engine, max_sessions=2)
+    open_session(proxy, "old")
+    keeper = open_session(proxy, "keeper")
+    open_session(proxy, "new")  # evicts "old"
+    record = keeper.encrypt(SearchRequest("hotel rome", 5).encode())
+    reply = proxy.request("keeper", record)
+    response = SearchResponse.decode(keeper.decrypt(reply))
+    assert response.results
+
+
+def test_session_memory_metered(small_engine):
+    proxy = make_proxy(small_engine, max_sessions=100)
+    before = proxy.enclave.memory.occupancy_bytes
+    for i in range(10):
+        open_session(proxy, f"m{i}")
+    assert proxy.enclave.memory.occupancy_bytes > before
+
+
+def test_max_sessions_validated(small_engine):
+    with pytest.raises(EnclaveError):
+        make_proxy(small_engine, max_sessions=0)

@@ -1,0 +1,39 @@
+"""The executable Figure 2 trace."""
+
+import pytest
+
+from repro.core.walkthrough import run_walkthrough
+
+
+@pytest.fixture(scope="module")
+def walkthrough():
+    return run_walkthrough(query="cheap hotel rome", k=2, seed=13)
+
+
+def test_six_steps_in_order(walkthrough):
+    assert [step.number for step in walkthrough.steps] == [1, 2, 3, 4, 5, 6]
+
+
+def test_every_step_carries_evidence(walkthrough):
+    for step in walkthrough.steps:
+        assert step.evidence
+        assert step.title
+
+
+def test_results_were_returned(walkthrough):
+    assert walkthrough.results_returned > 0
+
+
+def test_obfuscation_evidence_mentions_fakes(walkthrough):
+    assert "fakes" in walkthrough.steps[1].evidence
+
+
+def test_engine_evidence_shows_or_query(walkthrough):
+    assert " OR " in walkthrough.steps[3].evidence
+    assert "xsearch-proxy.cloud" in walkthrough.steps[3].evidence
+
+
+def test_format_renders(walkthrough):
+    rendered = walkthrough.format()
+    assert "Figure 2 walkthrough" in rendered
+    assert "(6)" in rendered

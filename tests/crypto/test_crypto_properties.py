@@ -1,0 +1,48 @@
+"""Property-based tests (hypothesis) over the crypto substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aead import aead_decrypt, aead_encrypt
+from repro.crypto.chacha20 import chacha20_encrypt
+from repro.crypto.kdf import hkdf
+from repro.crypto.poly1305 import constant_time_equal
+
+keys = st.binary(min_size=32, max_size=32)
+nonces = st.binary(min_size=12, max_size=12)
+payloads = st.binary(min_size=0, max_size=512)
+
+
+@given(key=keys, nonce=nonces, data=payloads, aad=payloads)
+@settings(max_examples=60, deadline=None)
+def test_aead_roundtrip(key, nonce, data, aad):
+    assert aead_decrypt(key, nonce, aead_encrypt(key, nonce, data, aad), aad) == data
+
+
+@given(key=keys, nonce=nonces, data=payloads,
+       counter=st.integers(min_value=0, max_value=2**32 - 2))
+@settings(max_examples=60, deadline=None)
+def test_chacha20_is_an_involution(key, nonce, data, counter):
+    once = chacha20_encrypt(key, counter, nonce, data)
+    assert chacha20_encrypt(key, counter, nonce, once) == data
+
+
+@given(key=keys, nonce=nonces, data=st.binary(min_size=1, max_size=256))
+@settings(max_examples=40, deadline=None)
+def test_ciphertext_never_equals_plaintext_with_tag(key, nonce, data):
+    sealed = aead_encrypt(key, nonce, data)
+    assert sealed != data
+    assert len(sealed) == len(data) + 16
+
+
+@given(ikm=st.binary(min_size=1, max_size=64),
+       length=st.integers(min_value=1, max_value=255))
+@settings(max_examples=40, deadline=None)
+def test_hkdf_output_length(ikm, length):
+    assert len(hkdf(ikm, length=length)) == length
+
+
+@given(a=st.binary(max_size=64), b=st.binary(max_size=64))
+@settings(max_examples=100, deadline=None)
+def test_constant_time_equal_matches_builtin(a, b):
+    assert constant_time_equal(a, b) == (a == b)

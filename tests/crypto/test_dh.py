@@ -1,0 +1,55 @@
+"""Diffie-Hellman key agreement over the RFC 3526 group."""
+
+import pytest
+
+from repro.crypto.dh import DEFAULT_GROUP, DhKeyPair
+from repro.errors import CryptoError
+
+
+def test_shared_secret_agrees():
+    alice = DhKeyPair()
+    bob = DhKeyPair()
+    assert alice.shared_secret(bob.public) == bob.shared_secret(alice.public)
+
+
+def test_shared_secret_fixed_width():
+    alice, bob = DhKeyPair(), DhKeyPair()
+    secret = alice.shared_secret(bob.public)
+    assert len(secret) == DEFAULT_GROUP.byte_length == 256
+
+
+def test_distinct_keypairs_distinct_secrets():
+    alice, bob, carol = DhKeyPair(), DhKeyPair(), DhKeyPair()
+    assert alice.shared_secret(bob.public) != alice.shared_secret(carol.public)
+
+
+def test_public_encoding_roundtrip():
+    pair = DhKeyPair()
+    encoded = pair.public_bytes()
+    assert DEFAULT_GROUP.decode_element(encoded) == pair.public
+
+
+@pytest.mark.parametrize("bad", [0, 1])
+def test_degenerate_publics_rejected(bad):
+    with pytest.raises(CryptoError):
+        DEFAULT_GROUP.validate_public(bad)
+
+
+def test_p_minus_one_rejected():
+    with pytest.raises(CryptoError):
+        DEFAULT_GROUP.validate_public(DEFAULT_GROUP.prime - 1)
+
+
+def test_out_of_range_rejected():
+    with pytest.raises(CryptoError):
+        DEFAULT_GROUP.validate_public(DEFAULT_GROUP.prime + 5)
+
+
+def test_shared_secret_validates_peer():
+    pair = DhKeyPair()
+    with pytest.raises(CryptoError):
+        pair.shared_secret(1)
+
+
+def test_keys_are_random():
+    assert DhKeyPair().public != DhKeyPair().public

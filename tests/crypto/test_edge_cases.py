@@ -1,0 +1,60 @@
+"""Edge cases across crypto and shared utilities."""
+
+import pytest
+
+from repro.crypto.channel import ChannelEndpoint, establish_pair
+from repro.errors import (
+    AuthenticationError,
+    CryptoError,
+    EnclaveError,
+    NetworkError,
+    ProtocolError,
+    ReproError,
+    SealingError,
+)
+from repro.textutils import STOPWORDS, tokenize
+
+
+def test_error_hierarchy():
+    """Every library error is a ReproError; crypto errors nest correctly."""
+    assert issubclass(AuthenticationError, CryptoError)
+    assert issubclass(CryptoError, ReproError)
+    assert issubclass(SealingError, EnclaveError)
+    assert issubclass(EnclaveError, ReproError)
+    assert issubclass(ProtocolError, ReproError)
+    assert issubclass(NetworkError, ReproError)
+
+
+def test_errors_catchable_at_base():
+    with pytest.raises(ReproError):
+        raise AuthenticationError("x")
+
+
+def test_channel_counter_exhaustion():
+    endpoint = ChannelEndpoint(send_key=b"\x01" * 32, recv_key=b"\x02" * 32)
+    endpoint._send_counter = (1 << 64)  # past the 64-bit nonce space
+    with pytest.raises(CryptoError, match="rekey"):
+        endpoint.encrypt(b"too late")
+
+
+def test_channel_large_payload_roundtrip():
+    a, b = establish_pair()
+    blob = bytes(range(256)) * 512  # 128 KiB
+    assert b.decrypt(a.encrypt(blob)) == blob
+
+
+def test_stopwords_are_lowercase_words():
+    for word in STOPWORDS:
+        assert word == word.lower()
+        assert word.isalpha()
+
+
+def test_tokenize_is_ascii_alnum():
+    """The tokenizer splits on anything outside [a-z0-9] (the AOL log is
+    ASCII); accented characters act as separators, never crash."""
+    assert tokenize("héllo — wörld? café") == ["h", "llo", "w", "rld", "caf"]
+    assert tokenize("☃ é") == []
+
+
+def test_tokenize_numbers_and_mixed():
+    assert tokenize("ipod30gb a1b2") == ["ipod30gb", "a1b2"]

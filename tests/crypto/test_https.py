@@ -1,0 +1,168 @@
+"""The TLS-like engine transport: certificates, handshake, records."""
+
+import pytest
+
+from repro.crypto.https import (
+    Certificate,
+    CertificateAuthority,
+    TlsClient,
+    TlsServer,
+    decode_frames,
+    encode_frame,
+    verify_certificate,
+)
+from repro.crypto.rsa import RsaKeyPair
+from repro.errors import AuthenticationError, CryptoError, ProtocolError
+
+
+@pytest.fixture(scope="module")
+def pki():
+    ca = CertificateAuthority(1024)
+    server_key = RsaKeyPair(1024)
+    certificate = ca.issue("engine.example.com", server_key.public)
+    return ca, server_key, certificate
+
+
+def handshake(pki):
+    ca, server_key, certificate = pki
+    client = TlsClient(ca.public_key, "engine.example.com")
+    server = TlsServer(certificate, server_key)
+    server_hello = server.process_client_hello(client.client_hello())
+    client.process_server_hello(server_hello)
+    return client, server
+
+
+# ---------------------------------------------------------------------------
+# Framing
+# ---------------------------------------------------------------------------
+
+def test_frame_roundtrip():
+    stream = encode_frame(b"one") + encode_frame(b"two")
+    frames, rest = decode_frames(stream)
+    assert frames == [b"one", b"two"]
+    assert rest == b""
+
+
+def test_partial_frames_buffered():
+    stream = encode_frame(b"payload")
+    frames, rest = decode_frames(stream[:5])
+    assert frames == []
+    assert rest == stream[:5]
+    frames, rest = decode_frames(rest + stream[5:])
+    assert frames == [b"payload"]
+
+
+def test_oversized_frame_rejected():
+    import struct
+
+    with pytest.raises(ProtocolError):
+        decode_frames(struct.pack(">I", 1 << 30) + b"x")
+
+
+# ---------------------------------------------------------------------------
+# Certificates
+# ---------------------------------------------------------------------------
+
+def test_certificate_verifies(pki):
+    ca, _, certificate = pki
+    verify_certificate(certificate, ca.public_key, "engine.example.com")
+
+
+def test_certificate_wrong_subject_rejected(pki):
+    ca, _, certificate = pki
+    with pytest.raises(AuthenticationError):
+        verify_certificate(certificate, ca.public_key, "evil.example.com")
+
+
+def test_certificate_wrong_ca_rejected(pki):
+    _, _, certificate = pki
+    other_ca = CertificateAuthority(1024)
+    with pytest.raises(AuthenticationError):
+        verify_certificate(
+            certificate, other_ca.public_key, "engine.example.com"
+        )
+
+
+def test_certificate_encode_decode(pki):
+    _, _, certificate = pki
+    assert Certificate.decode(certificate.encode()) == certificate
+
+
+def test_server_requires_matching_key(pki):
+    _, _, certificate = pki
+    with pytest.raises(CryptoError):
+        TlsServer(certificate, RsaKeyPair(1024))
+
+
+# ---------------------------------------------------------------------------
+# Handshake + records
+# ---------------------------------------------------------------------------
+
+def test_handshake_and_records(pki):
+    client, server = handshake(pki)
+    assert client.is_established and server.is_established
+    record = client.encrypt(b"GET /search?q=x HTTP/1.1\r\n\r\n")
+    assert server.decrypt(record) == b"GET /search?q=x HTTP/1.1\r\n\r\n"
+    reply = server.encrypt(b"HTTP/1.1 200 OK\r\n\r\n")
+    assert client.decrypt(reply) == b"HTTP/1.1 200 OK\r\n\r\n"
+
+
+def test_client_rejects_impostor_server(pki):
+    """A MITM with a valid cert for another name cannot complete."""
+    ca, _, _ = pki
+    impostor_key = RsaKeyPair(1024)
+    impostor_cert = ca.issue("evil.example.com", impostor_key.public)
+    client = TlsClient(ca.public_key, "engine.example.com")
+    server = TlsServer(impostor_cert, impostor_key)
+    hello = server.process_client_hello(client.client_hello())
+    with pytest.raises(AuthenticationError):
+        client.process_server_hello(hello)
+
+
+def test_client_rejects_unsigned_key_swap(pki):
+    """Tampering with the server's ephemeral key breaks the transcript
+    signature."""
+    import base64
+    import json
+
+    ca, server_key, certificate = pki
+    client = TlsClient(ca.public_key, "engine.example.com")
+    server = TlsServer(certificate, server_key)
+    hello = json.loads(
+        server.process_client_hello(client.client_hello()).decode()
+    )
+    from repro.crypto.dh import DhKeyPair
+
+    hello["public"] = base64.b64encode(
+        DhKeyPair().public_bytes()
+    ).decode("ascii")
+    with pytest.raises(AuthenticationError):
+        client.process_server_hello(json.dumps(hello).encode())
+
+
+def test_records_before_handshake_rejected(pki):
+    ca, server_key, certificate = pki
+    client = TlsClient(ca.public_key, "engine.example.com")
+    with pytest.raises(ProtocolError):
+        client.encrypt(b"early")
+    server = TlsServer(certificate, server_key)
+    with pytest.raises(ProtocolError):
+        server.encrypt(b"early")
+
+
+def test_tampered_record_rejected(pki):
+    client, server = handshake(pki)
+    record = bytearray(client.encrypt(b"payload"))
+    record[-1] ^= 1
+    with pytest.raises(AuthenticationError):
+        server.decrypt(bytes(record))
+
+
+def test_malformed_hellos_rejected(pki):
+    ca, server_key, certificate = pki
+    server = TlsServer(certificate, server_key)
+    with pytest.raises(ProtocolError):
+        server.process_client_hello(b"junk")
+    client = TlsClient(ca.public_key, "engine.example.com")
+    with pytest.raises(ProtocolError):
+        client.process_server_hello(b"junk")

@@ -1,0 +1,73 @@
+"""HKDF against the RFC 5869 test vectors plus API invariants."""
+
+import pytest
+
+from repro.crypto.kdf import derive_subkeys, hkdf, hkdf_expand, hkdf_extract
+from repro.errors import CryptoError
+
+
+def test_rfc5869_case_1():
+    ikm = b"\x0b" * 22
+    salt = bytes.fromhex("000102030405060708090a0b0c")
+    info = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9")
+    prk = hkdf_extract(salt, ikm)
+    assert prk == bytes.fromhex(
+        "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+    )
+    okm = hkdf_expand(prk, info, 42)
+    assert okm == bytes.fromhex(
+        "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+        "34007208d5b887185865"
+    )
+
+
+def test_rfc5869_case_2_long_inputs():
+    ikm = bytes(range(0x00, 0x50))
+    salt = bytes(range(0x60, 0xB0))
+    info = bytes(range(0xB0, 0x100))
+    okm = hkdf(ikm, salt=salt, info=info, length=82)
+    assert okm == bytes.fromhex(
+        "b11e398dc80327a1c8e7f78c596a49344f012eda2d4efad8a050cc4c19afa97c"
+        "59045a99cac7827271cb41c65e590e09da3275600c2f09b8367793a9aca3db71"
+        "cc30c58179ec3e87c14c01d5c1f3434f1d87"
+    )
+
+
+def test_rfc5869_case_3_empty_salt_and_info():
+    ikm = b"\x0b" * 22
+    okm = hkdf(ikm, length=42)
+    assert okm == bytes.fromhex(
+        "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+        "9d201395faa4b61a96c8"
+    )
+
+
+def test_expand_length_bounds():
+    prk = hkdf_extract(b"", b"ikm")
+    with pytest.raises(CryptoError):
+        hkdf_expand(prk, b"", 0)
+    with pytest.raises(CryptoError):
+        hkdf_expand(prk, b"", 255 * 32 + 1)
+    assert len(hkdf_expand(prk, b"", 255 * 32)) == 255 * 32
+
+
+def test_derive_subkeys_independent():
+    keys = derive_subkeys(b"secret", ["a", "b", "c"], length=32)
+    assert len(keys) == 3
+    assert len({bytes(v) for v in keys.values()}) == 3
+    assert all(len(v) == 32 for v in keys.values())
+
+
+def test_derive_subkeys_deterministic():
+    a = derive_subkeys(b"secret", ["x", "y"])
+    b = derive_subkeys(b"secret", ["x", "y"])
+    assert a == b
+
+
+def test_derive_subkeys_rejects_duplicates():
+    with pytest.raises(CryptoError):
+        derive_subkeys(b"secret", ["dup", "dup"])
+
+
+def test_salt_changes_output():
+    assert hkdf(b"ikm", salt=b"one") != hkdf(b"ikm", salt=b"two")

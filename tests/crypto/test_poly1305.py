@@ -1,0 +1,48 @@
+"""Poly1305 against the RFC 8439 §2.5.2 vector plus edge cases."""
+
+import pytest
+
+from repro.crypto.poly1305 import constant_time_equal, poly1305_mac
+from repro.errors import CryptoError
+
+
+def test_rfc_vector():
+    key = bytes.fromhex(
+        "85d6be7857556d337f4452fe42d506a8"
+        "0103808afb0db2fd4abff6af4149f51b"
+    )
+    message = b"Cryptographic Forum Research Group"
+    expected = bytes.fromhex("a8061dc1305136c6c22b8baf0c0127a9")
+    assert poly1305_mac(key, message) == expected
+
+
+def test_empty_message():
+    tag = poly1305_mac(b"\x01" * 32, b"")
+    assert len(tag) == 16
+
+
+def test_tag_depends_on_message():
+    key = b"\x07" * 32
+    assert poly1305_mac(key, b"aaa") != poly1305_mac(key, b"aab")
+
+
+def test_tag_depends_on_key():
+    assert poly1305_mac(b"\x01" * 32, b"m") != poly1305_mac(b"\x02" * 32, b"m")
+
+
+def test_key_length_enforced():
+    with pytest.raises(CryptoError):
+        poly1305_mac(b"\x00" * 16, b"m")
+
+
+def test_sixteen_byte_boundary_messages():
+    key = b"\x05" * 32
+    for length in (15, 16, 17, 31, 32, 33):
+        assert len(poly1305_mac(key, b"z" * length)) == 16
+
+
+def test_constant_time_equal_semantics():
+    assert constant_time_equal(b"abc", b"abc")
+    assert not constant_time_equal(b"abc", b"abd")
+    assert not constant_time_equal(b"abc", b"abcd")
+    assert constant_time_equal(b"", b"")

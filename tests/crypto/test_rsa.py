@@ -1,0 +1,106 @@
+"""RSA signatures (attestation substrate)."""
+
+import random
+
+import pytest
+
+from repro.crypto.primes import generate_prime, is_probable_prime, modular_inverse
+from repro.crypto.rsa import RsaKeyPair
+from repro.errors import AuthenticationError, CryptoError
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return RsaKeyPair(1024)
+
+
+def test_sign_verify_roundtrip(keypair):
+    message = b"attestation report body"
+    keypair.public.verify(message, keypair.sign(message))
+
+
+def test_signature_is_deterministic(keypair):
+    assert keypair.sign(b"m") == keypair.sign(b"m")
+
+
+def test_tampered_message_rejected(keypair):
+    signature = keypair.sign(b"original")
+    with pytest.raises(AuthenticationError):
+        keypair.public.verify(b"tampered", signature)
+
+
+def test_tampered_signature_rejected(keypair):
+    signature = bytearray(keypair.sign(b"m"))
+    signature[5] ^= 0xFF
+    with pytest.raises(AuthenticationError):
+        keypair.public.verify(b"m", bytes(signature))
+
+
+def test_wrong_key_rejected(keypair):
+    other = RsaKeyPair(1024)
+    with pytest.raises(AuthenticationError):
+        other.public.verify(b"m", keypair.sign(b"m"))
+
+
+def test_wrong_length_signature_rejected(keypair):
+    with pytest.raises(AuthenticationError):
+        keypair.public.verify(b"m", b"\x01" * 10)
+
+
+def test_out_of_range_signature_rejected(keypair):
+    too_big = (keypair.public.modulus + 1).to_bytes(
+        keypair.public.byte_length, "big"
+    )
+    with pytest.raises(AuthenticationError):
+        keypair.public.verify(b"m", too_big)
+
+
+def test_fingerprint_stable_and_distinct(keypair):
+    assert keypair.public.fingerprint() == keypair.public.fingerprint()
+    assert keypair.public.fingerprint() != RsaKeyPair(1024).public.fingerprint()
+
+
+def test_key_size_floor():
+    with pytest.raises(CryptoError):
+        RsaKeyPair(256)
+
+
+def test_deterministic_keygen_with_injected_rng():
+    a = RsaKeyPair(512, rng=random.Random(99))
+    b = RsaKeyPair(512, rng=random.Random(99))
+    assert a.public.modulus == b.public.modulus
+
+
+def test_modulus_has_requested_bits(keypair):
+    assert keypair.public.modulus.bit_length() == 1024
+
+
+# ---------------------------------------------------------------------------
+# Prime substrate
+# ---------------------------------------------------------------------------
+
+def test_small_primes_recognised():
+    for p in (2, 3, 5, 7, 97, 251):
+        assert is_probable_prime(p)
+
+
+def test_small_composites_rejected():
+    for c in (0, 1, 4, 100, 561, 8911):  # includes Carmichael numbers
+        assert not is_probable_prime(c)
+
+
+def test_generated_prime_has_exact_bits():
+    p = generate_prime(64, rng=random.Random(5))
+    assert p.bit_length() == 64
+    assert is_probable_prime(p)
+
+
+def test_generate_prime_floor():
+    with pytest.raises(CryptoError):
+        generate_prime(8)
+
+
+def test_modular_inverse():
+    assert (modular_inverse(3, 11) * 3) % 11 == 1
+    with pytest.raises(CryptoError):
+        modular_inverse(4, 8)

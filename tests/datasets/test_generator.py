@@ -1,0 +1,74 @@
+"""Synthetic AOL-style workload generator."""
+
+import pytest
+
+from repro.datasets.generator import AolStyleGenerator, GeneratorConfig, generate_log
+from repro.datasets.topics import TopicModel
+from repro.errors import DatasetError
+from repro.textutils import tokenize
+
+
+def test_deterministic_for_seed():
+    a = generate_log(seed=5, n_users=20)
+    b = generate_log(seed=5, n_users=20)
+    assert len(a) == len(b)
+    assert [(q.user_id, q.text, q.timestamp) for q in a] == [
+        (q.user_id, q.text, q.timestamp) for q in b
+    ]
+
+
+def test_different_seeds_differ():
+    a = generate_log(seed=5, n_users=20)
+    b = generate_log(seed=6, n_users=20)
+    assert [q.text for q in a] != [q.text for q in b]
+
+
+def test_user_count(small_log):
+    assert len(small_log.users) == 60
+
+
+def test_minimum_activity_respected(small_log):
+    config = GeneratorConfig()
+    for user in small_log.users:
+        assert len(small_log.queries_of(user)) >= config.min_queries_per_user
+
+
+def test_activity_is_heavy_tailed(small_log):
+    activities = sorted(
+        (len(small_log.queries_of(u)) for u in small_log.users), reverse=True
+    )
+    assert activities[0] >= 4 * activities[len(activities) // 2]
+
+
+def test_queries_use_known_vocabulary(small_log):
+    vocabulary = TopicModel.default().all_terms()
+    for query in list(small_log)[:200]:
+        for token in tokenize(query.text):
+            assert token in vocabulary, token
+
+
+def test_timestamps_within_trace_window(small_log):
+    horizon = (GeneratorConfig().trace_days + 1) * 86_400
+    for query in small_log:
+        assert 0 <= query.timestamp <= horizon
+
+
+def test_users_repeat_queries(small_log):
+    # The repeat model must produce duplicate texts for active users.
+    user = small_log.users[0]
+    texts = [q.text for q in small_log.queries_of(user)]
+    assert len(set(texts)) < len(texts)
+
+
+def test_users_have_topical_focus(small_log):
+    # A user's queries should reuse a limited vocabulary, not the whole one.
+    user = small_log.users[0]
+    tokens = set()
+    for query in small_log.queries_of(user):
+        tokens.update(tokenize(query.text))
+    assert len(tokens) < 150
+
+
+def test_invalid_user_count_rejected():
+    with pytest.raises(DatasetError):
+        AolStyleGenerator(GeneratorConfig(n_users=0), seed=1).generate()

@@ -1,0 +1,94 @@
+"""Query log types and the train/test split methodology."""
+
+import pytest
+
+from repro.datasets.queries import Query, QueryLog, train_test_split
+from repro.errors import DatasetError
+
+
+def q(qid, user, text, t):
+    return Query(query_id=qid, user_id=user, text=text, timestamp=t)
+
+
+@pytest.fixture()
+def log():
+    return QueryLog([
+        q(0, "alice", "hotel rome", 30.0),
+        q(1, "alice", "cheap flights", 10.0),
+        q(2, "bob", "diabetes", 20.0),
+        q(3, "alice", "rome weather", 50.0),
+        q(4, "bob", "diabetes diet", 40.0),
+        q(5, "carol", "gardening", 5.0),
+    ])
+
+
+def test_chronological_order(log):
+    times = [query.timestamp for query in log]
+    assert times == sorted(times)
+
+
+def test_len_and_indexing(log):
+    assert len(log) == 6
+    assert log[0].text == "gardening"
+
+
+def test_users_sorted_by_activity(log):
+    assert log.users[0] == "alice"  # 3 queries
+    assert set(log.users) == {"alice", "bob", "carol"}
+
+
+def test_queries_of_user(log):
+    texts = [query.text for query in log.queries_of("bob")]
+    assert texts == ["diabetes", "diabetes diet"]
+    with pytest.raises(DatasetError):
+        log.queries_of("nobody")
+
+
+def test_most_active_users(log):
+    assert log.most_active_users(2) == ["alice", "bob"]
+
+
+def test_restricted_to(log):
+    sub = log.restricted_to(["carol"])
+    assert len(sub) == 1
+    assert sub[0].user_id == "carol"
+
+
+def test_unique_texts_first_seen_order():
+    log = QueryLog([
+        q(0, "a", "x", 1.0), q(1, "a", "y", 2.0), q(2, "b", "x", 3.0),
+    ])
+    assert log.unique_texts() == ["x", "y"]
+
+
+def test_empty_query_rejected():
+    with pytest.raises(DatasetError):
+        q(0, "a", "", 0.0)
+
+
+def test_split_fractions(small_log):
+    train, test = train_test_split(small_log)
+    assert len(train) + len(test) == len(small_log)
+    ratio = len(train) / len(small_log)
+    assert 0.60 < ratio < 0.72  # two thirds, modulo per-user rounding
+
+
+def test_split_is_chronological_per_user(small_log):
+    train, test = train_test_split(small_log)
+    for user in small_log.users[:10]:
+        train_times = [q.timestamp for q in train.queries_of(user)]
+        test_times = [q.timestamp for q in test.queries_of(user)]
+        assert max(train_times) <= min(test_times)
+
+
+def test_split_keeps_every_user_on_both_sides(small_log):
+    train, test = train_test_split(small_log)
+    assert set(train.users) == set(small_log.users)
+    assert set(test.users) == set(small_log.users)
+
+
+def test_split_fraction_validation(log):
+    with pytest.raises(DatasetError):
+        train_test_split(log, train_fraction=0.0)
+    with pytest.raises(DatasetError):
+        train_test_split(log, train_fraction=1.0)

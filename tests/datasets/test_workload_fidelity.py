@@ -1,0 +1,98 @@
+"""Statistical fidelity of the synthetic workload (DESIGN.md §1 claims).
+
+The substitution argument for the AOL log rests on named statistical
+properties; these tests pin them so future changes to the generator
+cannot silently break the calibration.
+"""
+
+import math
+from collections import Counter
+
+from repro.textutils import tokenize
+
+
+def test_term_frequencies_are_heavy_tailed(small_log):
+    """Term frequencies follow a Zipf-like rank/frequency decay."""
+    counts = Counter()
+    for query in small_log:
+        counts.update(tokenize(query.text))
+    frequencies = sorted(counts.values(), reverse=True)
+    assert len(frequencies) > 200
+    # Top-decile mass dominates: classic heavy tail.
+    top = sum(frequencies[: len(frequencies) // 10])
+    assert top > 0.40 * sum(frequencies)
+    # Rank-10 vs rank-100 frequency ratio is large.
+    assert frequencies[9] > 3 * frequencies[99]
+
+
+def test_activity_distribution_is_pareto_like(small_log):
+    activities = sorted(
+        (len(small_log.queries_of(u)) for u in small_log.users),
+        reverse=True,
+    )
+    total = sum(activities)
+    top_10pct = sum(activities[: max(1, len(activities) // 10)])
+    assert top_10pct > 0.25 * total  # the most active users dominate
+
+
+def test_sessions_have_short_interarrival(small_log):
+    """Within-session gaps are seconds-to-minutes, between sessions hours:
+    a bimodal inter-arrival distribution."""
+    user = small_log.users[0]
+    times = [q.timestamp for q in small_log.queries_of(user)]
+    gaps = [b - a for a, b in zip(times, times[1:]) if b > a]
+    short = sum(1 for g in gaps if g <= 150.0)
+    long = sum(1 for g in gaps if g > 3600.0)
+    assert short > 0 and long > 0
+    assert short > long * 0.2
+
+
+def test_users_share_vocabulary_mass(small_log):
+    """The shared background mass the X-Search fakes rely on: any two
+    active users' term sets overlap."""
+    users = small_log.most_active_users(6)
+    vocabularies = []
+    for user in users:
+        tokens = set()
+        for query in small_log.queries_of(user):
+            tokens.update(tokenize(query.text))
+        vocabularies.append(tokens)
+    overlapping_pairs = 0
+    total_pairs = 0
+    for i in range(len(vocabularies)):
+        for j in range(i + 1, len(vocabularies)):
+            total_pairs += 1
+            if vocabularies[i] & vocabularies[j]:
+                overlapping_pairs += 1
+    assert overlapping_pairs == total_pairs
+
+
+def test_users_remain_distinguishable(small_log):
+    """The counterweight: despite shared mass, users keep private signal —
+    each active user has terms rarely used by the others."""
+    users = small_log.most_active_users(6)
+    counters = []
+    for user in users:
+        counter = Counter()
+        for query in small_log.queries_of(user):
+            counter.update(tokenize(query.text))
+        counters.append(counter)
+    for index, counter in enumerate(counters):
+        others = Counter()
+        for j, other in enumerate(counters):
+            if j != index:
+                others.update(other)
+        top_terms = [t for t, _ in counter.most_common(15)]
+        distinctive = [
+            t for t in top_terms
+            if counter[t] > 3 * max(1, others.get(t, 0))
+        ]
+        assert distinctive, f"user {users[index]} has no private signal"
+
+
+def test_query_lengths_match_web_search(small_log):
+    """Mean query length in the 1-4 word range, like real search logs."""
+    lengths = [len(tokenize(q.text)) for q in small_log]
+    mean = sum(lengths) / len(lengths)
+    assert 1.0 <= mean <= 4.0
+    assert max(lengths) <= 8

@@ -1,0 +1,88 @@
+"""The analytical adversary-model comparison, cross-checked empirically."""
+
+import pytest
+
+from repro.analysis import (
+    SYSTEM_MODELS,
+    dominates,
+    format_comparison_table,
+    obfuscation_never_hurts,
+    ranked_by_privacy,
+    uninformed_guess_rate,
+)
+from repro.errors import ExperimentError
+
+
+def test_every_discussed_system_is_modelled():
+    assert set(SYSTEM_MODELS) == {
+        "Direct", "TrackMeNot", "GooPIR", "QueryScrambler", "Tor", "RAC",
+        "Dissent", "PEAS", "PIR-engine", "X-Search",
+    }
+
+
+def test_xsearch_dominates_its_competitors():
+    """The paper's central analytical claim: X-Search Pareto-dominates
+    every system that offers any protection at all."""
+    xsearch = SYSTEM_MODELS["X-Search"]
+    for name in ("Tor", "PEAS", "TrackMeNot", "GooPIR", "RAC", "Dissent"):
+        assert dominates(xsearch, SYSTEM_MODELS[name]), name
+
+
+def test_nothing_dominates_xsearch():
+    xsearch = SYSTEM_MODELS["X-Search"]
+    for name, model in SYSTEM_MODELS.items():
+        if name != "X-Search":
+            assert not dominates(model, xsearch), name
+
+
+def test_peas_beats_tor_analytically():
+    # PEAS adds indistinguishability over Tor but loses Byzantine
+    # tolerance claims — neither dominates; PEAS scores higher overall.
+    peas, tor = SYSTEM_MODELS["PEAS"], SYSTEM_MODELS["Tor"]
+    assert peas.privacy_score() > tor.privacy_score()
+
+
+def test_ranking_puts_xsearch_first():
+    assert ranked_by_privacy()[0].name == "X-Search"
+
+
+def test_table_renders_all_rows():
+    table = format_comparison_table()
+    for name in SYSTEM_MODELS:
+        assert name in table
+    assert "byz-proxy" in table
+
+
+def test_dominance_is_irreflexive():
+    for model in SYSTEM_MODELS.values():
+        assert not dominates(model, model)
+
+
+# ---------------------------------------------------------------------------
+# Guessing bounds vs the empirical Figure 3
+# ---------------------------------------------------------------------------
+
+def test_uninformed_guess_rate():
+    assert uninformed_guess_rate(0, 0.4) == 0.4
+    assert uninformed_guess_rate(3, 0.4) == pytest.approx(0.1)
+    with pytest.raises(ExperimentError):
+        uninformed_guess_rate(-1, 0.4)
+    with pytest.raises(ExperimentError):
+        uninformed_guess_rate(1, 1.4)
+
+
+def test_fig3_rates_respect_the_analytical_relations(fast_context):
+    """Empirical cross-check: measured rates never exceed the k=0 base
+    rate, and X-Search approaches the uninformed-guess floor."""
+    from repro.experiments import fig3_reidentification
+
+    result = fig3_reidentification.run(
+        fast_context, k_values=(0, 3), per_user=2
+    )
+    base = result.xsearch_rates[0]
+    protected = result.xsearch_rates[1]
+    assert obfuscation_never_hurts(base, protected)
+    floor = uninformed_guess_rate(3, base)
+    # The measured rate sits between the perfect-fakes floor and the
+    # unprotected base rate.
+    assert floor * 0.5 <= protected <= base

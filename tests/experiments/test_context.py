@@ -1,0 +1,39 @@
+"""Shared experiment context."""
+
+from repro.experiments.context import ContextConfig, ExperimentContext
+
+
+def test_fast_preset_is_smaller():
+    fast = ContextConfig.fast()
+    full = ContextConfig()
+    assert fast.n_users < full.n_users
+    assert fast.focus_users < full.focus_users
+
+
+def test_context_builds_consistent_state(fast_context):
+    assert len(fast_context.focus_users) == fast_context.config.focus_users
+    assert set(fast_context.profiles) == set(fast_context.focus_users)
+    assert fast_context.attack.known_users == sorted(fast_context.focus_users)
+    assert len(fast_context.train) + len(fast_context.test) == len(
+        fast_context.log
+    )
+
+
+def test_context_is_lazy_and_cached(fast_context):
+    assert fast_context.engine is fast_context.engine
+    assert fast_context.cooccurrence is fast_context.cooccurrence
+    assert fast_context.attack is fast_context.attack
+
+
+def test_sampling_is_deterministic(fast_context):
+    a = fast_context.sample_test_queries(per_user=1)
+    b = fast_context.sample_test_queries(per_user=1)
+    assert a == b
+    assert len(a) <= fast_context.config.focus_users
+
+
+def test_sampling_offset_changes_sample(fast_context):
+    a = fast_context.sample_random_test_texts(10, seed_offset=0)
+    b = fast_context.sample_random_test_texts(10, seed_offset=1)
+    assert a != b
+    assert len(a) == 10

@@ -1,0 +1,66 @@
+"""Reproducibility guarantees: everything is deterministic from the seed.
+
+This repository is a reproduction artifact — its own results must be
+exactly re-derivable.  Same seed → bit-identical experiment outputs;
+different seed → different dataset (no hidden global state).
+"""
+
+from repro.experiments import fig3_reidentification, fig5_throughput_latency, fig7_round_trip
+from repro.experiments.context import ContextConfig, ExperimentContext
+
+
+def tiny_config(seed=42):
+    return ContextConfig(n_users=60, mean_queries_per_user=40.0,
+                         focus_users=15, queries_per_user=1, seed=seed)
+
+
+def test_fig3_deterministic_across_fresh_contexts():
+    a = fig3_reidentification.run(
+        ExperimentContext(tiny_config()), k_values=(0, 2)
+    )
+    b = fig3_reidentification.run(
+        ExperimentContext(tiny_config()), k_values=(0, 2)
+    )
+    assert a.xsearch_rates == b.xsearch_rates
+    assert a.peas_rates == b.peas_rates
+
+
+def test_fig3_seed_changes_results():
+    a = fig3_reidentification.run(
+        ExperimentContext(tiny_config(seed=1)), k_values=(0,)
+    )
+    b = fig3_reidentification.run(
+        ExperimentContext(tiny_config(seed=2)), k_values=(0,)
+    )
+    # Different synthetic logs: the base rates should not coincide exactly
+    # AND be derived from identical query sets.
+    context_a = ExperimentContext(tiny_config(seed=1))
+    context_b = ExperimentContext(tiny_config(seed=2))
+    assert [q.text for q in context_a.log][:20] != \
+        [q.text for q in context_b.log][:20]
+
+
+def test_fig5_deterministic():
+    a = fig5_throughput_latency.run(duration_seconds=0.3)
+    b = fig5_throughput_latency.run(duration_seconds=0.3)
+    for name in a.series:
+        assert [p.p50_latency for p in a.series[name]] == \
+            [p.p50_latency for p in b.series[name]]
+
+
+def test_fig7_deterministic():
+    a = fig7_round_trip.run(n_queries=30, seed=5)
+    b = fig7_round_trip.run(n_queries=30, seed=5)
+    for scenario in ("Direct", "X-Search", "Tor"):
+        assert a.median(scenario) == b.median(scenario)
+        assert a.p99(scenario) == b.p99(scenario)
+
+
+def test_dataset_identical_across_processes_style_rebuild():
+    """The context rebuilds the exact same adversary state from a seed."""
+    a = ExperimentContext(tiny_config())
+    b = ExperimentContext(tiny_config())
+    assert a.focus_users == b.focus_users
+    assert a.sample_test_queries() == b.sample_test_queries()
+    user = a.focus_users[0]
+    assert a.profiles[user].query_texts == b.profiles[user].query_texts

@@ -1,0 +1,65 @@
+"""Input validation and small invariants of the experiment modules."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    fig1_fake_queries,
+    fig3_reidentification,
+    fig4_accuracy,
+    fig6_memory,
+    fig7_round_trip,
+)
+
+
+def test_fig1_rejects_zero_fakes(fast_context):
+    with pytest.raises(ExperimentError):
+        fig1_fake_queries.run(fast_context, n_fakes=0)
+
+
+def test_fig1_can_exclude_xsearch_series(fast_context):
+    result = fig1_fake_queries.run(
+        fast_context, n_fakes=20, include_xsearch=False
+    )
+    assert set(result.series) == {"PEAS", "TMN"}
+
+
+def test_fig3_rejects_empty_k_values(fast_context):
+    with pytest.raises(ExperimentError):
+        fig3_reidentification.run(fast_context, k_values=())
+
+
+def test_fig3_improvement_computation():
+    result = fig3_reidentification.Fig3Result(
+        k_values=(1,), xsearch_rates=[0.15], peas_rates=[0.20], n_queries=10
+    )
+    assert result.improvement(0) == pytest.approx(0.25)
+    zero = fig3_reidentification.Fig3Result(
+        k_values=(1,), xsearch_rates=[0.0], peas_rates=[0.0], n_queries=10
+    )
+    assert zero.improvement(0) == 0.0
+
+
+def test_fig4_validates_parameters(fast_context):
+    with pytest.raises(ExperimentError):
+        fig4_accuracy.run(fast_context, queries_per_k=0)
+    with pytest.raises(ExperimentError):
+        fig4_accuracy.run(fast_context, depth=0)
+
+
+def test_fig6_validates_parameters():
+    with pytest.raises(ExperimentError):
+        fig6_memory.run(max_queries=0)
+    with pytest.raises(ExperimentError):
+        fig6_memory.run(max_queries=100, samples=0)
+
+
+def test_fig7_validates_parameters():
+    with pytest.raises(ExperimentError):
+        fig7_round_trip.run(n_queries=0)
+
+
+def test_fig7_cdf_accessor():
+    result = fig7_round_trip.run(n_queries=20)
+    cdf = result.cdf("Tor", points=10)
+    assert cdf[-1][1] == 1.0

@@ -1,0 +1,205 @@
+"""Every figure module at CI scale: the paper's qualitative conclusions.
+
+These are the repository's reproduction guarantees: each test asserts the
+*shape* of a paper result (who wins, what is monotone, where thresholds
+sit), not absolute values.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig1_fake_queries,
+    fig3_reidentification,
+    fig4_accuracy,
+    fig5_throughput_latency,
+    fig6_memory,
+    fig7_round_trip,
+)
+
+
+@pytest.fixture(scope="module")
+def fig1(fast_context):
+    return fig1_fake_queries.run(fast_context, n_fakes=120)
+
+
+@pytest.fixture(scope="module")
+def fig3(fast_context):
+    return fig3_reidentification.run(fast_context, k_values=(0, 1, 3))
+
+
+@pytest.fixture(scope="module")
+def fig4(fast_context):
+    return fig4_accuracy.run(
+        fast_context, k_values=(0, 2, 5), queries_per_k=20
+    )
+
+
+def ccdf_at(result, name, threshold):
+    index = result.thresholds.index(threshold)
+    return result.series[name][index]
+
+
+# ---------------------------------------------------------------------------
+# Figure 1
+# ---------------------------------------------------------------------------
+
+def test_fig1_most_fakes_are_original(fig1):
+    """PEAS and TMN fakes almost never equal a real query exactly."""
+    assert ccdf_at(fig1, "PEAS", 1.0) < 0.35
+    assert ccdf_at(fig1, "TMN", 1.0) < 0.05
+
+
+def test_fig1_tmn_far_from_real_traffic(fig1):
+    # RSS-derived fakes are out-of-distribution: most have low similarity.
+    assert ccdf_at(fig1, "TMN", 0.5) < 0.5
+
+
+def test_fig1_xsearch_fakes_are_real_queries(fig1):
+    assert ccdf_at(fig1, "X-Search", 1.0) == 1.0
+
+
+def test_fig1_ccdf_monotone_non_increasing(fig1):
+    for name, values in fig1.series.items():
+        assert all(a >= b for a, b in zip(values, values[1:])), name
+
+
+# ---------------------------------------------------------------------------
+# Figure 3
+# ---------------------------------------------------------------------------
+
+def test_fig3_unprotected_rate_substantial(fig3):
+    assert fig3.xsearch_rates[0] > 0.25  # ~40% in the paper
+
+
+def test_fig3_obfuscation_helps(fig3):
+    assert fig3.xsearch_rates[1] < fig3.xsearch_rates[0]
+    assert fig3.xsearch_rates[2] < fig3.xsearch_rates[0]
+
+
+def test_fig3_xsearch_beats_peas(fig3):
+    for index, k in enumerate(fig3.k_values):
+        if k == 0:
+            continue
+        assert fig3.xsearch_rates[index] <= fig3.peas_rates[index], k
+
+
+def test_fig3_k0_equivalent_for_both(fig3):
+    assert fig3.xsearch_rates[0] == fig3.peas_rates[0]
+
+
+# ---------------------------------------------------------------------------
+# Figure 4
+# ---------------------------------------------------------------------------
+
+def test_fig4_k0_is_lossless(fig4):
+    assert fig4.precisions[0] == pytest.approx(1.0)
+    assert fig4.recalls[0] == pytest.approx(1.0)
+
+
+def test_fig4_above_08_at_k2(fig4):
+    index = fig4.k_values.index(2)
+    assert fig4.precisions[index] > 0.8
+    assert fig4.recalls[index] > 0.8
+
+
+def test_fig4_degrades_slowly(fig4):
+    assert fig4.precisions[-1] > 0.6
+    assert fig4.recalls[-1] > 0.6
+    assert fig4.precisions[0] >= fig4.precisions[-1]
+
+
+# ---------------------------------------------------------------------------
+# Figure 5
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def fig5():
+    return fig5_throughput_latency.run(duration_seconds=0.5)
+
+
+def test_fig5_throughput_ordering(fig5):
+    assert fig5.ordering_holds()
+
+
+def test_fig5_xsearch_sustains_tens_of_thousands(fig5):
+    assert fig5.saturation["X-Search"] >= 20_000
+
+
+def test_fig5_peas_saturates_around_1k(fig5):
+    assert 500 <= fig5.saturation["PEAS"] <= 2_000
+
+
+def test_fig5_tor_saturates_around_100(fig5):
+    assert 50 <= fig5.saturation["Tor"] <= 200
+
+
+def test_fig5_latency_explodes_past_saturation(fig5):
+    for name, points in fig5.series.items():
+        below = [p for p in points
+                 if p.offered_rps <= fig5.saturation[name]]
+        above = [p for p in points
+                 if p.offered_rps > 1.2 * fig5.saturation[name]]
+        if below and above:
+            assert min(p.p50_latency for p in above) > \
+                max(p.p50_latency for p in below), name
+
+
+# ---------------------------------------------------------------------------
+# Figure 6
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def fig6():
+    return fig6_memory.run(max_queries=50_000, samples=5)
+
+
+def test_fig6_memory_grows_linearly(fig6):
+    ys = fig6.occupancy_bytes
+    xs = fig6.queries_stored
+    # Linearity: per-query cost stable within 20% across checkpoints.
+    per_query = [y / x for x, y in zip(xs[1:], ys[1:])]
+    assert max(per_query) < 1.2 * min(per_query)
+
+
+def test_fig6_epc_fits_over_a_million_queries(fig6):
+    assert fig6.queries_fitting_epc > 1_000_000
+
+
+def test_fig6_usable_epc_is_90mb(fig6):
+    assert fig6.usable_epc_bytes == 90 * 1024 * 1024
+
+
+def test_fig6_unique_query_stream_is_unique():
+    stream = fig6_memory.unique_query_stream(seed=1)
+    texts = [next(stream) for _ in range(5000)]
+    assert len(set(texts)) == len(texts)
+
+
+# ---------------------------------------------------------------------------
+# Figure 7
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def fig7():
+    return fig7_round_trip.run(n_queries=300, seed=4)
+
+
+def test_fig7_ordering(fig7):
+    assert fig7.median("Direct") < fig7.median("X-Search") < fig7.median("Tor")
+
+
+def test_fig7_xsearch_usable(fig7):
+    assert 0.4 < fig7.median("X-Search") < 0.75
+    assert fig7.p99("X-Search") < 1.1
+
+
+def test_fig7_tor_exceeds_usability_margins(fig7):
+    assert fig7.median("Tor") > 0.9
+    assert fig7.p99("Tor") > 1.8
+
+
+def test_fig7_cdf_shape(fig7):
+    cdf = fig7.cdf("X-Search")
+    ys = [y for _, y in cdf]
+    assert ys == sorted(ys)
+    assert ys[-1] == 1.0

@@ -1,0 +1,31 @@
+"""The markdown report generator and its CLI entry point."""
+
+import pytest
+
+from repro.experiments import report, runner
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    return report.generate_report(fast=True)
+
+
+def test_report_contains_every_section(report_text):
+    for figure in ("Figure 1", "Figure 3", "Figure 4", "Figure 5",
+                   "Figure 6", "Figure 7"):
+        assert figure in report_text
+    assert "Adversary-model comparison" in report_text
+    assert "X-Search" in report_text
+
+
+def test_report_tables_are_fenced(report_text):
+    assert report_text.count("```") % 2 == 0
+    assert report_text.count("```") >= 14  # 7 sections, open+close
+
+
+def test_report_cli_writes_file(tmp_path):
+    output = tmp_path / "report.md"
+    assert runner.main(["report", "--fast", "--output", str(output)]) == 0
+    content = output.read_text(encoding="utf-8")
+    assert content.startswith("# X-Search reproduction report")
+    assert "Figure 7" in content

@@ -1,0 +1,52 @@
+"""The Figure 5 service models: derivations and orderings."""
+
+import pytest
+
+from repro.experiments import service_models as sm
+
+
+def test_xsearch_service_includes_transition_costs():
+    """The X-Search service time is built from the SGX cost model: one
+    request ecall plus four socket ocalls."""
+    from repro.sgx.runtime import (
+        DEFAULT_CLOCK_HZ,
+        DEFAULT_ECALL_CYCLES,
+        DEFAULT_OCALL_CYCLES,
+    )
+
+    transitions = (
+        DEFAULT_ECALL_CYCLES + 4 * DEFAULT_OCALL_CYCLES
+    ) / DEFAULT_CLOCK_HZ
+    assert sm.XSEARCH_SERVICE.median_seconds > transitions
+    assert sm.XSEARCH_SERVICE.median_seconds == pytest.approx(
+        transitions + sm._XSEARCH_COMPUTE_SECONDS
+    )
+
+
+def test_capacity_ordering_matches_the_paper():
+    stations = [
+        sm.xsearch_station(),
+        sm.peas_station(),
+        sm.tor_station(),
+        sm.rac_station(),
+        sm.dissent_station(),
+    ]
+    capacities = [station.capacity_rps for station in stations]
+    assert capacities == sorted(capacities, reverse=True)
+    # Order-of-magnitude gaps between the paper's three systems.
+    assert capacities[0] > 10 * capacities[1] > 100 * capacities[2]
+
+
+def test_capacities_near_paper_saturation_points():
+    assert 25_000 <= sm.xsearch_station().capacity_rps <= 40_000
+    assert 900 <= sm.peas_station().capacity_rps <= 1_500
+    assert 90 <= sm.tor_station().capacity_rps <= 150
+
+
+def test_proxy_service_seconds_positive():
+    assert 0 < sm.xsearch_proxy_service_seconds() < 0.001
+
+
+def test_rac_and_dissent_below_tor():
+    assert sm.rac_station().capacity_rps < sm.tor_station().capacity_rps
+    assert sm.dissent_station().capacity_rps < sm.rac_station().capacity_rps

@@ -1,0 +1,120 @@
+"""Engine-side failure injection: outages and malformed responses.
+
+The search engine is outside every trust boundary; whatever it returns
+must be handled defensively by the enclave — surfaced as controlled
+errors, never as corrupted results silently handed to the user.
+"""
+
+import json
+
+import pytest
+
+from repro.core.protocol import SearchRequest
+from repro.core.proxy import XSearchProxyHost
+from repro.crypto.channel import HandshakeInitiator
+from repro.errors import NetworkError, ReproError
+from repro.search.tracking import TrackingSearchEngine
+
+
+@pytest.fixture()
+def proxy(small_engine):
+    return XSearchProxyHost(
+        TrackingSearchEngine(small_engine),
+        k=1,
+        history_capacity=100,
+        rng_seed=4,
+    )
+
+
+def session(proxy, session_id="s"):
+    initiator = HandshakeInitiator()
+    proxy.begin_session(session_id, initiator.hello())
+    return initiator.finish(proxy.channel_public())
+
+
+def search(proxy, endpoint, session_id="s", query="hotel rome"):
+    record = endpoint.encrypt(SearchRequest(query, 5).encode())
+    return proxy.request(session_id, record)
+
+
+def test_engine_http_error_surfaces(proxy, monkeypatch):
+    endpoint = session(proxy)
+
+    def failing_execute(subqueries, limit):
+        raise NetworkError("backend exploded")
+
+    monkeypatch.setattr(proxy.gateway, "_execute", failing_execute)
+    # The gateway catches nothing: the failure propagates as an error, not
+    # as fabricated results.
+    with pytest.raises(ReproError):
+        search(proxy, endpoint)
+
+
+def test_engine_500_response(proxy, monkeypatch):
+    endpoint = session(proxy)
+    from repro.core import gateway as gw
+
+    monkeypatch.setattr(
+        proxy.gateway, "_handle_request",
+        lambda request: gw._http_error(500, "internal error"),
+    )
+    with pytest.raises(NetworkError, match="HTTP 500"):
+        search(proxy, endpoint)
+
+
+def test_engine_malformed_json_body(proxy, monkeypatch):
+    endpoint = session(proxy)
+    from repro.core import gateway as gw
+
+    monkeypatch.setattr(
+        proxy.gateway, "_handle_request",
+        lambda request: gw._http_response(200, b"this is not json"),
+    )
+    with pytest.raises(NetworkError):
+        search(proxy, endpoint)
+
+
+def test_engine_truncated_response(proxy, monkeypatch):
+    endpoint = session(proxy)
+    from repro.core import gateway as gw
+
+    def truncating(request):
+        full = gw._http_response(200, json.dumps([]).encode())
+        return full[:len(full) // 2]
+
+    monkeypatch.setattr(proxy.gateway, "_handle_request", truncating)
+    with pytest.raises(NetworkError):
+        search(proxy, endpoint)
+
+
+def test_engine_empty_result_page_is_fine(proxy, monkeypatch):
+    from repro.core import gateway as gw
+    from repro.core.protocol import SearchResponse
+
+    endpoint = session(proxy)
+    monkeypatch.setattr(
+        proxy.gateway, "_handle_request",
+        lambda request: gw._http_response(200, b"[]"),
+    )
+    reply = search(proxy, endpoint)
+    response = SearchResponse.decode(endpoint.decrypt(reply))
+    assert response.results == ()
+
+
+def test_recovery_after_engine_failure(proxy, monkeypatch):
+    """A transient engine failure does not poison the session."""
+    from repro.core.protocol import SearchResponse
+    from repro.core import gateway as gw
+
+    endpoint = session(proxy)
+    original = proxy.gateway._handle_request
+    monkeypatch.setattr(
+        proxy.gateway, "_handle_request",
+        lambda request: gw._http_error(500, "flaky"),
+    )
+    with pytest.raises(NetworkError):
+        search(proxy, endpoint)
+    monkeypatch.setattr(proxy.gateway, "_handle_request", original)
+    reply = search(proxy, endpoint, query="diabetes symptoms")
+    response = SearchResponse.decode(endpoint.decrypt(reply))
+    assert response.results

@@ -1,0 +1,89 @@
+"""Fuzzing the attack surfaces: every decoder fails closed, never crashes.
+
+The host, the network and other clients are all untrusted in the §3
+adversary model, so every byte-level entry point must map arbitrary junk
+to a controlled :class:`~repro.errors.ReproError` (or a clean rejection),
+never to an unhandled exception or silent misbehaviour.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.gateway import parse_results_body, split_http_response
+from repro.core.protocol import (
+    SearchRequest,
+    SearchResponse,
+    decode_any_request,
+)
+from repro.crypto.aead import aead_decrypt
+from repro.crypto.https import decode_frames
+from repro.errors import ReproError
+
+junk = st.binary(min_size=0, max_size=300)
+
+
+@given(data=junk)
+@settings(max_examples=80, deadline=None)
+def test_protocol_decoders_fail_closed(data):
+    for decoder in (SearchRequest.decode, SearchResponse.decode,
+                    decode_any_request):
+        try:
+            decoder(data)
+        except ReproError:
+            pass  # controlled rejection
+
+
+@given(data=junk)
+@settings(max_examples=80, deadline=None)
+def test_http_splitter_fails_closed(data):
+    try:
+        split_http_response(data)
+    except ReproError:
+        pass
+
+
+@given(data=junk)
+@settings(max_examples=80, deadline=None)
+def test_results_parser_fails_closed(data):
+    try:
+        parse_results_body(data)
+    except ReproError:
+        pass
+
+
+@given(data=junk)
+@settings(max_examples=60, deadline=None)
+def test_aead_rejects_junk(data):
+    with pytest.raises(ReproError):
+        aead_decrypt(b"\x01" * 32, b"\x02" * 12, data + b"x" * 16)
+        raise AssertionError("junk must never decrypt")  # pragma: no cover
+
+
+@given(data=junk)
+@settings(max_examples=80, deadline=None)
+def test_frame_decoder_fails_closed(data):
+    try:
+        frames, rest = decode_frames(data)
+        # Whatever was decoded must re-encode to a prefix of the input.
+        assert isinstance(frames, list)
+        assert isinstance(rest, bytes)
+    except ReproError:
+        pass
+
+
+@given(record=junk)
+@settings(max_examples=40, deadline=None)
+def test_enclave_request_path_rejects_junk_records(record, deployment):
+    """Random bytes thrown at the proxy's request ecall never crash the
+    enclave; they fail with a controlled error."""
+    with pytest.raises(ReproError):
+        deployment.proxy.request(deployment.broker._session_id, record)
+
+
+@given(text=st.text(min_size=0, max_size=50))
+@settings(max_examples=40, deadline=None)
+def test_engine_tolerates_arbitrary_query_strings(text, small_engine):
+    """Any unicode query string yields a (possibly empty) result page."""
+    results = small_engine.search(text or "x", 5)
+    assert isinstance(results, list)

@@ -1,0 +1,75 @@
+"""Evaluation metrics: precision/recall, rates, distribution helpers."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.metrics.accuracy import precision_recall, result_url_set
+from repro.metrics.distributions import ccdf_points, cdf_points
+from repro.metrics.privacy import protection_level
+from repro.search.documents import SearchResult
+
+
+def result(url):
+    return SearchResult(rank=1, url=url, title="t", snippet="s", score=1.0)
+
+
+def test_precision_recall_perfect():
+    page = [result("http://a.example.com"), result("http://b.example.com")]
+    assert precision_recall(page, page) == (1.0, 1.0)
+
+
+def test_precision_recall_partial():
+    reference = [result("http://a.example.com"), result("http://b.example.com")]
+    system = [result("http://a.example.com"), result("http://c.example.com")]
+    precision, recall = precision_recall(reference, system)
+    assert precision == 0.5
+    assert recall == 0.5
+
+
+def test_precision_recall_empty_system():
+    reference = [result("http://a.example.com")]
+    assert precision_recall(reference, []) == (1.0, 0.0)
+
+
+def test_precision_recall_empty_reference():
+    system = [result("http://a.example.com")]
+    assert precision_recall([], system) == (0.0, 1.0)
+
+
+def test_precision_recall_both_empty():
+    assert precision_recall([], []) == (1.0, 1.0)
+
+
+def test_url_set_strips_tracking():
+    tracked = result(
+        "http://engine.example.com/redirect?target=http://real.example.com"
+    )
+    plain = result("http://real.example.com")
+    assert result_url_set([tracked]) == result_url_set([plain])
+
+
+def test_protection_level():
+    assert protection_level(0.0) == 1.0
+    assert protection_level(0.4) == pytest.approx(0.6)
+    with pytest.raises(ExperimentError):
+        protection_level(1.5)
+
+
+def test_cdf_points():
+    points = cdf_points([3, 1, 2], points=10)
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    assert xs == sorted(xs)
+    assert ys[-1] == 1.0
+    with pytest.raises(ExperimentError):
+        cdf_points([])
+
+
+def test_ccdf_points():
+    values = [0.1, 0.5, 0.9]
+    points = ccdf_points(values, [0.0, 0.5, 1.0])
+    assert points[0] == (0.0, 1.0)
+    assert points[1] == (0.5, pytest.approx(2 / 3))
+    assert points[2] == (1.0, 0.0)
+    with pytest.raises(ExperimentError):
+        ccdf_points([], [0.5])

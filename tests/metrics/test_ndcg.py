@@ -1,0 +1,84 @@
+"""nDCG rank-aware accuracy metric."""
+
+import math
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.metrics.ranking_quality import dcg, ndcg
+from repro.search.documents import SearchResult
+
+
+def result(url, rank=1):
+    return SearchResult(rank=rank, url=url, title="t", snippet="s", score=1.0)
+
+
+def page(*urls):
+    return [result(url, rank=i + 1) for i, url in enumerate(urls)]
+
+
+REFERENCE = page("http://a.example.com", "http://b.example.com",
+                 "http://c.example.com")
+
+
+def test_identical_list_scores_one():
+    assert ndcg(REFERENCE, REFERENCE) == pytest.approx(1.0)
+
+
+def test_empty_system_scores_zero():
+    assert ndcg(REFERENCE, []) == 0.0
+
+
+def test_both_empty_scores_one():
+    assert ndcg([], []) == 1.0
+
+
+def test_disjoint_lists_score_zero():
+    other = page("http://x.example.com", "http://y.example.com")
+    assert ndcg(REFERENCE, other) == 0.0
+
+
+def test_reordering_penalised():
+    reversed_page = page("http://c.example.com", "http://b.example.com",
+                         "http://a.example.com")
+    score = ndcg(REFERENCE, reversed_page)
+    assert 0.0 < score < 1.0
+
+
+def test_missing_tail_penalised_less_than_missing_head():
+    no_tail = page("http://a.example.com", "http://b.example.com")
+    no_head = page("http://b.example.com", "http://c.example.com")
+    assert ndcg(REFERENCE, no_tail) > ndcg(REFERENCE, no_head)
+
+
+def test_depth_truncates():
+    long_system = page(
+        "http://a.example.com", "http://x.example.com",
+        "http://b.example.com", "http://c.example.com",
+    )
+    shallow = ndcg(REFERENCE, long_system, depth=2)
+    deep = ndcg(REFERENCE, long_system, depth=4)
+    assert shallow != deep
+
+
+def test_tracking_urls_normalised():
+    tracked = [
+        SearchResult(
+            rank=1,
+            url="http://engine.example.com/redirect?target=http://a.example.com",
+            title="t", snippet="s", score=1.0,
+        )
+    ]
+    assert ndcg(page("http://a.example.com"), tracked) == pytest.approx(1.0)
+
+
+def test_dcg_values():
+    assert dcg([3, 2, 1]) == pytest.approx(
+        3 / math.log2(2) + 2 / math.log2(3) + 1 / math.log2(4)
+    )
+    assert dcg([]) == 0.0
+
+
+def test_depth_validated():
+    with pytest.raises(ExperimentError):
+        ndcg(REFERENCE, REFERENCE, depth=0)

@@ -1,0 +1,91 @@
+"""Latency recorder: exact and bucketed percentiles."""
+
+import random
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.net.histogram import LatencyRecorder
+
+
+def test_exact_percentiles():
+    recorder = LatencyRecorder(exact=True)
+    for value in [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0]:
+        recorder.record(value)
+    assert recorder.percentile(50) == 0.5
+    assert recorder.percentile(100) == 1.0
+    assert recorder.percentile(10) == 0.1
+    assert recorder.median == 0.5
+
+
+def test_bucketed_percentiles_close_to_exact():
+    rng = random.Random(5)
+    exact = LatencyRecorder(exact=True)
+    bucketed = LatencyRecorder()
+    for _ in range(5000):
+        value = rng.lognormvariate(-2.0, 0.5)
+        exact.record(value)
+        bucketed.record(value)
+    for p in (50, 90, 99):
+        assert bucketed.percentile(p) == pytest.approx(
+            exact.percentile(p), rel=0.03
+        )
+
+
+def test_mean_min_max():
+    recorder = LatencyRecorder()
+    for value in (1.0, 2.0, 3.0):
+        recorder.record(value)
+    assert recorder.mean == pytest.approx(2.0)
+    assert recorder.min == 1.0
+    assert recorder.max == 3.0
+    assert recorder.count == 3
+
+
+def test_cdf_monotone():
+    recorder = LatencyRecorder(exact=True)
+    rng = random.Random(1)
+    for _ in range(200):
+        recorder.record(rng.random())
+    cdf = recorder.cdf(20)
+    xs = [x for x, _ in cdf]
+    ys = [y for _, y in cdf]
+    assert xs == sorted(xs)
+    assert ys == sorted(ys)
+    assert ys[-1] == 1.0
+
+
+def test_bucketed_cdf_monotone():
+    recorder = LatencyRecorder()
+    rng = random.Random(2)
+    for _ in range(500):
+        recorder.record(rng.expovariate(10.0))
+    cdf = recorder.cdf()
+    ys = [y for _, y in cdf]
+    assert ys == sorted(ys)
+    assert ys[-1] == pytest.approx(1.0)
+
+
+def test_empty_recorder_errors():
+    recorder = LatencyRecorder()
+    with pytest.raises(ExperimentError):
+        recorder.percentile(50)
+    with pytest.raises(ExperimentError):
+        recorder.mean
+    with pytest.raises(ExperimentError):
+        recorder.cdf()
+
+
+def test_invalid_inputs():
+    recorder = LatencyRecorder()
+    with pytest.raises(ExperimentError):
+        recorder.record(-1.0)
+    recorder.record(0.5)
+    with pytest.raises(ExperimentError):
+        recorder.percentile(101)
+
+
+def test_sub_resolution_values_clamped():
+    recorder = LatencyRecorder()
+    recorder.record(1e-9)  # below the 1 µs floor
+    assert recorder.percentile(50) <= 2e-6

@@ -1,0 +1,79 @@
+"""Latency model sampling and the Figure 7 ordering."""
+
+import random
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.latency import LatencyModel, LogNormalDelay, NetworkPath
+
+
+def medians(samples):
+    ordered = sorted(samples)
+    return ordered[len(ordered) // 2]
+
+
+def test_network_path_sampling_positive():
+    path = NetworkPath(0.01, 0.02)
+    rng = random.Random(1)
+    for _ in range(100):
+        assert path.sample(rng) >= 0.01
+
+
+def test_network_path_no_jitter_is_constant():
+    path = NetworkPath(0.05)
+    rng = random.Random(1)
+    assert {path.sample(rng) for _ in range(10)} == {0.05}
+
+
+def test_network_path_validation():
+    with pytest.raises(NetworkError):
+        NetworkPath(-0.1)
+    with pytest.raises(NetworkError):
+        NetworkPath(0.1, -0.1)
+
+
+def test_lognormal_median_calibration():
+    delay = LogNormalDelay(0.2, 0.3)
+    rng = random.Random(2)
+    samples = [delay.sample(rng) for _ in range(4000)]
+    assert medians(samples) == pytest.approx(0.2, rel=0.05)
+
+
+def test_scenario_ordering():
+    model = LatencyModel()
+    rng = random.Random(3)
+    n = 2000
+    direct = [model.direct_round_trip(rng) for _ in range(n)]
+    xsearch = [
+        model.xsearch_round_trip(rng, k=3, proxy_service_seconds=3e-4)
+        for _ in range(n)
+    ]
+    tor = [model.tor_round_trip(rng) for _ in range(n)]
+    assert medians(direct) < medians(xsearch) < medians(tor)
+
+
+def test_xsearch_cost_grows_with_k():
+    model = LatencyModel()
+    rng_small = random.Random(4)
+    rng_large = random.Random(4)
+    small = [model.xsearch_round_trip(rng_small, k=0) for _ in range(500)]
+    large = [model.xsearch_round_trip(rng_large, k=7) for _ in range(500)]
+    assert medians(large) > medians(small)
+
+
+def test_tor_has_heavy_tail():
+    model = LatencyModel()
+    rng = random.Random(5)
+    samples = sorted(model.tor_round_trip(rng) for _ in range(3000))
+    p50 = samples[1500]
+    p99 = samples[2970]
+    assert p99 > 1.8 * p50  # congestion events stretch the tail
+
+
+def test_engine_delay_grows_with_subqueries():
+    model = LatencyModel()
+    rng_a, rng_b = random.Random(6), random.Random(6)
+    single = [model.engine_delay(rng_a, 1) for _ in range(500)]
+    merged = [model.engine_delay(rng_b, 4) for _ in range(500)]
+    assert medians(merged) > medians(single)

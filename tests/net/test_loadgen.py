@@ -1,0 +1,84 @@
+"""Open-loop load generation and sweep extraction."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.net.loadgen import (
+    OpenLoopLoadGenerator,
+    SweepPoint,
+    run_load,
+    saturation_rate,
+    sweep,
+)
+from repro.net.queueing import QueueingStation, ServiceTime
+
+
+def test_constant_rate_schedule():
+    generator = OpenLoopLoadGenerator(rate_rps=100, duration_seconds=1.0)
+    times = generator.arrival_times()
+    assert len(times) == 100
+    gaps = {round(b - a, 9) for a, b in zip(times, times[1:])}
+    assert gaps == {0.01}
+
+
+def test_poisson_schedule():
+    generator = OpenLoopLoadGenerator(
+        rate_rps=100, duration_seconds=1.0, poisson=True, seed=3
+    )
+    times = generator.arrival_times()
+    assert len(times) == 100
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    assert len(set(round(g, 9) for g in gaps)) > 10  # actually random
+
+
+def test_schedule_validation():
+    with pytest.raises(ExperimentError):
+        OpenLoopLoadGenerator(rate_rps=0, duration_seconds=1).arrival_times()
+    with pytest.raises(ExperimentError):
+        OpenLoopLoadGenerator(rate_rps=10, duration_seconds=0).arrival_times()
+    with pytest.raises(ExperimentError):
+        OpenLoopLoadGenerator(rate_rps=0.1, duration_seconds=1).arrival_times()
+
+
+def station():
+    return QueueingStation(
+        "s", workers=2, service=ServiceTime(0.001), seed=7
+    )
+
+
+def test_run_load():
+    run = run_load(station(), 100, duration_seconds=1.0)
+    assert run.offered == 100
+    assert run.throughput_rps > 0
+
+
+def test_sweep_points():
+    points = sweep(station(), [100, 500], duration_seconds=1.0)
+    assert len(points) == 2
+    assert points[0].offered_rps == 100
+    assert points[0].p50_latency <= points[0].p99_latency
+
+
+def test_saturation_rate_picks_highest_healthy_point():
+    points = [
+        SweepPoint(100, 100, 0.01, 0.01, 0.02),
+        SweepPoint(1000, 1000, 0.02, 0.02, 0.04),
+        SweepPoint(5000, 3000, 0.5, 0.4, 2.0),   # not keeping up
+        SweepPoint(10000, 3100, 5.0, 4.0, 9.0),  # melted
+    ]
+    assert saturation_rate(points) == 1000
+
+
+def test_saturation_rate_latency_budget():
+    points = [
+        SweepPoint(100, 100, 0.5, 0.5, 0.9),
+        SweepPoint(200, 200, 2.0, 2.0, 3.0),
+    ]
+    assert saturation_rate(points, latency_budget_seconds=1.0) == 100
+    assert saturation_rate(points, latency_budget_seconds=5.0) == 200
+
+
+def test_saturation_rate_p99_mode():
+    points = [SweepPoint(100, 100, 0.1, 0.1, 3.0)]
+    assert saturation_rate(points, percentile="p99") == 0.0
+    assert saturation_rate(points, percentile="p50") == 100

@@ -1,0 +1,71 @@
+"""Queueing station: saturation behaviour of the Figure 5 model."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.net.queueing import QueueingStation, ServiceTime
+
+
+def make_station(workers=2, median=0.001):
+    return QueueingStation(
+        "station", workers=workers, service=ServiceTime(median), seed=1
+    )
+
+
+def test_capacity_estimate():
+    station = make_station(workers=4, median=0.002)
+    assert station.capacity_rps == pytest.approx(
+        4 / ServiceTime(0.002).approximate_mean
+    )
+
+
+def test_below_capacity_latency_is_service_time():
+    station = make_station(workers=4, median=0.001)
+    arrivals = [i * 0.01 for i in range(500)]  # 100 req/s << capacity
+    run = station.run(arrivals)
+    assert run.latency.percentile(50) == pytest.approx(0.001, rel=0.3)
+
+
+def test_above_capacity_latency_explodes():
+    station = make_station(workers=1, median=0.01)  # ~100 req/s capacity
+    arrivals = [i / 500.0 for i in range(1000)]  # 500 req/s offered
+    run = station.run(arrivals)
+    assert run.latency.percentile(50) > 0.1  # queueing dominates
+
+
+def test_throughput_caps_at_capacity():
+    station = make_station(workers=1, median=0.01)
+    arrivals = [i / 1000.0 for i in range(2000)]  # 1000 req/s offered
+    run = station.run(arrivals)
+    assert run.throughput_rps < 150
+
+
+def test_latency_measured_from_scheduled_arrival():
+    """No coordinated omission: the second request's latency includes the
+    time it waited behind the first."""
+
+    class FixedService(ServiceTime):
+        def sample(self, rng):
+            return 1.0
+
+    station = QueueingStation(
+        "fixed", workers=1, service=FixedService(1.0, 0.0), seed=1
+    )
+    run = station.run([0.0, 0.0])
+    assert run.latency.max == pytest.approx(2.0, rel=0.01)
+
+
+def test_more_workers_more_throughput():
+    arrivals = [i / 400.0 for i in range(800)]
+    slow = make_station(workers=1, median=0.01).run(arrivals)
+    fast = make_station(workers=8, median=0.01).run(arrivals)
+    assert fast.latency.percentile(99) < slow.latency.percentile(99)
+
+
+def test_validation():
+    with pytest.raises(ExperimentError):
+        QueueingStation("x", workers=0, service=ServiceTime(0.001))
+    with pytest.raises(ExperimentError):
+        ServiceTime(0.0)
+    with pytest.raises(ExperimentError):
+        make_station().run([])

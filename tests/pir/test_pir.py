@@ -1,0 +1,133 @@
+"""Two-server PIR: correctness, privacy, collusion, costs."""
+
+import random
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.pir.database import BlockDatabase
+from repro.pir.protocol import PirClient, PirServer, collude
+
+
+def make_database(n=16, block_size=32):
+    records = [f"record {i}".encode() for i in range(n)]
+    return BlockDatabase(records, block_size=block_size)
+
+
+def make_stack(n=16):
+    database = make_database(n)
+    return (
+        PirServer(database, name="a"),
+        PirServer(database, name="b"),
+        PirClient(n, rng=random.Random(7)),
+        database,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Database
+# ---------------------------------------------------------------------------
+
+def test_blocks_padded_to_size():
+    database = make_database(block_size=32)
+    assert all(len(database.block(i)) == 32 for i in range(len(database)))
+
+
+def test_oversized_record_rejected():
+    with pytest.raises(ProtocolError):
+        BlockDatabase([b"x" * 100], block_size=32)
+
+
+def test_empty_database_rejected():
+    with pytest.raises(ProtocolError):
+        BlockDatabase([], block_size=32)
+
+
+def test_xor_subset_touches_every_block():
+    database = make_database(8)
+    _, scanned = database.xor_subset({0})
+    assert scanned == 8  # obliviousness requires a full scan
+
+
+def test_xor_subset_out_of_range_rejected():
+    database = make_database(8)
+    with pytest.raises(ProtocolError):
+        database.xor_subset({99})
+
+
+# ---------------------------------------------------------------------------
+# Retrieval correctness
+# ---------------------------------------------------------------------------
+
+def test_every_block_retrievable():
+    server_a, server_b, client, database = make_stack(16)
+    for index in range(16):
+        assert client.retrieve(index, server_a, server_b) == \
+            database.block(index)
+
+
+def test_retrieval_index_validated():
+    _, _, client, _ = make_stack(4)
+    with pytest.raises(ProtocolError):
+        client.build_query(4)
+
+
+# ---------------------------------------------------------------------------
+# Privacy
+# ---------------------------------------------------------------------------
+
+def test_single_server_view_is_index_independent():
+    """Each server's subset has ~uniform marginal inclusion per block,
+    whatever index is retrieved: a lone server learns nothing."""
+    n = 12
+    rng = random.Random(3)
+    inclusion = [0] * n
+    rounds = 400
+    client = PirClient(n, rng=rng)
+    for r in range(rounds):
+        subset_a, _ = client.build_query(r % n)
+        for i in subset_a:
+            inclusion[i] += 1
+    for count in inclusion:
+        assert 0.35 * rounds < count < 0.65 * rounds
+
+
+def test_subsets_differ_in_exactly_the_target():
+    _, _, client, _ = make_stack(10)
+    for index in range(10):
+        subset_a, subset_b = client.build_query(index)
+        assert set(subset_a) ^ set(subset_b) == {index}
+
+
+def test_collusion_reveals_the_index():
+    server_a, server_b, client, _ = make_stack(10)
+    client.retrieve(7, server_a, server_b)
+    leaked = collude(server_a.observations[-1], server_b.observations[-1])
+    assert leaked == 7
+
+
+def test_collude_rejects_mismatched_observations():
+    server_a, server_b, client, _ = make_stack(10)
+    client.retrieve(1, server_a, server_b)
+    client.retrieve(2, server_a, server_b)
+    with pytest.raises(ProtocolError):
+        collude(server_a.observations[0], server_b.observations[1])
+
+
+# ---------------------------------------------------------------------------
+# Costs
+# ---------------------------------------------------------------------------
+
+def test_communication_accounting():
+    server_a, server_b, client, database = make_stack(16)
+    client.retrieve(3, server_a, server_b)
+    assert client.bytes_downloaded == 2 * database.block_size
+    assert client.bytes_uploaded == 2 * ((16 + 7) // 8)
+
+
+def test_server_work_scales_with_database():
+    for n in (8, 64):
+        server_a, server_b, client, _ = make_stack(n)
+        client.retrieve(0, server_a, server_b)
+        assert server_a.blocks_scanned_total == n
+        assert server_b.blocks_scanned_total == n

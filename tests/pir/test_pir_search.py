@@ -1,0 +1,72 @@
+"""The PIR-based private search engine."""
+
+import random
+
+import pytest
+
+from repro.errors import SearchError
+from repro.pir.search import PirSearchService, PirWebSearchClient
+from repro.search.corpus import CorpusConfig, CorpusGenerator
+
+
+@pytest.fixture(scope="module")
+def service():
+    documents = CorpusGenerator(
+        CorpusConfig(docs_per_topic=8), seed=4
+    ).generate()
+    return PirSearchService(documents, block_size=2048)
+
+
+def client_for(service):
+    return PirWebSearchClient(service, rng=random.Random(9))
+
+
+def test_search_returns_relevant_documents(service):
+    client = client_for(service)
+    results = client.search("hotel flight rome", limit=5)
+    assert results
+    assert any("travel" in r.url for r in results)
+
+
+def test_results_ranked_and_capped(service):
+    client = client_for(service)
+    results = client.search("hotel", limit=5)
+    assert len(results) <= 5
+    assert [r.rank for r in results] == list(range(1, len(results) + 1))
+    assert all(results[i].score >= results[i + 1].score
+               for i in range(len(results) - 1))
+
+
+def test_servers_never_see_the_query(service):
+    client = client_for(service)
+    before = len(service.server_a.observations)
+    client.search("secret illness query diabetes", limit=3)
+    # What reached the servers: only random-looking index subsets.
+    for observation in service.server_a.observations[before:]:
+        assert isinstance(observation.subset, frozenset)
+    # The term never appears anywhere in the server-visible state.
+    assert all(
+        not hasattr(observation, "query")
+        for observation in service.server_a.observations
+    )
+
+
+def test_stopword_query_returns_empty(service):
+    assert client_for(service).search("the of and") == []
+
+
+def test_unknown_terms_return_empty(service):
+    assert client_for(service).search("zzzunknownterm") == []
+
+
+def test_per_query_server_cost_is_full_scan(service):
+    client = client_for(service)
+    before = service.server_a.blocks_scanned_total
+    client.search("hotel", limit=3)
+    scanned = service.server_a.blocks_scanned_total - before
+    assert scanned == 3 * service.n_blocks  # 3 retrievals × full DB scan
+
+
+def test_empty_corpus_rejected():
+    with pytest.raises(SearchError):
+        PirSearchService([])

@@ -1,0 +1,145 @@
+"""Search engine: result pages, OR merging, tracking URLs, corpus."""
+
+import pytest
+
+from repro.errors import SearchError
+from repro.search.corpus import CorpusConfig, CorpusGenerator
+from repro.search.engine import SearchEngine
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return SearchEngine.with_synthetic_corpus(
+        seed=3, config=CorpusConfig(docs_per_topic=40)
+    )
+
+
+def test_results_are_topical(engine):
+    results = engine.search("cheap hotel rome flight", 10)
+    assert results
+    assert any("travel" in r.url for r in results[:5])
+
+
+def test_limit_respected(engine):
+    assert len(engine.search("hotel", 5)) == 5
+
+
+def test_ranks_sequential(engine):
+    results = engine.search("hotel flight", 10)
+    assert [r.rank for r in results] == list(range(1, len(results) + 1))
+
+
+def test_scores_descending(engine):
+    results = engine.search("hotel flight", 10)
+    assert all(results[i].score >= results[i + 1].score
+               for i in range(len(results) - 1))
+
+
+def test_stopword_only_query_returns_empty_page(engine):
+    assert engine.search("the of and", 10) == []
+
+
+def test_limit_must_be_positive(engine):
+    with pytest.raises(SearchError):
+        engine.search("hotel", 0)
+
+
+def test_tracking_redirects_present_and_strippable(engine):
+    result = engine.search("hotel", 1)[0]
+    assert result.url.startswith("http://engine.example.com/redirect?target=")
+    assert result.strip_tracking().url.startswith("http://www.")
+
+
+def test_snippets_contain_query_context(engine):
+    results = engine.search("diabetes symptoms", 5)
+    assert any(
+        "diabetes" in r.snippet or "symptoms" in r.snippet for r in results
+    )
+
+
+def test_search_or_merges_and_dedupes(engine):
+    merged = engine.search_or(["hotel rome", "diabetes symptoms"], 10)
+    urls = [r.url for r in merged]
+    assert len(urls) == len(set(urls))
+    assert len(merged) > 10  # more than one page's worth
+    assert [r.rank for r in merged] == list(range(1, len(merged) + 1))
+
+
+def test_search_or_interleaves_subqueries(engine):
+    merged = engine.search_or(["hotel rome", "diabetes symptoms"], 10)
+    top_urls = " ".join(r.url for r in merged[:4])
+    assert "travel" in top_urls and "health" in top_urls
+
+
+def test_search_or_single_subquery_equals_search(engine):
+    assert [r.url for r in engine.search_or(["hotel rome"], 10)] == [
+        r.url for r in engine.search("hotel rome", 10)
+    ]
+
+
+def test_search_or_requires_subqueries(engine):
+    with pytest.raises(SearchError):
+        engine.search_or([], 10)
+
+
+def test_queries_served_counter(engine):
+    before = engine.queries_served
+    engine.search("hotel", 1)
+    assert engine.queries_served == before + 1
+
+
+def test_pagination_offsets(engine):
+    first_page = engine.search("hotel", 10)
+    second_page = engine.search("hotel", 10, offset=10)
+    assert len(second_page) == 10
+    assert [r.rank for r in second_page] == list(range(11, 21))
+    assert not set(r.url for r in first_page) & set(r.url for r in second_page)
+
+
+def test_pagination_concatenates_to_deep_page(engine):
+    deep = engine.search("hotel", 20)
+    paged = engine.search("hotel", 10) + engine.search("hotel", 10, offset=10)
+    assert [r.url for r in deep] == [r.url for r in paged]
+
+
+def test_pagination_past_the_end(engine):
+    assert engine.search("hotel", 10, offset=100_000) == []
+
+
+def test_negative_offset_rejected(engine):
+    with pytest.raises(SearchError):
+        engine.search("hotel", 10, offset=-1)
+
+
+# ---------------------------------------------------------------------------
+# Corpus generator
+# ---------------------------------------------------------------------------
+
+def test_corpus_is_deterministic():
+    a = CorpusGenerator(CorpusConfig(docs_per_topic=5), seed=9).generate()
+    b = CorpusGenerator(CorpusConfig(docs_per_topic=5), seed=9).generate()
+    assert [d.url for d in a] == [d.url for d in b]
+    assert [d.body for d in a] == [d.body for d in b]
+
+
+def test_corpus_counts():
+    docs = CorpusGenerator(CorpusConfig(docs_per_topic=5), seed=9).generate()
+    from repro.datasets.topics import TOPIC_TERMS
+
+    assert len(docs) == 5 * len(TOPIC_TERMS)
+    assert len({d.doc_id for d in docs}) == len(docs)
+
+
+def test_corpus_titles_topical():
+    docs = CorpusGenerator(CorpusConfig(docs_per_topic=3), seed=9).generate()
+    from repro.datasets.topics import TOPIC_TERMS, MODIFIERS
+
+    travel_docs = [d for d in docs if "travel" in d.url]
+    vocabulary = set(TOPIC_TERMS["travel"]) | set(MODIFIERS)
+    for document in travel_docs:
+        assert set(document.title.split()) <= vocabulary
+
+
+def test_corpus_config_validation():
+    with pytest.raises(SearchError):
+        CorpusGenerator(CorpusConfig(docs_per_topic=0), seed=1).generate()

@@ -1,0 +1,75 @@
+"""BM25 ranking semantics."""
+
+import pytest
+
+from repro.search.documents import WebDocument
+from repro.search.index import InvertedIndex
+from repro.search.ranking import Bm25Parameters, Bm25Ranker
+
+
+def build(docs):
+    idx = InvertedIndex()
+    for i, (title, body) in enumerate(docs):
+        idx.add(WebDocument(doc_id=i, url=f"http://d{i}.example.com",
+                            title=title, body=body))
+    return idx, Bm25Ranker(idx)
+
+
+def test_exact_topic_document_ranks_first():
+    idx, ranker = build([
+        ("hotel rome", "hotel rome hotel rome booking"),
+        ("gardening tips", "roses and soil and compost"),
+        ("rome history", "the roman empire ancient rome"),
+    ])
+    top = ranker.top(["hotel", "rome"], 3)
+    assert top[0][0] == 0
+
+
+def test_disjunctive_matching():
+    idx, ranker = build([
+        ("hotel", "hotel"),
+        ("rome", "rome"),
+        ("unrelated", "gardening"),
+    ])
+    scores = ranker.score(["hotel", "rome"])
+    assert set(scores) == {0, 1}  # any matching term qualifies
+
+
+def test_absent_term_scores_nothing():
+    idx, ranker = build([("a", "b")])
+    assert ranker.score(["missing"]) == {}
+
+
+def test_rare_terms_weigh_more():
+    idx, ranker = build([
+        ("common rare", "common rare"),
+        ("common", "common common"),
+        ("common", "common"),
+        ("common", "common"),
+    ])
+    scores = ranker.score(["rare"])
+    common_scores = ranker.score(["common"])
+    assert scores[0] > common_scores[0]
+
+
+def test_top_respects_limit_and_order():
+    idx, ranker = build([(f"term{i}", "shared word") for i in range(5)])
+    top = ranker.top(["shared"], 3)
+    assert len(top) == 3
+    assert all(top[i][1] >= top[i + 1][1] for i in range(len(top) - 1))
+
+
+def test_duplicate_query_terms_do_not_double_count():
+    idx, ranker = build([("hotel", "hotel")])
+    once = ranker.score(["hotel"])
+    twice = ranker.score(["hotel", "hotel"])
+    assert once == twice
+
+
+def test_parameters_are_applied():
+    docs = [("hotel", "hotel " * 30), ("hotel", "hotel")]
+    idx, _ = build(docs)
+    flat = Bm25Ranker(idx, Bm25Parameters(k1=0.01, b=0.0)).score(["hotel"])
+    spiky = Bm25Ranker(idx, Bm25Parameters(k1=2.0, b=0.0)).score(["hotel"])
+    # With tiny k1, term-frequency saturation flattens the scores.
+    assert abs(flat[0] - flat[1]) < abs(spiky[0] - spiky[1])

@@ -1,0 +1,75 @@
+"""Shared tokenisation and similarity primitives."""
+
+from collections import Counter
+
+from repro.textutils import (
+    cosine_similarity,
+    nb_common_words,
+    normalize,
+    term_vector,
+    tokenize,
+)
+
+
+def test_tokenize_lowercases_and_splits():
+    assert tokenize("Cheap HOTEL Rome!") == ["cheap", "hotel", "rome"]
+
+
+def test_tokenize_keeps_numbers():
+    assert tokenize("windows 95 drivers") == ["windows", "95", "drivers"]
+
+
+def test_tokenize_drop_stopwords():
+    assert tokenize("the best of rome", drop_stopwords=True) == ["best", "rome"]
+
+
+def test_tokenize_keeps_stopwords_by_default():
+    assert "the" in tokenize("the best of rome")
+
+
+def test_tokenize_empty():
+    assert tokenize("") == []
+    assert tokenize("!!! ???") == []
+
+
+def test_normalize():
+    assert normalize("  HeLLo ") == "hello"
+
+
+def test_term_vector_counts():
+    assert term_vector("rome rome hotel") == Counter(
+        {"rome": 2, "hotel": 1}
+    )
+
+
+def test_cosine_identical_is_one():
+    v = term_vector("cheap hotel rome")
+    assert cosine_similarity(v, v) == 1.0 or abs(cosine_similarity(v, v) - 1.0) < 1e-12
+
+
+def test_cosine_disjoint_is_zero():
+    assert cosine_similarity(term_vector("hotel"), term_vector("diabetes")) == 0.0
+
+
+def test_cosine_partial_overlap_between_zero_and_one():
+    sim = cosine_similarity(term_vector("cheap hotel"), term_vector("hotel rome"))
+    assert 0.0 < sim < 1.0
+
+
+def test_cosine_empty_vector():
+    assert cosine_similarity(Counter(), term_vector("hotel")) == 0.0
+
+
+def test_cosine_symmetric():
+    a, b = term_vector("cheap hotel rome"), term_vector("rome weather")
+    assert cosine_similarity(a, b) == cosine_similarity(b, a)
+
+
+def test_nb_common_words():
+    assert nb_common_words("cheap hotel rome", "Hotel Rome official site") == 2
+    assert nb_common_words("diabetes", "hotel rome") == 0
+
+
+def test_nb_common_words_counts_distinct_words():
+    # Repeated words count once (set semantics, as in Algorithm 2).
+    assert nb_common_words("rome rome", "rome rome rome") == 1

@@ -1,0 +1,43 @@
+"""The honest-but-curious engine wrapper."""
+
+from repro.search.tracking import TrackingSearchEngine
+
+
+def test_serves_results_honestly(tracking_engine):
+    direct = tracking_engine._engine.search("hotel rome", 5)
+    via = tracking_engine.search_from("ip-alice", "hotel rome", 5)
+    assert [r.url for r in via] == [r.url for r in direct]
+
+
+def test_observes_source_and_text(tracking_engine):
+    tracking_engine.search_from("ip-alice", "hotel rome", 5, timestamp=12.0)
+    obs = tracking_engine.observations[-1]
+    assert obs.source == "ip-alice"
+    assert obs.text == "hotel rome"
+    assert obs.timestamp == 12.0
+
+
+def test_profiles_accumulate_per_source(tracking_engine):
+    tracking_engine.search_from("ip-bob", "diabetes symptoms", 5)
+    tracking_engine.search_from("ip-bob", "diabetes diet", 5)
+    profile = tracking_engine.observed_profile("ip-bob")
+    assert profile["diabetes"] == 2
+    assert profile["diet"] == 1
+
+
+def test_or_queries_logged_as_single_observation(tracking_engine):
+    tracking_engine.search_or_from("ip-proxy", ["a b", "c d"], 5)
+    assert tracking_engine.observations[-1].text == "a b OR c d"
+
+
+def test_queries_seen_from(tracking_engine):
+    tracking_engine.search_from("ip-carol", "first", 5)
+    tracking_engine.search_from("ip-carol", "second", 5)
+    assert tracking_engine.queries_seen_from("ip-carol") == ["first", "second"]
+
+
+def test_observed_sources_sorted(tracking_engine):
+    tracking_engine.search_from("ip-zed", "q", 5)
+    tracking_engine.search_from("ip-amy", "q", 5)
+    sources = tracking_engine.observed_sources()
+    assert sources == sorted(sources)

@@ -1,0 +1,93 @@
+"""Remote attestation: the full quote → verdict → client policy chain."""
+
+import pytest
+
+from repro.errors import AttestationError
+from repro.sgx.attestation import (
+    AttestationService,
+    Quote,
+    QuotingEnclave,
+    RemoteVerifier,
+    report_data_for_key,
+)
+from repro.sgx.measurement import measure_bytes
+
+GOOD = measure_bytes(b"published xsearch proxy")
+EVIL = measure_bytes(b"modified proxy")
+
+
+@pytest.fixture(scope="module")
+def infra():
+    service = AttestationService(1024)
+    quoting_enclave = QuotingEnclave(1024)
+    service.provision_platform(quoting_enclave)
+    return service, quoting_enclave
+
+
+def test_happy_path(infra):
+    service, qe = infra
+    report_data = report_data_for_key(b"channel-public")
+    verdict = service.verify_quote(qe.quote(GOOD, report_data))
+    assert verdict.is_ok
+    RemoteVerifier(service.public_key, GOOD).verify(verdict, report_data)
+
+
+def test_unknown_platform_rejected(infra):
+    service, _ = infra
+    rogue = QuotingEnclave(1024)  # never provisioned
+    verdict = service.verify_quote(
+        rogue.quote(GOOD, report_data_for_key(b"k"))
+    )
+    assert verdict.status == "UNKNOWN_PLATFORM"
+    with pytest.raises(AttestationError):
+        RemoteVerifier(service.public_key, GOOD).verify(verdict)
+
+
+def test_tampered_quote_rejected(infra):
+    service, qe = infra
+    quote = qe.quote(GOOD, report_data_for_key(b"k"))
+    forged = Quote(
+        platform_id=quote.platform_id,
+        measurement=EVIL,  # swap the measurement, keep the signature
+        report_data=quote.report_data,
+        signature=quote.signature,
+    )
+    verdict = service.verify_quote(forged)
+    assert verdict.status == "INVALID_SIGNATURE"
+
+
+def test_wrong_measurement_rejected_by_client(infra):
+    service, qe = infra
+    verdict = service.verify_quote(qe.quote(EVIL, report_data_for_key(b"k")))
+    assert verdict.is_ok  # the service only checks platform authenticity...
+    with pytest.raises(AttestationError):
+        # ...the *client* enforces the expected measurement.
+        RemoteVerifier(service.public_key, GOOD).verify(verdict)
+
+
+def test_report_data_binding_enforced(infra):
+    service, qe = infra
+    verdict = service.verify_quote(
+        qe.quote(GOOD, report_data_for_key(b"enclave-key"))
+    )
+    verifier = RemoteVerifier(service.public_key, GOOD)
+    with pytest.raises(AttestationError):
+        verifier.verify(verdict, report_data_for_key(b"attacker-key"))
+
+
+def test_forged_verdict_signature_rejected(infra):
+    service, qe = infra
+    verdict = service.verify_quote(qe.quote(GOOD, report_data_for_key(b"k")))
+    other_service = AttestationService(1024)
+    with pytest.raises(AttestationError):
+        RemoteVerifier(other_service.public_key, GOOD).verify(verdict)
+
+
+def test_report_data_size_enforced(infra):
+    _, qe = infra
+    with pytest.raises(AttestationError):
+        qe.quote(GOOD, b"short")
+
+
+def test_report_data_for_key_is_64_bytes():
+    assert len(report_data_for_key(b"anything")) == 64

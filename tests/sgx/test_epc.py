@@ -1,0 +1,116 @@
+"""EPC model: page accounting, eviction, paging costs."""
+
+import pytest
+
+from repro.errors import EnclaveMemoryError
+from repro.sgx.epc import (
+    PAGE_SIZE,
+    PAGE_SWAP_CYCLES,
+    USABLE_EPC_BYTES,
+    EnclavePageCache,
+    pages_for,
+)
+
+
+def test_pages_for():
+    assert pages_for(0) == 0
+    assert pages_for(1) == 1
+    assert pages_for(PAGE_SIZE) == 1
+    assert pages_for(PAGE_SIZE + 1) == 2
+    with pytest.raises(EnclaveMemoryError):
+        pages_for(-1)
+
+
+def test_usable_epc_is_the_papers_90mb():
+    assert USABLE_EPC_BYTES == 90 * 1024 * 1024
+
+
+def test_allocate_accounts_bytes_and_pages():
+    epc = EnclavePageCache()
+    epc.allocate(10_000)
+    assert epc.occupancy_bytes == 10_000
+    assert epc.stats.resident_pages == pages_for(10_000)
+
+
+def test_free_releases():
+    epc = EnclavePageCache()
+    handle = epc.allocate(5_000)
+    epc.free(handle)
+    assert epc.occupancy_bytes == 0
+    assert epc.stats.resident_pages == 0
+
+
+def test_free_unknown_handle_rejected():
+    epc = EnclavePageCache()
+    with pytest.raises(EnclaveMemoryError):
+        epc.free(77)
+
+
+def test_resize_tracks_delta():
+    epc = EnclavePageCache()
+    handle = epc.allocate(1_000)
+    epc.resize(handle, 100_000)
+    assert epc.occupancy_bytes == 100_000
+    epc.resize(handle, 50)
+    assert epc.occupancy_bytes == 50
+
+
+def test_peak_tracking():
+    epc = EnclavePageCache()
+    handle = epc.allocate(80_000)
+    epc.free(handle)
+    assert epc.stats.peak_allocated_bytes == 80_000
+
+
+def test_overflow_triggers_swapping_not_failure():
+    epc = EnclavePageCache(usable_bytes=10 * PAGE_SIZE)
+    handles = [epc.allocate(4 * PAGE_SIZE) for _ in range(3)]
+    # 12 pages demanded of a 10-page EPC: swapping must have happened.
+    assert epc.stats.swapped_pages > 0
+    assert epc.stats.resident_pages <= 10
+    assert epc.stats.swap_cycles == epc.stats.swapped_pages * PAGE_SWAP_CYCLES
+    assert len(handles) == 3
+
+
+def test_touch_faults_swapped_allocation_back():
+    epc = EnclavePageCache(usable_bytes=4 * PAGE_SIZE)
+    first = epc.allocate(3 * PAGE_SIZE)
+    epc.allocate(3 * PAGE_SIZE)  # evicts `first` (FIFO)
+    cost = epc.touch(first)
+    assert cost == 3 * PAGE_SWAP_CYCLES
+    assert epc.touch(first) == 0  # now resident
+
+
+def test_touch_unknown_handle_rejected():
+    epc = EnclavePageCache()
+    with pytest.raises(EnclaveMemoryError):
+        epc.touch(123)
+
+
+def test_single_allocation_larger_than_epc_rejected():
+    epc = EnclavePageCache(usable_bytes=4 * PAGE_SIZE)
+    with pytest.raises(EnclaveMemoryError):
+        epc.allocate(5 * PAGE_SIZE)
+
+
+def test_exceeds_epc_flag():
+    epc = EnclavePageCache(usable_bytes=4 * PAGE_SIZE)
+    epc.allocate(3 * PAGE_SIZE)
+    assert not epc.exceeds_epc()
+    epc.allocate(3 * PAGE_SIZE)
+    assert epc.exceeds_epc()
+
+
+def test_version_counters_bump_on_swap():
+    epc = EnclavePageCache(usable_bytes=2 * PAGE_SIZE)
+    first = epc.allocate(2 * PAGE_SIZE)
+    epc.allocate(PAGE_SIZE)
+    allocation = epc._allocations[first]
+    assert allocation.version == 1  # swapped out once
+    epc.touch(first)
+    assert allocation.version == 2  # faulted back in
+
+
+def test_zero_size_epc_rejected():
+    with pytest.raises(EnclaveMemoryError):
+        EnclavePageCache(usable_bytes=0)

@@ -1,0 +1,69 @@
+"""Enclave measurement: stability and sensitivity."""
+
+import pytest
+
+from repro.errors import EnclaveError
+from repro.sgx.measurement import Measurement, measure_bytes, measure_code
+
+
+class EnclaveA:
+    def __init__(self, memory, ocalls):
+        pass
+
+    def work(self):
+        return 1
+
+
+class EnclaveB:
+    def __init__(self, memory, ocalls):
+        pass
+
+    def work(self):
+        return 2
+
+
+def test_measurement_is_stable():
+    assert measure_code(EnclaveA) == measure_code(EnclaveA)
+
+
+def test_different_code_different_measurement():
+    assert measure_code(EnclaveA) != measure_code(EnclaveB)
+
+
+def test_config_is_part_of_measurement():
+    assert measure_code(EnclaveA, b"k=3") != measure_code(EnclaveA, b"k=5")
+
+
+def test_measure_bytes():
+    a = measure_bytes(b"pages")
+    b = measure_bytes(b"pages")
+    c = measure_bytes(b"other")
+    assert a == b != c
+
+
+def test_measurement_digest_length_enforced():
+    with pytest.raises(EnclaveError):
+        Measurement(b"too short")
+
+
+def test_hex_rendering():
+    m = measure_bytes(b"x")
+    assert len(m.hex()) == 64
+    assert m.hex() in repr(m.hex())
+
+
+def test_source_unavailable_fallback_on_builtin_like_class():
+    # Classes without retrievable source (e.g. defined via exec) still get a
+    # measurement derived from their bytecode.
+    namespace = {}
+    exec(
+        "class Dynamic:\n"
+        "    def __init__(self, memory, ocalls):\n"
+        "        pass\n"
+        "    def work(self):\n"
+        "        return 42\n",
+        namespace,
+    )
+    dynamic = namespace["Dynamic"]
+    assert measure_code(dynamic) == measure_code(dynamic)
+    assert measure_code(dynamic) != measure_code(EnclaveA)

@@ -1,0 +1,176 @@
+"""Enclave runtime: lifecycle, ecall/ocall dispatch, isolation, costs."""
+
+import pytest
+
+from repro.errors import EnclaveError
+from repro.sgx.epc import EnclavePageCache
+from repro.sgx.runtime import (
+    CostModel,
+    Enclave,
+    EnclaveMemory,
+    OcallTable,
+    ecall,
+    estimate_size,
+)
+
+
+class CounterEnclave:
+    """A minimal enclave used throughout these tests."""
+
+    def __init__(self, memory, ocalls, start: int = 0):
+        self.memory = memory
+        self.ocalls = ocalls
+        self.memory.store("count", start, nbytes=64)
+
+    @ecall
+    def increment(self, amount: int = 1) -> int:
+        value = self.memory.load("count") + amount
+        self.memory.store("count", value, nbytes=64)
+        return value
+
+    @ecall
+    def echo_out(self, data: bytes) -> bytes:
+        return self.ocalls.loopback(data)
+
+    def internal_secret(self):  # deliberately NOT an ecall
+        return "secret"
+
+
+def make_enclave(**kwargs):
+    table = OcallTable()
+    table.register("loopback", lambda data: b"host:" + data)
+    enclave = Enclave(CounterEnclave, ocalls=table, **kwargs)
+    enclave.initialize(5)
+    return enclave
+
+
+def test_lifecycle_and_dispatch():
+    enclave = make_enclave()
+    assert enclave.is_initialized
+    assert enclave.call("increment") == 6
+    assert enclave.call("increment", 10) == 16
+
+
+def test_ecall_before_init_rejected():
+    enclave = Enclave(CounterEnclave)
+    with pytest.raises(EnclaveError):
+        enclave.call("increment")
+
+
+def test_double_init_rejected():
+    enclave = make_enclave()
+    with pytest.raises(EnclaveError):
+        enclave.initialize(1)
+
+
+def test_destroyed_enclave_unusable():
+    enclave = make_enclave()
+    enclave.destroy()
+    assert not enclave.is_initialized
+    with pytest.raises(EnclaveError):
+        enclave.call("increment")
+    with pytest.raises(EnclaveError):
+        enclave.initialize(0)
+
+
+def test_non_exported_method_not_callable():
+    enclave = make_enclave()
+    with pytest.raises(EnclaveError):
+        enclave.call("internal_secret")
+
+
+def test_enclave_without_ecalls_rejected():
+    class NoEntryPoints:
+        def __init__(self, memory, ocalls):
+            pass
+
+    with pytest.raises(EnclaveError):
+        Enclave(NoEntryPoints)
+
+
+def test_ocall_dispatch_and_undefined_ocall():
+    enclave = make_enclave()
+    assert enclave.call("echo_out", b"ping") == b"host:ping"
+
+    bare = Enclave(CounterEnclave)  # empty ocall table
+    bare.initialize(0)
+    with pytest.raises(EnclaveError):
+        bare.call("echo_out", b"ping")
+
+
+def test_ocall_registration_requires_callable():
+    table = OcallTable()
+    with pytest.raises(EnclaveError):
+        table.register("bad", 42)
+
+
+def test_transition_costs_charged():
+    model = CostModel(ecall_cycles=1000, ocall_cycles=500)
+    table = OcallTable()
+    table.register("loopback", lambda data: data)
+    enclave = Enclave(CounterEnclave, ocalls=table, cost_model=model)
+    enclave.initialize(0)
+    enclave.call("echo_out", b"x")  # 1 ecall + 1 ocall
+    assert enclave.counter.ecalls == 1
+    assert enclave.counter.ocalls == 1
+    assert enclave.counter.cycles == 1500
+    assert enclave.transition_seconds() == pytest.approx(1500 / model.clock_hz)
+
+
+def test_boundary_log_captures_payloads():
+    enclave = make_enclave()
+    enclave.call("echo_out", b"visible-bytes")
+    directions = [(r.direction, r.name) for r in enclave.boundary_log]
+    assert ("ecall", "echo_out") in directions
+    assert ("ocall", "loopback") in directions
+    ocall_payloads = [r.payload for r in enclave.boundary_log
+                      if r.direction == "ocall"]
+    assert b"visible-bytes" in ocall_payloads
+
+
+def test_measurement_includes_config():
+    a = make_enclave(config=b"k=3")
+    b = make_enclave(config=b"k=4")
+    assert a.measurement != b.measurement
+
+
+# ---------------------------------------------------------------------------
+# EnclaveMemory
+# ---------------------------------------------------------------------------
+
+def test_memory_store_load_delete():
+    memory = EnclaveMemory(EnclavePageCache())
+    memory.store("key", [1, 2, 3], nbytes=100)
+    assert memory.load("key") == [1, 2, 3]
+    assert "key" in memory
+    assert memory.size_of("key") == 100
+    memory.delete("key")
+    assert "key" not in memory
+    with pytest.raises(EnclaveError):
+        memory.load("key")
+    with pytest.raises(EnclaveError):
+        memory.delete("key")
+
+
+def test_memory_restore_resizes():
+    epc = EnclavePageCache()
+    memory = EnclaveMemory(epc)
+    memory.store("k", "a", nbytes=10)
+    memory.store("k", "bb", nbytes=2000)
+    assert epc.occupancy_bytes == 2000
+
+
+def test_memory_default_size_estimation():
+    memory = EnclaveMemory(EnclavePageCache())
+    memory.store("auto", {"a": [1, 2, 3], "b": "text"})
+    assert memory.size_of("auto") > 0
+
+
+def test_estimate_size_handles_cycles():
+    cyclic = []
+    cyclic.append(cyclic)
+    assert estimate_size(cyclic) > 0
+
+
+def test_estimate_size_grows_with_content():
+    assert estimate_size(["x" * 1000]) > estimate_size(["x"])

@@ -1,0 +1,67 @@
+"""Sealed storage: same-enclave-only unsealing."""
+
+import pytest
+
+from repro.errors import SealingError
+from repro.sgx.measurement import measure_bytes
+from repro.sgx.sealing import SealingPlatform
+
+M1 = measure_bytes(b"enclave-one")
+M2 = measure_bytes(b"enclave-two")
+
+
+def test_seal_unseal_roundtrip():
+    platform = SealingPlatform()
+    sealed = platform.seal(M1, b"history snapshot")
+    assert platform.unseal(M1, sealed) == b"history snapshot"
+
+
+def test_unsealing_under_other_measurement_fails():
+    platform = SealingPlatform()
+    sealed = platform.seal(M1, b"secret")
+    with pytest.raises(SealingError):
+        platform.unseal(M2, sealed)
+
+
+def test_unsealing_on_other_platform_fails():
+    sealed = SealingPlatform().seal(M1, b"secret")
+    with pytest.raises(SealingError):
+        SealingPlatform().unseal(M1, sealed)
+
+
+def test_tampered_blob_fails():
+    platform = SealingPlatform()
+    sealed = bytearray(platform.seal(M1, b"secret"))
+    sealed[-1] ^= 0x01
+    with pytest.raises(SealingError):
+        platform.unseal(M1, bytes(sealed))
+
+
+def test_truncated_blob_fails():
+    platform = SealingPlatform()
+    with pytest.raises(SealingError):
+        platform.unseal(M1, b"\x00" * 4)
+
+
+def test_aad_binding():
+    platform = SealingPlatform()
+    sealed = platform.seal(M1, b"secret", aad=b"v1")
+    assert platform.unseal(M1, sealed, aad=b"v1") == b"secret"
+    with pytest.raises(SealingError):
+        platform.unseal(M1, sealed, aad=b"v2")
+
+
+def test_nonces_are_fresh():
+    platform = SealingPlatform()
+    assert platform.seal(M1, b"x") != platform.seal(M1, b"x")
+
+
+def test_explicit_root_key_is_deterministic_platform():
+    a = SealingPlatform(root_key=b"\x01" * 32)
+    b = SealingPlatform(root_key=b"\x01" * 32)
+    assert b.unseal(M1, a.seal(M1, b"shared fuse key")) == b"shared fuse key"
+
+
+def test_root_key_length_enforced():
+    with pytest.raises(SealingError):
+        SealingPlatform(root_key=b"short")

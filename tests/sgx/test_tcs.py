@@ -1,0 +1,78 @@
+"""TCS modelling: bounded thread concurrency inside an enclave."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import EnclaveError
+from repro.sgx.runtime import Enclave, OcallTable, ecall
+
+
+class SlowEnclave:
+    """An enclave whose ecall parks long enough to observe concurrency."""
+
+    def __init__(self, memory, ocalls):
+        self.memory = memory
+        self.ocalls = ocalls
+
+    @ecall
+    def work(self, seconds: float) -> int:
+        time.sleep(seconds)
+        return 1
+
+
+def make(tcs_count):
+    enclave = Enclave(SlowEnclave, tcs_count=tcs_count)
+    enclave.initialize()
+    return enclave
+
+
+def run_threads(enclave, n_threads, seconds=0.05):
+    threads = [
+        threading.Thread(target=enclave.call, args=("work", seconds))
+        for _ in range(n_threads)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+def test_concurrency_never_exceeds_tcs():
+    enclave = make(tcs_count=2)
+    run_threads(enclave, 6)
+    assert enclave.max_threads_inside <= 2
+    assert enclave.counter.ecalls == 6  # everyone eventually got in
+
+
+def test_parallelism_up_to_tcs():
+    enclave = make(tcs_count=4)
+    run_threads(enclave, 4)
+    assert enclave.max_threads_inside >= 2  # genuine overlap happened
+
+
+def test_single_tcs_serialises():
+    enclave = make(tcs_count=1)
+    run_threads(enclave, 3, seconds=0.02)
+    assert enclave.max_threads_inside == 1
+
+
+def test_excess_callers_block_not_fail():
+    enclave = make(tcs_count=1)
+    started = time.time()
+    run_threads(enclave, 3, seconds=0.05)
+    # Three serialized 50 ms calls take at least ~150 ms.
+    assert time.time() - started >= 0.14
+
+
+def test_tcs_count_validated():
+    with pytest.raises(EnclaveError):
+        Enclave(SlowEnclave, tcs_count=0)
+
+
+def test_default_tcs_matches_service_model_workers():
+    from repro.experiments.service_models import XSEARCH_WORKERS
+    from repro.sgx.runtime import DEFAULT_TCS_COUNT
+
+    assert DEFAULT_TCS_COUNT == XSEARCH_WORKERS
