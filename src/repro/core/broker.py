@@ -76,6 +76,31 @@ class Broker:
         response = SearchResponse.decode(endpoint.decrypt(reply))
         return list(response.results)
 
+    def search_batch(self, queries, limit: int = 20) -> list:
+        """Execute several searches in one batched proxy round trip.
+
+        All records ride a single ``request_batch`` ecall, so the enclave
+        transition cost is amortised over the batch (the proxy's hot-path
+        optimisation); each query is still individually encrypted and
+        individually obfuscated inside the enclave.  Returns one result
+        list per query, in order.
+        """
+        endpoint = self._require_connected()
+        queries = list(queries)
+        records = [
+            endpoint.encrypt(SearchRequest(query, limit).encode())
+            for query in queries
+        ]
+        replies = self._proxy.request_batch(
+            [(self._session_id, record) for record in records]
+        )
+        if len(replies) != len(records):
+            raise ProtocolError("proxy returned a mis-sized batch reply")
+        return [
+            list(SearchResponse.decode(endpoint.decrypt(reply)).results)
+            for reply in replies
+        ]
+
     def ingest(self, queries) -> int:
         """Feed a batch of real queries into the proxy history.
 

@@ -28,3 +28,13 @@ class XSearchClient:
             self._broker.connect()
         self.queries_sent += 1
         return self._broker.search(query.strip(), limit)
+
+    def search_batch(self, queries, limit: int = 20) -> list:
+        """Execute several private searches in one proxy round trip."""
+        queries = [query.strip() for query in queries]
+        if not queries or any(not query for query in queries):
+            raise ProtocolError("cannot search empty queries")
+        if not self._broker.is_connected:
+            self._broker.connect()
+        self.queries_sent += len(queries)
+        return self._broker.search_batch(queries, limit)

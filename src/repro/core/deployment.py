@@ -45,13 +45,16 @@ class XSearchDeployment:
                seed: int = 0,
                engine: SearchEngine = None,
                key_bits: int = DEFAULT_ATTESTATION_KEY_BITS,
-               connect: bool = True) -> "XSearchDeployment":
+               connect: bool = True,
+               **proxy_options) -> "XSearchDeployment":
         """Stand up a complete deployment.
 
         ``seed`` drives the synthetic corpus and the enclave's obfuscation
         RNG, making end-to-end runs reproducible.  With ``connect=True``
         (default) the broker performs attestation and the handshake
-        immediately.
+        immediately.  Extra keyword arguments (``pool_connections``,
+        ``cache_bytes``, ``epc``, …) pass through to
+        :class:`XSearchProxyHost` for performance experiments.
         """
         if engine is None:
             engine = SearchEngine.with_synthetic_corpus(seed=seed)
@@ -68,6 +71,7 @@ class XSearchDeployment:
             quoting_enclave=quoting_enclave,
             attestation_service=attestation_service,
             rng_seed=seed,
+            **proxy_options,
         )
         broker = Broker(
             proxy,

@@ -35,13 +35,38 @@ class TlsServerConfig:
 
 
 class _Connection:
-    __slots__ = ("request_buffer", "response_buffer", "closed", "tls")
+    """One keep-alive connection from the enclave.
+
+    The response side is a ``bytearray`` plus a read offset: ``recv``
+    copies out only the chunk it returns (O(chunk)) instead of rewriting
+    the whole remaining tail on every call (O(buffered)), and the buffer
+    is recycled once fully drained.
+    """
+
+    __slots__ = ("request_buffer", "response_buffer", "response_offset",
+                 "closed", "tls")
 
     def __init__(self, tls: TlsServer = None):
         self.request_buffer = b""
-        self.response_buffer = b""
+        self.response_buffer = bytearray()
+        self.response_offset = 0
         self.closed = False
         self.tls = tls
+
+    def push_response(self, data: bytes) -> None:
+        self.response_buffer += data
+
+    def pop_response(self, maxlen: int) -> bytes:
+        start = self.response_offset
+        end = min(start + maxlen, len(self.response_buffer))
+        chunk = bytes(self.response_buffer[start:end])
+        self.response_offset = end
+        if self.response_offset >= len(self.response_buffer):
+            # Fully drained: recycle the buffer instead of deleting the
+            # consumed prefix byte by byte.
+            del self.response_buffer[:]
+            self.response_offset = 0
+        return chunk
 
 
 class EngineGateway:
@@ -105,10 +130,15 @@ class EngineGateway:
         connection.request_buffer += bytes(data)
         if connection.tls is not None:
             self._pump_tls(connection)
-        elif b"\r\n\r\n" in connection.request_buffer:
-            request, _, rest = connection.request_buffer.partition(b"\r\n\r\n")
-            connection.request_buffer = rest
-            connection.response_buffer += self._handle_request(request)
+        else:
+            # HTTP/1.1 keep-alive: the connection persists across requests
+            # and pipelined requests are all answered in arrival order.
+            while b"\r\n\r\n" in connection.request_buffer:
+                request, _, rest = connection.request_buffer.partition(
+                    b"\r\n\r\n"
+                )
+                connection.request_buffer = rest
+                connection.push_response(self._handle_request(request))
         return len(data)
 
     def _pump_tls(self, connection: _Connection) -> None:
@@ -119,20 +149,18 @@ class EngineGateway:
         for frame in frames:
             if not connection.tls.is_established:
                 server_hello = connection.tls.process_client_hello(frame)
-                connection.response_buffer += encode_frame(server_hello)
+                connection.push_response(encode_frame(server_hello))
                 continue
             http_request = connection.tls.decrypt(frame)
             request, _, _ = http_request.partition(b"\r\n\r\n")
             response = self._handle_request(request)
-            connection.response_buffer += encode_frame(
-                connection.tls.encrypt(response)
+            connection.push_response(
+                encode_frame(connection.tls.encrypt(response))
             )
 
     def recv(self, fd: int, maxlen: int) -> bytes:
         connection = self._connection(fd)
-        chunk = connection.response_buffer[:maxlen]
-        connection.response_buffer = connection.response_buffer[maxlen:]
-        return chunk
+        return connection.pop_response(maxlen)
 
     def close(self, fd: int) -> None:
         with self._fd_lock:
@@ -188,8 +216,12 @@ class EngineGateway:
         return self._engine.search_or(subqueries, limit)
 
     def _connection(self, fd: int) -> _Connection:
-        connection = self._connections.get(fd)
-        if connection is None:
+        # The lookup must hold the descriptor-table lock: a concurrent
+        # close() mutates the dict, and an unsynchronised read could see a
+        # connection another thread is tearing down.
+        with self._fd_lock:
+            connection = self._connections.get(fd)
+        if connection is None or connection.closed:
             raise NetworkError(f"operation on unknown socket {fd}")
         return connection
 
@@ -241,10 +273,27 @@ def _http_error(status: int, message: str) -> bytes:
     return _http_response(status, json.dumps({"error": message}).encode())
 
 
-def split_http_response(raw: bytes):
-    """Split an HTTP response into (status, body); raises on truncation."""
+def split_http_response(raw, *, partial_ok: bool = False):
+    """Parse the first HTTP response in ``raw``.
+
+    Returns ``(status, body, consumed)`` where ``consumed`` is the number
+    of bytes the response occupied — on a keep-alive connection the caller
+    keeps ``raw[consumed:]`` (the start of the next pipelined response)
+    buffered for later.
+
+    Framing relies on ``Content-Length`` (our engine always sends it);
+    without the header the whole remainder is taken as the body, which is
+    only sound on a connection the peer closes afterwards.
+
+    With ``partial_ok=True`` an incomplete response returns
+    ``(None, b"", 0)`` instead of raising, so a reader pumping a socket
+    can distinguish "need more bytes" from "the peer sent garbage".
+    """
+    raw = bytes(raw)
     head, sep, rest = raw.partition(b"\r\n\r\n")
     if not sep:
+        if partial_ok:
+            return None, b"", 0
         raise NetworkError("truncated HTTP response")
     status_line = head.split(b"\r\n", 1)[0].decode("ascii", "replace")
     try:
@@ -255,8 +304,15 @@ def split_http_response(raw: bytes):
     for line in head.split(b"\r\n")[1:]:
         name, _, value = line.partition(b":")
         if name.strip().lower() == b"content-length":
-            content_length = int(value.strip())
-    if content_length is not None and len(rest) < content_length:
+            try:
+                content_length = int(value.strip())
+            except ValueError as exc:
+                raise NetworkError("bad Content-Length header") from exc
+    if content_length is None:
+        return status, rest, len(raw)
+    if len(rest) < content_length:
+        if partial_ok:
+            return None, b"", 0
         raise NetworkError("truncated HTTP body")
-    body = rest if content_length is None else rest[:content_length]
-    return status, body
+    consumed = len(head) + len(sep) + content_length
+    return status, rest[:content_length], consumed

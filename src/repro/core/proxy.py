@@ -1,15 +1,25 @@
 """The X-Search proxy: trusted enclave code and its untrusted host.
 
 :class:`XSearchEnclaveCode` is the code whose measurement clients attest.
-It exposes the ecall interface of the paper (§5.3.3): ``init`` for setup
-and ``request`` for provisioning encrypted data into the enclave; it
-reaches the search engine exclusively through the ``sock_connect`` /
-``send`` / ``recv`` / ``close`` ocalls.
+It exposes the ecall interface of the paper (§5.3.3): ``init`` for setup,
+``request`` for provisioning encrypted data into the enclave, plus a
+``request_batch`` ecall that carries N records through one enclave
+transition; it reaches the search engine exclusively through the
+``sock_connect`` / ``send`` / ``recv`` / ``close`` ocalls.
 
 Per request (Figure 2): decrypt the query inside the enclave → obfuscate
 with k random past queries (Algorithm 1) → store the query in the history
 → send one ``q1 OR … OR q_{k+1}`` query to the engine → filter the results
 (Algorithm 2) → strip analytics redirections → encrypt and return.
+
+Because mode transitions dominate the in-enclave compute, the engine leg
+is aggressively amortised: engine sockets (and, under HTTPS, established
+TLS channels) are pooled across requests with reconnect-on-failure, so
+steady state pays ``send`` + ``recv`` per search instead of the full
+connect/close sequence, and a repeated obfuscated OR-query is served from
+an in-enclave LRU cache (:mod:`repro.core.result_cache`) with zero engine
+ocalls.  Both knobs (``pool=…;cache=…``) are part of the attested config
+string.
 
 :class:`XSearchProxyHost` is the untrusted service wrapper running on the
 public cloud node: it loads the enclave, obtains attestation quotes from
@@ -24,6 +34,7 @@ import random
 import secrets
 import threading
 import urllib.parse
+from collections import deque
 
 from repro.core.filtering import filter_results
 from repro.core.gateway import (
@@ -45,6 +56,7 @@ from repro.core.protocol import (
     SearchResponse,
     decode_any_request,
 )
+from repro.core.result_cache import DEFAULT_CACHE_BYTES, ResultCache
 from repro.crypto.channel import HandshakeResponder
 from repro.errors import EnclaveError, NetworkError, ProtocolError
 from repro.sgx.attestation import (
@@ -59,10 +71,30 @@ from repro.sgx.runtime import CostModel, Enclave, ecall
 DEFAULT_K = 3
 DEFAULT_HISTORY_CAPACITY = 100_000
 DEFAULT_MAX_SESSIONS = 10_000
+# Keep-alive connections the enclave holds on to; matches the TCS count
+# so every worker thread can have a warm socket.
+DEFAULT_POOL_CAPACITY = 8
 _RECV_CHUNK = 1 << 16
 # Metered EPC footprint per session: two 32-byte channel keys, counters
 # and table slots.
 _SESSION_BYTES = 200
+
+
+class _EngineConnection:
+    """A persistent enclave→engine connection (socket fd + TLS channel).
+
+    ``buffer`` accumulates received bytes that belong to the *next*
+    response (keep-alive leaves pipelined trailing data in place);
+    ``frames`` queues decoded-but-unconsumed TLS frames.
+    """
+
+    __slots__ = ("fd", "tls", "buffer", "frames")
+
+    def __init__(self, fd: int, tls=None):
+        self.fd = fd
+        self.tls = tls
+        self.buffer = bytearray()
+        self.frames = deque()
 
 
 class XSearchEnclaveCode:
@@ -80,6 +112,23 @@ class XSearchEnclaveCode:
         self._rng = None
         self._sealer = None
         self._engine_ca_key = None
+        self._pool_connections = True
+        self._pool_capacity = DEFAULT_POOL_CAPACITY
+        self._pool = []
+        self._pool_lock = threading.Lock()
+        self._cache = None
+        self._perf_lock = threading.Lock()
+        self._perf = {
+            "pool_connects": 0,
+            "pool_reuses": 0,
+            "pool_disposals": 0,
+            "tls_handshakes": 0,
+            "engine_requests": 0,
+        }
+
+    def _bump(self, name: str) -> None:
+        with self._perf_lock:
+            self._perf[name] += 1
 
     def attach_sealer(self, sealer) -> None:
         """Runtime hook (EGETKEY analogue): receives the sealing facility
@@ -93,13 +142,22 @@ class XSearchEnclaveCode:
     def init(self, *, k: int = DEFAULT_K,
              history_capacity: int = DEFAULT_HISTORY_CAPACITY,
              max_sessions: int = DEFAULT_MAX_SESSIONS,
-             rng_seed: int = None, engine_ca_key=None) -> None:
+             rng_seed: int = None, engine_ca_key=None,
+             pool_connections: bool = True,
+             pool_capacity: int = DEFAULT_POOL_CAPACITY,
+             cache_bytes: int = DEFAULT_CACHE_BYTES) -> None:
         """Setup options for X-Search (paper's ``init`` ecall).
 
         When ``engine_ca_key`` (an :class:`~repro.crypto.rsa.RsaPublicKey`)
         is provided, the enclave talks HTTPS to the search engine —
         footnote 2 of the paper — authenticating the engine against this
         pinned CA before sending the obfuscated query.
+
+        ``pool_connections`` keeps engine sockets (and established TLS
+        channels) alive across requests instead of paying a
+        ``sock_connect``/``close`` ocall pair and a TLS handshake per
+        search.  ``cache_bytes`` sizes the in-enclave LRU result cache
+        (0 disables it); its memory is charged to the EPC model.
         """
         if self._configured:
             raise EnclaveError("enclave already initialised")
@@ -107,6 +165,10 @@ class XSearchEnclaveCode:
             raise EnclaveError("k cannot be negative")
         if max_sessions <= 0:
             raise EnclaveError("max_sessions must be positive")
+        if pool_capacity <= 0:
+            raise EnclaveError("pool_capacity must be positive")
+        if cache_bytes < 0:
+            raise EnclaveError("cache_bytes cannot be negative")
         self._k = k
         self._max_sessions = max_sessions
         self._history = QueryHistory(history_capacity,
@@ -115,6 +177,11 @@ class XSearchEnclaveCode:
         seed = rng_seed if rng_seed is not None else secrets.randbits(64)
         self._rng = random.Random(seed)
         self._engine_ca_key = engine_ca_key
+        self._pool_connections = bool(pool_connections)
+        self._pool_capacity = pool_capacity
+        if cache_bytes:
+            self._cache = ResultCache(cache_bytes,
+                                      enclave_memory=self.memory)
         self._configured = True
 
     # ------------------------------------------------------------------
@@ -168,6 +235,27 @@ class XSearchEnclaveCode:
     def request(self, session_id: str, record: bytes) -> bytes:
         """Provision encrypted data into the enclave and serve it."""
         self._require_configured()
+        return self._handle_record(session_id, record)
+
+    @ecall
+    def request_batch(self, batch) -> tuple:
+        """Serve N client records in a single enclave transition.
+
+        ``batch`` is a sequence of ``(session_id, record)`` pairs — the
+        records stay opaque AEAD ciphertext, so batching changes only the
+        *transition* accounting: one metered ecall is amortised over the
+        whole batch instead of being paid per record (§5.3.3 names mode
+        transitions as SGX bottleneck #1).  Replies are returned in order.
+        A malformed record fails the whole batch, exactly as the same
+        record would fail its own ``request`` ecall.
+        """
+        self._require_configured()
+        return tuple(
+            self._handle_record(session_id, record)
+            for session_id, record in batch
+        )
+
+    def _handle_record(self, session_id: str, record: bytes) -> bytes:
         endpoint = self._session(session_id)
         plaintext = endpoint.decrypt(record)
         message = decode_any_request(plaintext)
@@ -179,6 +267,32 @@ class XSearchEnclaveCode:
             response = self._serve_search(message)
             return endpoint.encrypt(response.encode())
         raise ProtocolError("unhandled message type")  # pragma: no cover
+
+    @ecall
+    def perf_stats(self) -> dict:
+        """Hot-path observability counters (pool, cache, engine traffic).
+
+        Everything reported here describes events the host can already
+        observe on its side of the boundary (connects, requests, absence
+        of engine traffic on cache hits) — exposing the counters leaks
+        nothing beyond the §3 adversary's view.
+        """
+        self._require_configured()
+        with self._perf_lock:
+            stats = dict(self._perf)
+        if self._cache is not None:
+            stats.update(
+                cache_hits=self._cache.stats.hits,
+                cache_misses=self._cache.stats.misses,
+                cache_insertions=self._cache.stats.insertions,
+                cache_evictions=self._cache.stats.evictions,
+                cache_bytes=self._cache.byte_size,
+                cache_entries=len(self._cache),
+            )
+        else:
+            stats.update(cache_hits=0, cache_misses=0, cache_insertions=0,
+                         cache_evictions=0, cache_bytes=0, cache_entries=0)
+        return stats
 
     # ------------------------------------------------------------------
     # ecalls: sealed history persistence (extension; see core.persistence)
@@ -247,23 +361,151 @@ class XSearchEnclaveCode:
         return SearchResponse(results=tuple(filtered[:request.limit]))
 
     def _query_engine(self, or_query: str, limit: int) -> list:
-        """Talk HTTP(S) to the search engine through the socket ocalls."""
+        """Talk HTTP(S) to the search engine through the socket ocalls.
+
+        The result page for the obfuscated OR-query is looked up in (and
+        fed back into) the in-enclave cache first: a hit performs *zero*
+        engine ocalls.  The filtering step runs on the caller's side in
+        both cases, so each request is still filtered against its own
+        fresh fake set.
+        """
+        cache_key = f"{limit}\x00{or_query}"
+        if self._cache is not None:
+            cached = self._cache.get(cache_key)
+            if cached is not None:
+                return list(cached)
         encoded = urllib.parse.quote_plus(or_query)
         http_request = (
             f"GET /search?q={encoded}&limit={limit} HTTP/1.1\r\n"
             f"Host: {ENGINE_HOST}\r\n"
+            "Connection: keep-alive\r\n"
             "\r\n"
         ).encode("ascii")
-        if self._engine_ca_key is not None:
-            raw = self._exchange_https(http_request)
-        else:
-            raw = self._exchange_plain(http_request)
-        status, body = split_http_response(raw)
+        self._bump("engine_requests")
+        status, body = self._http_exchange(http_request)
         if status != 200:
             raise NetworkError(f"search engine returned HTTP {status}")
-        return parse_results_body(body)
+        results = parse_results_body(body)
+        if self._cache is not None:
+            self._cache.put(cache_key, tuple(results))
+        return results
 
-    def _exchange_plain(self, http_request: bytes) -> bytes:
+    # ------------------------------------------------------------------
+    # Engine exchange: pooled persistent connections (default) with a
+    # per-request connect/close fallback kept for baseline measurements.
+    # ------------------------------------------------------------------
+    def _http_exchange(self, http_request: bytes):
+        """One request/response against the engine; returns (status, body)."""
+        if not self._pool_connections:
+            if self._engine_ca_key is not None:
+                raw = self._exchange_https_once(http_request)
+            else:
+                raw = self._exchange_plain_once(http_request)
+            status, body, _ = split_http_response(raw)
+            return status, body
+
+        last_error = None
+        for _attempt in range(2):
+            try:
+                connection = self._checkout_connection()
+            except NetworkError as exc:
+                last_error = exc
+                continue
+            try:
+                if connection.tls is not None:
+                    result = self._exchange_on_tls(connection, http_request)
+                else:
+                    result = self._exchange_on_plain(connection, http_request)
+            except NetworkError as exc:
+                # A pooled socket may have gone stale (engine restart,
+                # host-side close): drop it and retry once on a fresh one.
+                self._dispose_connection(connection)
+                last_error = exc
+                continue
+            self._checkin_connection(connection)
+            return result
+        raise last_error
+
+    def _exchange_on_plain(self, connection: _EngineConnection,
+                           http_request: bytes):
+        self.ocalls.send(connection.fd, http_request)
+        while True:
+            status, body, consumed = split_http_response(
+                connection.buffer, partial_ok=True
+            )
+            if status is not None:
+                # Keep-alive: leave any pipelined trailing bytes buffered.
+                del connection.buffer[:consumed]
+                return status, body
+            chunk = self.ocalls.recv(connection.fd, _RECV_CHUNK)
+            if not chunk:
+                raise NetworkError("engine closed the connection mid-response")
+            connection.buffer += chunk
+
+    def _exchange_on_tls(self, connection: _EngineConnection,
+                         http_request: bytes):
+        record = encode_frame(connection.tls.encrypt(http_request))
+        self.ocalls.send(connection.fd, record)
+        raw = connection.tls.decrypt(self._read_frame(connection))
+        status, body, _ = split_http_response(raw)
+        return status, body
+
+    def _read_frame(self, connection: _EngineConnection) -> bytes:
+        """The next complete TLS frame from a persistent connection."""
+        while not connection.frames:
+            chunk = self.ocalls.recv(connection.fd, _RECV_CHUNK)
+            if not chunk:
+                raise NetworkError("engine closed the TLS connection")
+            connection.buffer += chunk
+            frames, remainder = decode_frames(connection.buffer)
+            connection.buffer = bytearray(remainder)
+            connection.frames.extend(frames)
+        return connection.frames.popleft()
+
+    def _checkout_connection(self) -> _EngineConnection:
+        with self._pool_lock:
+            if self._pool:
+                connection = self._pool.pop()
+                self._bump("pool_reuses")
+                return connection
+        connection = self._open_connection()
+        self._bump("pool_connects")
+        return connection
+
+    def _checkin_connection(self, connection: _EngineConnection) -> None:
+        with self._pool_lock:
+            if len(self._pool) < self._pool_capacity:
+                self._pool.append(connection)
+                return
+        self._dispose_connection(connection)
+
+    def _dispose_connection(self, connection: _EngineConnection) -> None:
+        self._bump("pool_disposals")
+        try:
+            self.ocalls.close(connection.fd)
+        except NetworkError:
+            pass  # already dead on the host side
+
+    def _open_connection(self) -> _EngineConnection:
+        """Connect (and, over HTTPS, complete the TLS handshake) once; the
+        channel is then reused for every request that checks it out."""
+        if self._engine_ca_key is None:
+            fd = self.ocalls.sock_connect(ENGINE_HOST, ENGINE_PORT)
+            return _EngineConnection(fd)
+        client = TlsClient(self._engine_ca_key, ENGINE_HOST)
+        fd = self.ocalls.sock_connect(ENGINE_HOST, ENGINE_TLS_PORT)
+        connection = _EngineConnection(fd, tls=client)
+        try:
+            self.ocalls.send(fd, encode_frame(client.client_hello()))
+            client.process_server_hello(self._read_frame(connection))
+        except Exception:
+            self._dispose_connection(connection)
+            raise
+        self._bump("tls_handshakes")
+        return connection
+
+    # -- baseline (unpooled) paths, kept for ocall-count comparisons -----
+    def _exchange_plain_once(self, http_request: bytes) -> bytes:
         fd = self.ocalls.sock_connect(ENGINE_HOST, ENGINE_PORT)
         try:
             self.ocalls.send(fd, http_request)
@@ -271,8 +513,8 @@ class XSearchEnclaveCode:
         finally:
             self.ocalls.close(fd)
 
-    def _exchange_https(self, http_request: bytes) -> bytes:
-        """HTTPS: authenticate the engine, then exchange encrypted frames."""
+    def _exchange_https_once(self, http_request: bytes) -> bytes:
+        """HTTPS with a fresh handshake per request (the pre-pool path)."""
         client = TlsClient(self._engine_ca_key, ENGINE_HOST)
         fd = self.ocalls.sock_connect(ENGINE_HOST, ENGINE_TLS_PORT)
         try:
@@ -281,6 +523,7 @@ class XSearchEnclaveCode:
             if not frames:
                 raise NetworkError("engine closed during TLS handshake")
             client.process_server_hello(frames[0])
+            self._bump("tls_handshakes")
 
             self.ocalls.send(fd, encode_frame(client.encrypt(http_request)))
             frames, _ = decode_frames(self._drain(fd))
@@ -291,13 +534,17 @@ class XSearchEnclaveCode:
             self.ocalls.close(fd)
 
     def _drain(self, fd: int) -> bytes:
-        raw = b""
+        """Read until the peer stops sending (close-delimited responses).
+
+        Accumulates into a ``bytearray`` — amortised linear, unlike the
+        quadratic ``bytes +=`` it replaces."""
+        raw = bytearray()
         while True:
             chunk = self.ocalls.recv(fd, _RECV_CHUNK)
             if not chunk:
                 break
             raw += chunk
-        return raw
+        return bytes(raw)
 
     # ------------------------------------------------------------------
     # Internals
@@ -334,13 +581,20 @@ class XSearchProxyHost:
                  sealing_platform=None,
                  engine_ca_key=None,
                  engine_tls_config: TlsServerConfig = None,
+                 pool_connections: bool = True,
+                 cache_bytes: int = DEFAULT_CACHE_BYTES,
                  source: str = "xsearch-proxy.cloud"):
         self.gateway = EngineGateway(
             engine, source=source, tls_config=engine_tls_config
         )
         https_flag = 1 if engine_ca_key is not None else 0
+        pool_flag = 1 if pool_connections else 0
+        # The performance knobs are part of the attested configuration:
+        # a proxy that silently disables pooling or resizes the cache has
+        # a different measurement.
         config = (
-            f"k={k};x={history_capacity};https={https_flag}".encode("ascii")
+            f"k={k};x={history_capacity};https={https_flag};"
+            f"pool={pool_flag};cache={cache_bytes}".encode("ascii")
         )
         self.enclave = Enclave(
             XSearchEnclaveCode,
@@ -355,6 +609,7 @@ class XSearchProxyHost:
             "init", k=k, history_capacity=history_capacity,
             max_sessions=max_sessions,
             rng_seed=rng_seed, engine_ca_key=engine_ca_key,
+            pool_connections=pool_connections, cache_bytes=cache_bytes,
         )
         self.k = k
         self.history_capacity = history_capacity
@@ -394,6 +649,17 @@ class XSearchProxyHost:
 
     def request(self, session_id: str, record: bytes) -> bytes:
         return self.enclave.call("request", session_id, record)
+
+    def request_batch(self, batch) -> tuple:
+        """Relay N opaque ``(session_id, record)`` pairs in one ecall.
+
+        The host cannot open the records; batching only changes how many
+        enclave transitions the traffic costs."""
+        return self.enclave.call("request_batch", list(batch))
+
+    def perf_stats(self) -> dict:
+        """The enclave's hot-path counters (pool/cache/engine traffic)."""
+        return self.enclave.call("perf_stats")
 
     # ------------------------------------------------------------------
     # Sealed persistence (host stores opaque blobs only)

@@ -1,0 +1,151 @@
+"""EPC-metered LRU cache of engine result pages, kept inside the enclave.
+
+Web-search workloads are heavily Zipfian: a small set of popular queries
+dominates the traffic, and under Algorithm 1 the obfuscated ``q1 OR … OR
+q(k+1)`` strings repeat whenever the drawn fakes coincide (always, for
+k = 0).  Caching the engine's *raw* result page keyed on the obfuscated
+OR-query therefore short-circuits the entire engine exchange — no
+``sock_connect``/``send``/``recv`` ocalls, no TLS records — for repeated
+queries, while Algorithm 2 still filters the cached page against the
+fresh fake set of each request.
+
+Privacy: the cache stores only data derived from traffic the host has
+already observed (the obfuscated query and the engine's public answer),
+and it lives in enclave memory, so the host cannot read it.  What a
+cache hit *does* reveal to the host is the absence of engine traffic for
+that request — an observation it could equally make by timing; see
+docs/THREAT_MODEL.md.
+
+Cost: entries are charged byte-for-byte to the enclave's
+:class:`~repro.sgx.runtime.EnclaveMemory` under a single key, so the
+cache competes with the query-history table for EPC pages and Figure 6's
+paging pressure applies to it unchanged.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.errors import EnclaveError
+
+# Default byte budget: a few thousand result pages, far below the EPC.
+DEFAULT_CACHE_BYTES = 4 * 1024 * 1024
+
+# Per-entry bookkeeping overhead (dict slot, key string, LRU links).
+ENTRY_OVERHEAD_BYTES = 96
+
+_DEFAULT_MEMORY_KEY = "xsearch.result_cache"
+
+
+@dataclass
+class CacheStats:
+    """Counters exposed through the ``perf_stats`` ecall."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+
+
+class ResultCache:
+    """A byte-bounded LRU map from obfuscated OR-query to result page.
+
+    ``max_bytes`` bounds the cache's own accounting; the attached
+    :class:`~repro.sgx.runtime.EnclaveMemory` (when provided) is kept in
+    sync so the EPC model sees every growth, shrink and eviction.  All
+    operations are lock-protected — the proxy serves sessions from
+    multiple TCS threads.
+    """
+
+    def __init__(self, max_bytes: int = DEFAULT_CACHE_BYTES, *,
+                 enclave_memory=None, memory_key: str = _DEFAULT_MEMORY_KEY):
+        if max_bytes <= 0:
+            raise EnclaveError("result cache byte budget must be positive")
+        self.max_bytes = max_bytes
+        self._memory = enclave_memory
+        self._memory_key = memory_key
+        self._entries = OrderedDict()  # key -> (value, nbytes)
+        self._bytes = 0
+        self._lock = threading.Lock()
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # Lookup / insertion
+    # ------------------------------------------------------------------
+    def get(self, key: str):
+        """The cached value, refreshed as most-recently-used; None on miss.
+
+        A hit touches the backing EPC allocation, so a cache that was
+        swapped out under memory pressure pays the page-fault cost before
+        serving — hits are not free under a saturated EPC.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            self._touch_memory()
+            return entry[0]
+
+    def put(self, key: str, value, nbytes: int = None) -> None:
+        """Insert (or refresh) an entry, evicting LRU entries over budget."""
+        if nbytes is None:
+            nbytes = self._estimate(key, value)
+        if nbytes > self.max_bytes:
+            # A single oversized page would evict everything for nothing.
+            return
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old[1]
+            self._entries[key] = (value, nbytes)
+            self._bytes += nbytes
+            self.stats.insertions += 1
+            while self._bytes > self.max_bytes:
+                _, (_, evicted_bytes) = self._entries.popitem(last=False)
+                self._bytes -= evicted_bytes
+                self.stats.evictions += 1
+            self._charge_memory()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def byte_size(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _estimate(key: str, value) -> int:
+        from repro.sgx.runtime import estimate_size
+
+        return (len(key.encode("utf-8")) + estimate_size(value)
+                + ENTRY_OVERHEAD_BYTES)
+
+    def _charge_memory(self) -> None:
+        if self._memory is None:
+            return
+        if self._bytes == 0:
+            if self._memory_key in self._memory:
+                self._memory.delete(self._memory_key)
+            return
+        self._memory.store(self._memory_key, None, nbytes=self._bytes)
+
+    def _touch_memory(self) -> None:
+        if self._memory is not None and self._memory_key in self._memory:
+            self._memory.load(self._memory_key)

@@ -44,19 +44,27 @@ def encode_frame(payload: bytes) -> bytes:
     return _FRAME_HEADER.pack(len(payload)) + payload
 
 
-def decode_frames(buffer: bytes):
-    """Split a buffer into ``(complete_frames, remainder)``."""
+def decode_frames(buffer):
+    """Split a byte-like buffer into ``(complete_frames, remainder)``.
+
+    Accepts ``bytes``/``bytearray``/``memoryview`` and always returns
+    ``bytes`` frames and remainder.  Parsing walks an offset over a single
+    memoryview instead of re-slicing the buffer per frame, so draining a
+    long-lived (keep-alive) connection stays linear in the bytes received.
+    """
     frames = []
-    while len(buffer) >= _FRAME_HEADER.size:
-        (length,) = _FRAME_HEADER.unpack_from(buffer)
+    view = memoryview(buffer)
+    offset = 0
+    while len(view) - offset >= _FRAME_HEADER.size:
+        (length,) = _FRAME_HEADER.unpack_from(view, offset)
         if length > MAX_FRAME_BYTES:
             raise ProtocolError("oversized frame announced")
-        end = _FRAME_HEADER.size + length
-        if len(buffer) < end:
+        end = offset + _FRAME_HEADER.size + length
+        if len(view) < end:
             break
-        frames.append(buffer[_FRAME_HEADER.size:end])
-        buffer = buffer[end:]
-    return frames, buffer
+        frames.append(bytes(view[offset + _FRAME_HEADER.size:end]))
+        offset = end
+    return frames, bytes(view[offset:])
 
 
 # ---------------------------------------------------------------------------

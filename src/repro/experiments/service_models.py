@@ -5,13 +5,19 @@ what matters is each system's per-request service cost and parallelism.
 The constants below are calibrated to the saturation points the paper
 reports on an i7-6700 (§6.3) and are derived from each system's mechanics:
 
-* **X-Search** — one ecall + four socket ocalls per request (~41 k cycles
-  of mode transitions ≈ 12 µs at 3.4 GHz, from the
-  :mod:`repro.sgx.runtime` cost model) plus AEAD decrypt/encrypt of a
-  small record, Algorithm 1 sampling and Algorithm 2 filtering — a few
+* **X-Search** — on the pooled hot path a request costs one ecall
+  (amortised over a ``request_batch`` of records) plus two socket ocalls
+  (``send`` + ``recv`` on a kept-alive engine connection); the
+  per-request ``sock_connect``/``close`` pair and TLS handshake of the
+  naive path are paid once per pooled connection, not per search.  That
+  is ~18.6 k cycles of mode transitions ≈ 5.5 µs at 3.4 GHz (from the
+  :mod:`repro.sgx.runtime` cost model) on top of AEAD decrypt/encrypt of
+  a small record, Algorithm 1 sampling and Algorithm 2 filtering — a few
   hundred µs in the authors' C++ prototype.  With the engine's worker
   pool ("the proxy uses multiple threads", §4.1) this saturates around
-  the paper's 25 k req/s with sub-second latency.
+  the paper's 25 k req/s with sub-second latency.  The per-request
+  connect baseline (1 ecall + 5 ocalls ≈ 14.6 µs of transitions) is kept
+  for the micro-benchmarks that measure the crossing reduction.
 * **PEAS** — two proxy traversals with hybrid public-key crypto per
   request (the receiver relays, the issuer decrypts and re-encrypts):
   milliseconds per request, saturating around 1 k req/s as in the paper.
@@ -32,10 +38,25 @@ from repro.sgx.runtime import (
     DEFAULT_OCALL_CYCLES,
 )
 
-# X-Search per-request enclave boundary crossings: 1 request ecall,
-# 4 socket ocalls (connect, send, recv, close).
+# X-Search steady-state boundary crossings per request on the pooled
+# data path: the request ecall is amortised over a batch of records, and
+# a kept-alive engine connection needs only send + recv (connect/close
+# and the TLS handshake are per-connection, not per-request).  These are
+# the counts the boundary micro-benchmark asserts via the CycleCounter
+# snapshot API.
+XSEARCH_POOLED_OCALLS_PER_REQUEST = 2   # send + recv, keep-alive socket
+XSEARCH_BATCH_RECORDS = 4               # records per request_batch ecall
 _XSEARCH_TRANSITION_SECONDS = (
-    DEFAULT_ECALL_CYCLES + 4 * DEFAULT_OCALL_CYCLES
+    DEFAULT_ECALL_CYCLES / XSEARCH_BATCH_RECORDS
+    + XSEARCH_POOLED_OCALLS_PER_REQUEST * DEFAULT_OCALL_CYCLES
+) / DEFAULT_CLOCK_HZ
+# Baseline (pre-pooling) crossings: 1 ecall + 5 ocalls per request
+# (connect, send, data recv, the empty recv that detects end-of-response,
+# close) — kept so experiments can quantify the crossing reduction.
+XSEARCH_BASELINE_OCALLS_PER_REQUEST = 5
+XSEARCH_BASELINE_TRANSITION_SECONDS = (
+    DEFAULT_ECALL_CYCLES
+    + XSEARCH_BASELINE_OCALLS_PER_REQUEST * DEFAULT_OCALL_CYCLES
 ) / DEFAULT_CLOCK_HZ
 # Crypto + obfuscation + filtering in native code, per request.
 _XSEARCH_COMPUTE_SECONDS = 280e-6

@@ -18,7 +18,7 @@ This module models the EPC at page granularity:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.errors import EnclaveMemoryError
 
@@ -56,6 +56,11 @@ class EpcStats:
     swap_events: int = 0
     swap_cycles: int = 0
     peak_allocated_bytes: int = 0
+
+    def copy(self) -> "EpcStats":
+        """A frozen-in-time copy, so tests can assert on deltas the same
+        way they bracket boundary-crossing snapshots."""
+        return replace(self)
 
 
 class EnclavePageCache:

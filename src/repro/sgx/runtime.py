@@ -55,16 +55,87 @@ class CostModel:
     clock_hz: float = DEFAULT_CLOCK_HZ
 
 
-@dataclass
-class CycleCounter:
-    """Accumulates simulated cycles spent inside the SGX machinery."""
+@dataclass(frozen=True)
+class BoundarySnapshot:
+    """An immutable point-in-time view of the boundary-crossing counters.
+
+    Snapshots subtract, so a benchmark can bracket a workload and assert
+    on the *delta* — e.g. "ocalls per search request" — instead of on
+    absolute counts polluted by setup traffic::
+
+        before = enclave.counter.snapshot()
+        run_workload()
+        delta = enclave.counter.snapshot() - before
+        assert delta.ocall_counts.get("sock_connect", 0) == 0
+    """
 
     cycles: int = 0
     ecalls: int = 0
     ocalls: int = 0
+    ecall_counts: dict = field(default_factory=dict)
+    ocall_counts: dict = field(default_factory=dict)
+
+    def __sub__(self, other: "BoundarySnapshot") -> "BoundarySnapshot":
+        return BoundarySnapshot(
+            cycles=self.cycles - other.cycles,
+            ecalls=self.ecalls - other.ecalls,
+            ocalls=self.ocalls - other.ocalls,
+            ecall_counts=_dict_delta(self.ecall_counts, other.ecall_counts),
+            ocall_counts=_dict_delta(self.ocall_counts, other.ocall_counts),
+        )
+
+    @property
+    def transitions(self) -> int:
+        """Total boundary crossings in either direction."""
+        return self.ecalls + self.ocalls
+
+
+def _dict_delta(new: dict, old: dict) -> dict:
+    delta = {}
+    for name in set(new) | set(old):
+        diff = new.get(name, 0) - old.get(name, 0)
+        if diff:
+            delta[name] = diff
+    return delta
+
+
+@dataclass
+class CycleCounter:
+    """Accumulates simulated cycles spent inside the SGX machinery.
+
+    Besides the aggregate ``ecalls``/``ocalls`` totals it keeps per-name
+    counts (``{"sock_connect": 3, "recv": 7, ...}``) so experiments can
+    attribute transition costs to individual boundary calls.
+    """
+
+    cycles: int = 0
+    ecalls: int = 0
+    ocalls: int = 0
+    ecall_counts: dict = field(default_factory=dict)
+    ocall_counts: dict = field(default_factory=dict)
 
     def charge(self, cycles: int) -> None:
         self.cycles += cycles
+
+    def record(self, direction: str, name: str, cycles: int) -> None:
+        """Charge one boundary crossing and attribute it by name."""
+        self.cycles += cycles
+        if direction == "ecall":
+            self.ecalls += 1
+            self.ecall_counts[name] = self.ecall_counts.get(name, 0) + 1
+        else:
+            self.ocalls += 1
+            self.ocall_counts[name] = self.ocall_counts.get(name, 0) + 1
+
+    def snapshot(self) -> BoundarySnapshot:
+        """A frozen copy of all counters, safe to keep and subtract."""
+        return BoundarySnapshot(
+            cycles=self.cycles,
+            ecalls=self.ecalls,
+            ocalls=self.ocalls,
+            ecall_counts=dict(self.ecall_counts),
+            ocall_counts=dict(self.ocall_counts),
+        )
 
     def seconds(self, clock_hz: float = DEFAULT_CLOCK_HZ) -> float:
         return self.cycles / clock_hz
@@ -82,6 +153,22 @@ class BoundaryRecord:
     direction: str  # "ecall" or "ocall"
     name: str
     payload: bytes
+
+
+def _boundary_bytes(args):
+    """All byte strings crossing the boundary, including those nested one
+    level inside sequences (e.g. the record list of a batched ecall)."""
+    for arg in args:
+        if isinstance(arg, (bytes, bytearray)):
+            yield bytes(arg)
+        elif isinstance(arg, (list, tuple)):
+            for item in arg:
+                if isinstance(item, (bytes, bytearray)):
+                    yield bytes(item)
+                elif isinstance(item, (list, tuple)):
+                    for inner in item:
+                        if isinstance(inner, (bytes, bytearray)):
+                            yield bytes(inner)
 
 
 class OcallTable:
@@ -318,14 +405,15 @@ class Enclave:
             if direction == "ecall"
             else self.cost_model.ocall_cycles
         )
-        payload = b"".join(a for a in args if isinstance(a, (bytes, bytearray)))
+        payload = b"".join(_boundary_bytes(args))
         with self._concurrency_lock:
-            self.counter.charge(cycles)
-            if direction == "ecall":
-                self.counter.ecalls += 1
-            else:
-                self.counter.ocalls += 1
+            self.counter.record(direction, name, cycles)
             self._boundary_log.append(BoundaryRecord(direction, name, payload))
+
+    def boundary_snapshot(self) -> "BoundarySnapshot":
+        """Frozen view of the transition counters (see CycleCounter)."""
+        with self._concurrency_lock:
+            return self.counter.snapshot()
 
     # ------------------------------------------------------------------
     # Security-test instrumentation

@@ -33,7 +33,8 @@ def exchange(gateway, request_bytes):
             break
         raw += chunk
     gateway.close(fd)
-    return split_http_response(raw)
+    status, body, _consumed = split_http_response(raw)
+    return status, body
 
 
 def test_search_request_roundtrip(gateway):
@@ -69,7 +70,7 @@ def test_chunked_send_supported(gateway):
         if not chunk:
             break
         raw += chunk
-    status, body = split_http_response(raw)
+    status, body, _ = split_http_response(raw)
     assert status == 200
 
 
@@ -125,8 +126,163 @@ def test_split_http_response_errors():
         )
     with pytest.raises(NetworkError):
         split_http_response(b"garbage\r\n\r\n")
+    with pytest.raises(NetworkError):
+        split_http_response(b"HTTP/1.1 200 OK\r\nContent-Length: ten\r\n\r\n")
 
 
 def test_parse_results_body_errors():
     with pytest.raises(NetworkError):
         parse_results_body(b"not json at all {")
+
+
+# ---------------------------------------------------------------------------
+# Keep-alive / pipelined response handling (split_http_response framing)
+# ---------------------------------------------------------------------------
+
+def http_response(body: bytes, status=b"200 OK") -> bytes:
+    return (b"HTTP/1.1 " + status + b"\r\nContent-Length: "
+            + str(len(body)).encode() + b"\r\n\r\n" + body)
+
+
+def test_split_reports_consumed_length_and_leaves_trailing_bytes():
+    first = http_response(b"alpha")
+    second = http_response(b"beta-beta")
+    buffer = first + second
+    status, body, consumed = split_http_response(buffer)
+    assert (status, body, consumed) == (200, b"alpha", len(first))
+    status, body, consumed = split_http_response(buffer[consumed:])
+    assert (status, body) == (200, b"beta-beta")
+    assert consumed == len(second)
+
+
+def test_split_partial_ok_signals_incomplete_instead_of_raising():
+    complete = http_response(b"payload")
+    for cut in (0, 10, len(complete) - 1):
+        status, body, consumed = split_http_response(
+            complete[:cut], partial_ok=True
+        )
+        assert (status, body, consumed) == (None, b"", 0)
+    status, body, consumed = split_http_response(complete, partial_ok=True)
+    assert (status, body, consumed) == (200, b"payload", len(complete))
+
+
+def test_split_without_content_length_consumes_everything():
+    raw = b"HTTP/1.1 200 OK\r\n\r\nclose-delimited body"
+    status, body, consumed = split_http_response(raw)
+    assert status == 200
+    assert body == b"close-delimited body"
+    assert consumed == len(raw)
+
+
+def test_keep_alive_connection_serves_multiple_requests(gateway):
+    """One fd, three sequential requests — no reconnect in between."""
+    fd = gateway.sock_connect(ENGINE_HOST, ENGINE_PORT)
+    for query in ("hotel", "rome", "hotel+rome"):
+        gateway.send(fd, http_get(f"/search?q={query}&limit=3"))
+        raw = b""
+        while True:
+            chunk = gateway.recv(fd, 4096)
+            if not chunk:
+                break
+            raw += chunk
+        status, body, _ = split_http_response(raw)
+        assert status == 200
+        assert parse_results_body(body)
+    gateway.close(fd)
+
+
+def test_pipelined_requests_answered_in_order(gateway):
+    """Two requests in one send: both responses are buffered, in order."""
+    fd = gateway.sock_connect(ENGINE_HOST, ENGINE_PORT)
+    gateway.send(
+        fd,
+        http_get("/search?q=hotel&limit=2") + http_get("/search?q=rome&limit=4"),
+    )
+    raw = b""
+    while True:
+        chunk = gateway.recv(fd, 4096)
+        if not chunk:
+            break
+        raw += chunk
+    status, first, consumed = split_http_response(raw)
+    assert status == 200
+    assert len(parse_results_body(first)) == 2
+    status, second, _ = split_http_response(raw[consumed:])
+    assert status == 200
+    assert len(parse_results_body(second)) == 4
+    gateway.close(fd)
+
+
+# ---------------------------------------------------------------------------
+# Error paths
+# ---------------------------------------------------------------------------
+
+def test_tls_connect_without_tls_config_refused(gateway):
+    from repro.core.gateway import ENGINE_TLS_PORT
+
+    with pytest.raises(NetworkError):
+        gateway.sock_connect(ENGINE_HOST, ENGINE_TLS_PORT)
+
+
+def test_operations_on_closed_fd_rejected(gateway):
+    fd = gateway.sock_connect(ENGINE_HOST, ENGINE_PORT)
+    gateway.close(fd)
+    with pytest.raises(NetworkError):
+        gateway.send(fd, b"GET /search?q=a HTTP/1.1\r\n\r\n")
+    with pytest.raises(NetworkError):
+        gateway.recv(fd, 10)
+
+
+def test_malformed_request_line_gets_400(gateway):
+    status, _ = exchange(gateway, b"NOT-HTTP\r\n\r\n")
+    assert status == 400
+
+
+def test_non_utf8_request_line_gets_400(gateway):
+    status, _ = exchange(gateway, b"\xff\xfe GARBAGE\r\n\r\n")
+    assert status == 400
+
+
+# ---------------------------------------------------------------------------
+# Thread safety: send/recv racing close on the shared descriptor table
+# ---------------------------------------------------------------------------
+
+def test_concurrent_sessions_are_thread_safe(tracking_engine):
+    """Regression test for the unlocked ``_connections`` lookup: many
+    threads opening/using/closing fds concurrently while others churn the
+    table must never corrupt it — every thread either completes its
+    exchange or sees a clean NetworkError for a closed fd."""
+    import threading
+
+    gateway = EngineGateway(tracking_engine, source="race-proxy")
+    errors = []
+    completed = []
+
+    def worker(worker_id):
+        try:
+            for i in range(25):
+                fd = gateway.sock_connect(ENGINE_HOST, ENGINE_PORT)
+                gateway.send(
+                    fd, http_get(f"/search?q=worker{worker_id}-{i}&limit=2")
+                )
+                raw = b""
+                while True:
+                    chunk = gateway.recv(fd, 1024)
+                    if not chunk:
+                        break
+                    raw += chunk
+                status, body, _ = split_http_response(raw)
+                assert status == 200
+                gateway.close(fd)
+            completed.append(worker_id)
+        except Exception as exc:  # pragma: no cover - failure diagnostics
+            errors.append((worker_id, exc))
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    assert len(completed) == 8
+    assert not gateway._connections  # every fd was closed exactly once

@@ -1,0 +1,202 @@
+"""The in-enclave result cache: LRU semantics, EPC metering, privacy.
+
+The cache exploits the Zipfian query workload: a repeated obfuscated
+OR-query is served from enclave memory with *zero* engine ocalls, and
+its bytes are charged to the EPC model so Figure 6's memory pressure
+applies to it like to the history table.
+"""
+
+import pytest
+
+from repro.core.proxy import XSearchProxyHost
+from repro.core.protocol import SearchRequest, SearchResponse
+from repro.core.result_cache import ResultCache
+from repro.crypto.channel import HandshakeInitiator
+from repro.errors import EnclaveError
+from repro.search.tracking import TrackingSearchEngine
+from repro.sgx.epc import EnclavePageCache
+from repro.sgx.runtime import EnclaveMemory
+
+
+# ---------------------------------------------------------------------------
+# Unit level: the LRU structure itself
+# ---------------------------------------------------------------------------
+
+def test_cache_put_get_roundtrip():
+    cache = ResultCache(1024)
+    cache.put("q1", ("r1", "r2"), nbytes=100)
+    assert cache.get("q1") == ("r1", "r2")
+    assert cache.get("missing") is None
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+
+
+def test_cache_evicts_least_recently_used_first():
+    cache = ResultCache(300)
+    cache.put("a", "A", nbytes=100)
+    cache.put("b", "B", nbytes=100)
+    cache.put("c", "C", nbytes=100)
+    assert cache.get("a") == "A"  # refresh a: b is now the LRU entry
+    cache.put("d", "D", nbytes=100)  # over budget -> evict b
+    assert "b" not in cache
+    assert cache.get("a") == "A"
+    assert cache.get("c") == "C"
+    assert cache.get("d") == "D"
+    assert cache.stats.evictions == 1
+    assert cache.byte_size == 300
+
+
+def test_cache_refresh_replaces_existing_entry_bytes():
+    cache = ResultCache(1000)
+    cache.put("k", "old", nbytes=400)
+    cache.put("k", "new", nbytes=100)
+    assert cache.get("k") == "new"
+    assert cache.byte_size == 100
+    assert len(cache) == 1
+
+
+def test_oversized_entry_is_not_cached():
+    cache = ResultCache(100)
+    cache.put("huge", "x", nbytes=101)
+    assert "huge" not in cache
+    assert cache.byte_size == 0
+
+
+def test_cache_rejects_nonpositive_budget():
+    with pytest.raises(EnclaveError):
+        ResultCache(0)
+
+
+def test_cache_charges_enclave_memory():
+    memory = EnclaveMemory(EnclavePageCache())
+    cache = ResultCache(10_000, enclave_memory=memory)
+    cache.put("a", "A", nbytes=3000)
+    assert memory.occupancy_bytes == 3000
+    cache.put("b", "B", nbytes=4000)
+    assert memory.occupancy_bytes == 7000
+    cache.put("c", "C", nbytes=5000)  # evicts "a"
+    assert memory.occupancy_bytes == 9000
+    assert cache.stats.evictions == 1
+
+
+# ---------------------------------------------------------------------------
+# Proxy integration: zero engine ocalls on a repeated query
+# ---------------------------------------------------------------------------
+
+def make_proxy(engine, **kwargs):
+    kwargs.setdefault("k", 0)  # k=0 -> OR-query == query, deterministic
+    kwargs.setdefault("history_capacity", 1000)
+    kwargs.setdefault("rng_seed", 9)
+    return XSearchProxyHost(TrackingSearchEngine(engine), **kwargs)
+
+
+def connect(proxy, session_id="cache-session"):
+    initiator = HandshakeInitiator()
+    proxy.begin_session(session_id, initiator.hello())
+    return initiator.finish(proxy.channel_public())
+
+
+def search(proxy, endpoint, query, session_id="cache-session", limit=10):
+    record = endpoint.encrypt(SearchRequest(query, limit).encode())
+    reply = proxy.request(session_id, record)
+    return SearchResponse.decode(endpoint.decrypt(reply))
+
+
+def test_repeated_query_served_from_cache_with_zero_engine_ocalls(
+        small_engine):
+    proxy = make_proxy(small_engine)
+    endpoint = connect(proxy)
+
+    first = search(proxy, endpoint, "cheap hotel rome")
+    assert first.results
+    engine_obs = len(proxy.gateway._engine.observations)
+
+    before = proxy.enclave.boundary_snapshot()
+    second = search(proxy, endpoint, "cheap hotel rome")
+    delta = proxy.enclave.boundary_snapshot() - before
+
+    # One request ecall crossed the boundary; nothing went out to the
+    # engine — no connect, no send, no recv, no close.
+    assert delta.ecalls == 1
+    assert delta.ocalls == 0
+    assert delta.ocall_counts == {}
+    assert len(proxy.gateway._engine.observations) == engine_obs
+    assert [r.url for r in second.results] == [r.url for r in first.results]
+
+    stats = proxy.perf_stats()
+    assert stats["cache_hits"] == 1
+    assert stats["engine_requests"] == 1
+
+
+def test_distinct_queries_miss_the_cache(small_engine):
+    proxy = make_proxy(small_engine)
+    endpoint = connect(proxy)
+    search(proxy, endpoint, "hotel rome")
+    search(proxy, endpoint, "hotel paris")
+    stats = proxy.perf_stats()
+    assert stats["cache_hits"] == 0
+    assert stats["engine_requests"] == 2
+
+
+def test_different_limits_are_distinct_cache_entries(small_engine):
+    proxy = make_proxy(small_engine)
+    endpoint = connect(proxy)
+    search(proxy, endpoint, "hotel rome", limit=5)
+    search(proxy, endpoint, "hotel rome", limit=10)
+    assert proxy.perf_stats()["cache_hits"] == 0
+    search(proxy, endpoint, "hotel rome", limit=5)
+    assert proxy.perf_stats()["cache_hits"] == 1
+
+
+def test_cache_disabled_always_hits_the_engine(small_engine):
+    proxy = make_proxy(small_engine, cache_bytes=0)
+    endpoint = connect(proxy)
+    search(proxy, endpoint, "cheap hotel rome")
+    search(proxy, endpoint, "cheap hotel rome")
+    stats = proxy.perf_stats()
+    assert stats["cache_hits"] == 0
+    assert stats["engine_requests"] == 2
+    assert len(proxy.gateway._engine.observations) == 2
+
+
+def test_cache_memory_is_charged_to_the_epc_model(small_engine):
+    proxy = make_proxy(small_engine)
+    endpoint = connect(proxy)
+    assert "xsearch.result_cache" not in proxy.enclave.memory
+    occupancy_before = proxy.enclave.memory.occupancy_bytes
+    search(proxy, endpoint, "cheap hotel rome")
+    assert "xsearch.result_cache" in proxy.enclave.memory
+    cache_bytes = proxy.enclave.memory.size_of("xsearch.result_cache")
+    assert cache_bytes > 0
+    assert proxy.enclave.memory.occupancy_bytes > occupancy_before
+    assert proxy.perf_stats()["cache_bytes"] == cache_bytes
+
+
+def test_cache_evicts_under_its_byte_budget(small_engine):
+    """A tiny cache budget forces LRU eviction while serving correctly."""
+    proxy = make_proxy(small_engine, cache_bytes=2048)
+    endpoint = connect(proxy)
+    for i in range(12):
+        search(proxy, endpoint, f"hotel rome {i}")
+    stats = proxy.perf_stats()
+    assert stats["cache_evictions"] > 0
+    assert stats["cache_bytes"] <= 2048
+    # The EPC charge shrank along with the evictions.
+    assert proxy.enclave.memory.size_of("xsearch.result_cache") <= 2048
+
+
+def test_cache_pages_swap_under_a_small_epc(small_engine):
+    """Under a small EPC the cache competes for pages: filling it drives
+    the paging machinery (EWB/ELDU events), observable in the EPC stats —
+    exactly the Figure 6 pressure applied to the new allocation."""
+    epc = EnclavePageCache(usable_bytes=2 * 4096)
+    proxy = make_proxy(small_engine, epc=epc, cache_bytes=32 * 1024,
+                       pool_connections=True)
+    endpoint = connect(proxy)
+    swaps_before = epc.stats.copy().swap_events
+    for i in range(60):
+        search(proxy, endpoint, f"crowded epc probe {i} term{i % 7}")
+    assert "xsearch.result_cache" in proxy.enclave.memory
+    assert epc.stats.swap_events > swaps_before
+    # Served correctly throughout the paging churn.
+    assert proxy.perf_stats()["engine_requests"] == 60

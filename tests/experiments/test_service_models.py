@@ -6,8 +6,9 @@ from repro.experiments import service_models as sm
 
 
 def test_xsearch_service_includes_transition_costs():
-    """The X-Search service time is built from the SGX cost model: one
-    request ecall plus four socket ocalls."""
+    """The X-Search service time is built from the SGX cost model: a
+    batch-amortised request ecall plus two ocalls on a pooled keep-alive
+    engine connection."""
     from repro.sgx.runtime import (
         DEFAULT_CLOCK_HZ,
         DEFAULT_ECALL_CYCLES,
@@ -15,12 +16,21 @@ def test_xsearch_service_includes_transition_costs():
     )
 
     transitions = (
-        DEFAULT_ECALL_CYCLES + 4 * DEFAULT_OCALL_CYCLES
+        DEFAULT_ECALL_CYCLES / sm.XSEARCH_BATCH_RECORDS
+        + sm.XSEARCH_POOLED_OCALLS_PER_REQUEST * DEFAULT_OCALL_CYCLES
     ) / DEFAULT_CLOCK_HZ
     assert sm.XSEARCH_SERVICE.median_seconds > transitions
     assert sm.XSEARCH_SERVICE.median_seconds == pytest.approx(
         transitions + sm._XSEARCH_COMPUTE_SECONDS
     )
+
+
+def test_pooled_transitions_beat_the_baseline():
+    """Pooling + batching must cut the metered per-request transition
+    time by at least 2× versus the per-request-connect baseline."""
+    pooled = sm._XSEARCH_TRANSITION_SECONDS
+    baseline = sm.XSEARCH_BASELINE_TRANSITION_SECONDS
+    assert baseline >= 2 * pooled
 
 
 def test_capacity_ordering_matches_the_paper():

@@ -128,6 +128,60 @@ def test_boundary_log_captures_payloads():
     assert b"visible-bytes" in ocall_payloads
 
 
+def test_boundary_log_captures_bytes_nested_in_sequences():
+    """Batched ecalls cross the boundary as lists of (id, record) pairs;
+    the record ciphertext must still be captured for the security tests."""
+    enclave = make_enclave()
+    enclave.call("increment", 1)  # no bytes
+    enclave._on_boundary("ecall", "request_batch",
+                         ([("s1", b"rec-one"), ("s2", b"rec-two")],))
+    payloads = [r.payload for r in enclave.boundary_log
+                if r.name == "request_batch"]
+    assert payloads == [b"rec-onerec-two"]
+
+
+# ---------------------------------------------------------------------------
+# Per-name transition counts and the snapshot API
+# ---------------------------------------------------------------------------
+
+def test_counter_tracks_per_name_counts():
+    enclave = make_enclave()
+    enclave.call("echo_out", b"a")
+    enclave.call("echo_out", b"b")
+    enclave.call("increment", 1)
+    assert enclave.counter.ecall_counts == {"echo_out": 2, "increment": 1}
+    assert enclave.counter.ocall_counts == {"loopback": 2}
+
+
+def test_boundary_snapshot_subtracts_to_deltas():
+    enclave = make_enclave()
+    enclave.call("echo_out", b"warmup")
+    before = enclave.boundary_snapshot()
+    enclave.call("echo_out", b"measured")
+    enclave.call("increment", 2)
+    delta = enclave.boundary_snapshot() - before
+    assert delta.ecalls == 2
+    assert delta.ocalls == 1
+    assert delta.ecall_counts == {"echo_out": 1, "increment": 1}
+    assert delta.ocall_counts == {"loopback": 1}
+    assert delta.transitions == 3
+    assert delta.cycles == (
+        2 * enclave.cost_model.ecall_cycles + enclave.cost_model.ocall_cycles
+    )
+
+
+def test_snapshot_is_frozen_in_time():
+    enclave = make_enclave()
+    snap = enclave.boundary_snapshot()
+    enclave.call("increment", 1)
+    assert snap.ecalls == 0
+    assert snap.ecall_counts == {}
+    later = enclave.boundary_snapshot()
+    assert later.ecalls == 1
+    # Zero-delta names are omitted from subtracted snapshots.
+    assert (later - later).ecall_counts == {}
+
+
 def test_measurement_includes_config():
     a = make_enclave(config=b"k=3")
     b = make_enclave(config=b"k=4")

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Benchmark smoke run: proxy micro-benchmarks, boundary-crossing
+# accounting, and the Figure 5 throughput/latency sweep.
+#
+# Writes the Figure 5 pytest-benchmark report to BENCH_fig5.json at the
+# repository root (committed, so perf regressions show up in review).
+#
+# Usage: tools/bench_smoke.sh [extra pytest args...]
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== proxy micro-benchmarks =="
+python -m pytest benchmarks/test_micro_proxy.py \
+    benchmarks/test_micro_boundary.py -q "$@"
+
+echo
+echo "== figure 5: throughput vs latency =="
+python -m pytest benchmarks/test_fig5_throughput_latency.py -q -s \
+    --benchmark-json=BENCH_fig5.json "$@"
+
+echo
+echo "wrote BENCH_fig5.json"
