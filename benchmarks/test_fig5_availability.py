@@ -1,0 +1,66 @@
+"""Acceptance gate for the fault-tolerance layer (Figure 5 companion).
+
+Runs the seeded availability scenario — one enclave kill, two engine
+outage windows — and holds the recovery machinery to the criterion:
+
+* ≥ 90 % of searches served (full or degraded);
+* the respawned enclave re-attests under the *same* measurement;
+* the restored history is exactly the checkpointed one;
+* no unexpected failure kinds leak to the client.
+"""
+
+import pytest
+
+from repro.experiments import fig5_availability
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig5_availability.run(
+        seed=0,
+        total_requests=60,
+        crash_at=18,
+        outages=((26, 34), (44, 50)),
+        checkpoint_interval=6,
+    )
+
+
+def test_availability_meets_target(result):
+    assert result.total == 60
+    assert result.availability >= 0.90
+    assert result.meets_target()
+
+
+def test_enclave_killed_once_and_respawned(result):
+    assert result.respawns == 1
+    assert result.measurement_stable
+    # The broker noticed the loss and re-attested exactly once.
+    assert result.reconnects == 1
+
+
+def test_history_restored_from_checkpoint(result):
+    assert result.checkpoints >= 1
+    assert result.restore_matches_checkpoint
+
+
+def test_outages_served_degraded(result):
+    # Both engine outages produced degraded (cache-served) responses.
+    assert result.degraded > 0
+    assert "degraded" in result.timeline
+
+
+def test_only_engine_unavailability_surfaces(result):
+    # The only failures a client ever sees are "engine down and nothing
+    # cached for this query" — no raw socket errors, no enclave errors.
+    assert set(result.failure_kinds) <= {"EngineUnavailableError"}
+
+
+def test_schedule_is_deterministic():
+    first = fig5_availability.run(seed=7, total_requests=40, crash_at=12,
+                                  outages=((20, 26),),
+                                  checkpoint_interval=5)
+    second = fig5_availability.run(seed=7, total_requests=40, crash_at=12,
+                                   outages=((20, 26),),
+                                   checkpoint_interval=5)
+    assert first.timeline == second.timeline
+    assert first.summary() == second.summary()

@@ -8,7 +8,10 @@
   :class:`~repro.core.proxy.XSearchEnclaveCode` /
   :class:`~repro.core.proxy.XSearchProxyHost`;
 * the attesting client-side broker — :class:`~repro.core.broker.Broker`;
-* one-call wiring — :class:`~repro.core.deployment.XSearchDeployment`.
+* one-call wiring — :class:`~repro.core.deployment.XSearchDeployment`;
+* retry/backoff policies for the fault-tolerance layer —
+  :class:`~repro.core.retry.RetryPolicy` /
+  :func:`~repro.core.retry.call_with_retry`.
 """
 
 from repro.core.broker import Broker
@@ -30,10 +33,19 @@ from repro.core.protocol import (
     SearchResponse,
 )
 from repro.core.proxy import (
+    DEFAULT_CHECKPOINT_INTERVAL,
+    DEFAULT_DEGRADED_CACHE_BYTES,
     DEFAULT_HISTORY_CAPACITY,
     DEFAULT_K,
     XSearchEnclaveCode,
     XSearchProxyHost,
+)
+from repro.core.retry import (
+    DEFAULT_BROKER_RETRY,
+    DEFAULT_ENGINE_RETRY,
+    NO_RETRY,
+    RetryPolicy,
+    call_with_retry,
 )
 
 __all__ = [
@@ -58,4 +70,11 @@ __all__ = [
     "restore_history",
     "DEFAULT_K",
     "DEFAULT_HISTORY_CAPACITY",
+    "RetryPolicy",
+    "call_with_retry",
+    "NO_RETRY",
+    "DEFAULT_ENGINE_RETRY",
+    "DEFAULT_BROKER_RETRY",
+    "DEFAULT_CHECKPOINT_INTERVAL",
+    "DEFAULT_DEGRADED_CACHE_BYTES",
 ]

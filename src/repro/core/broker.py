@@ -13,42 +13,112 @@ the SGX attestation step.  Before sending a single query it:
 
 Only then do queries flow: broker encrypts → enclave decrypts, executes,
 encrypts results → broker decrypts and hands them to the web client.
+
+Fault tolerance: when a request dies because the enclave was lost
+(:class:`~repro.errors.EnclaveLostError`), the broker *heals* — it
+re-attests the respawned enclave (same expected measurement; a swapped
+binary still fails verification), performs a fresh handshake under a new
+session id, re-encrypts the request under the new channel keys and
+retries, all under its :class:`~repro.core.retry.RetryPolicy`.  Transient
+attestation-service hiccups during ``connect()`` are retried the same
+way.
 """
 
 from __future__ import annotations
 
 import secrets
+import warnings
 
 from repro.core.protocol import Ack, IngestRequest, SearchRequest, SearchResponse
 from repro.core.proxy import XSearchProxyHost
+from repro.core.retry import (
+    DEFAULT_BROKER_RETRY,
+    RetryPolicy,
+    call_with_retry,
+)
 from repro.crypto.channel import HandshakeInitiator
-from repro.errors import AttestationError, ProtocolError
+from repro.errors import (
+    AttestationError,
+    EnclaveLostError,
+    ProtocolError,
+    TransientError,
+)
 from repro.sgx.attestation import RemoteVerifier, report_data_for_key
 from repro.sgx.measurement import Measurement
 
+DEFAULT_LIMIT = 20
+
+
+def _limit_from_args(args, limit, method):
+    """Support the deprecated positional ``limit`` argument."""
+    if not args:
+        return limit
+    if len(args) > 1:
+        raise TypeError(
+            f"{method}() takes at most one positional option (limit)"
+        )
+    warnings.warn(
+        f"passing limit positionally to {method}() is deprecated; "
+        f"use {method}(..., limit=...)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return args[0]
+
 
 class Broker:
-    """The local daemon mediating between a web client and the proxy."""
+    """The local daemon mediating between a web client and the proxy.
+
+    ``retry_policy`` is the default recovery policy for the query path
+    (enclave-loss heal-and-retry); individual calls may override it.
+    ``clock`` is injectable so tests drive backoff on a virtual clock.
+    """
+
+    #: Whether the most recent response was served in degraded mode.
+    last_degraded = False
 
     def __init__(self, proxy: XSearchProxyHost, *,
                  service_public_key,
                  expected_measurement: Measurement,
-                 session_id: str = None):
+                 session_id: str = None,
+                 retry_policy: RetryPolicy = None,
+                 clock=None):
         self._proxy = proxy
         self._verifier = RemoteVerifier(service_public_key, expected_measurement)
         self._session_id = (
             session_id if session_id is not None else secrets.token_hex(8)
         )
         self._endpoint = None
+        self._retry_policy = (
+            retry_policy if retry_policy is not None else DEFAULT_BROKER_RETRY
+        )
+        self._clock = clock
         self.attested = False
+        self.reconnects = 0
+        self.last_degraded = False
 
     # ------------------------------------------------------------------
     # Connection establishment
     # ------------------------------------------------------------------
-    def connect(self) -> None:
-        """Attest the proxy and establish the encrypted tunnel."""
+    def connect(self, *, retry_policy: RetryPolicy = None) -> None:
+        """Attest the proxy and establish the encrypted tunnel.
+
+        Transient attestation failures (the quoting service being briefly
+        unreachable) are retried under ``retry_policy`` (defaults to the
+        broker's policy); a *verification* failure — wrong measurement,
+        bad signature — is never retried.
+        """
         if self._endpoint is not None:
             raise ProtocolError("broker is already connected")
+        policy = retry_policy if retry_policy is not None else self._retry_policy
+        call_with_retry(
+            self._connect_once,
+            policy=policy,
+            clock=self._clock,
+            retry_on=(TransientError,),
+        )
+
+    def _connect_once(self) -> None:
         verdict = self._proxy.attestation_evidence()
         enclave_public = self._proxy.channel_public()
         self._verifier.verify(
@@ -61,6 +131,26 @@ class Broker:
         self._proxy.begin_session(self._session_id, initiator.hello())
         self._endpoint = initiator.finish(enclave_public)
 
+    def _heal(self, attempt: int, exc: Exception) -> None:
+        """Recover from an enclave loss between retry attempts.
+
+        The respawned enclave has fresh channel keys and an empty session
+        table, so the broker re-attests (verifying the measurement did
+        not change), opens a new session id and derives new keys.  Runs
+        under the connect-time retry policy so an attestation transient
+        during recovery does not kill the heal.
+        """
+        self._endpoint = None
+        self.attested = False
+        self._session_id = secrets.token_hex(8)
+        self.reconnects += 1
+        call_with_retry(
+            self._connect_once,
+            policy=self._retry_policy,
+            clock=self._clock,
+            retry_on=(TransientError,),
+        )
+
     @property
     def is_connected(self) -> bool:
         return self._endpoint is not None
@@ -68,53 +158,116 @@ class Broker:
     # ------------------------------------------------------------------
     # Query path
     # ------------------------------------------------------------------
-    def search(self, query: str, limit: int = 20) -> list:
-        """Privately execute one web search; returns filtered results."""
-        endpoint = self._require_connected()
-        record = endpoint.encrypt(SearchRequest(query, limit).encode())
-        reply = self._proxy.request(self._session_id, record)
-        response = SearchResponse.decode(endpoint.decrypt(reply))
-        return list(response.results)
+    def search(self, query: str, *args, limit: int = DEFAULT_LIMIT,
+               timeout: float = None,
+               retry_policy: RetryPolicy = None) -> list:
+        """Privately execute one web search; returns filtered results.
 
-    def search_batch(self, queries, limit: int = 20) -> list:
+        ``limit``, ``timeout`` and ``retry_policy`` are keyword-only:
+        ``timeout`` bounds the total time spent including retries,
+        ``retry_policy`` overrides the broker's enclave-loss recovery
+        policy for this call.  Whether the response was served degraded
+        (engine down, last-known results) is exposed as
+        :attr:`last_degraded`.
+        """
+        limit = _limit_from_args(args, limit, "search")
+        response = self._request_with_recovery(
+            lambda endpoint: SearchRequest(query, limit).encode(),
+            timeout=timeout, retry_policy=retry_policy,
+        )
+        decoded = SearchResponse.decode(response)
+        self.last_degraded = decoded.degraded
+        return list(decoded.results)
+
+    def search_batch(self, queries, *args, limit: int = DEFAULT_LIMIT,
+                     timeout: float = None,
+                     retry_policy: RetryPolicy = None) -> list:
         """Execute several searches in one batched proxy round trip.
 
         All records ride a single ``request_batch`` ecall, so the enclave
         transition cost is amortised over the batch (the proxy's hot-path
         optimisation); each query is still individually encrypted and
         individually obfuscated inside the enclave.  Returns one result
-        list per query, in order.
+        list per query, in order.  An empty batch returns ``[]`` without
+        touching the proxy at all.
         """
-        endpoint = self._require_connected()
+        limit = _limit_from_args(args, limit, "search_batch")
         queries = list(queries)
-        records = [
-            endpoint.encrypt(SearchRequest(query, limit).encode())
-            for query in queries
-        ]
-        replies = self._proxy.request_batch(
-            [(self._session_id, record) for record in records]
-        )
-        if len(replies) != len(records):
-            raise ProtocolError("proxy returned a mis-sized batch reply")
-        return [
-            list(SearchResponse.decode(endpoint.decrypt(reply)).results)
-            for reply in replies
-        ]
+        if not queries:
+            return []
+        policy = retry_policy if retry_policy is not None else self._retry_policy
+        deadline = self._deadline(timeout)
 
-    def ingest(self, queries) -> int:
+        def attempt():
+            endpoint = self._require_connected()
+            records = [
+                endpoint.encrypt(SearchRequest(query, limit).encode())
+                for query in queries
+            ]
+            replies = self._proxy.request_batch(
+                [(self._session_id, record) for record in records]
+            )
+            if len(replies) != len(records):
+                raise ProtocolError("proxy returned a mis-sized batch reply")
+            return [endpoint.decrypt(reply) for reply in replies]
+
+        plaintexts = call_with_retry(
+            attempt, policy=policy, clock=self._clock,
+            retry_on=(EnclaveLostError,), deadline=deadline,
+            on_retry=self._heal,
+        )
+        decoded = [SearchResponse.decode(p) for p in plaintexts]
+        self.last_degraded = any(d.degraded for d in decoded)
+        return [list(d.results) for d in decoded]
+
+    def ingest(self, queries, *, timeout: float = None,
+               retry_policy: RetryPolicy = None) -> int:
         """Feed a batch of real queries into the proxy history.
 
         Used by simulations to model the traffic of many other users; a
         production broker does not expose this to the web client.
         """
-        endpoint = self._require_connected()
-        record = endpoint.encrypt(IngestRequest(tuple(queries)).encode())
-        reply = self._proxy.request(self._session_id, record)
-        return Ack.decode(endpoint.decrypt(reply)).count
+        reply = self._request_with_recovery(
+            lambda endpoint: IngestRequest(tuple(queries)).encode(),
+            timeout=timeout, retry_policy=retry_policy,
+        )
+        return Ack.decode(reply).count
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _request_with_recovery(self, build_plaintext, *, timeout,
+                               retry_policy):
+        """One request → decrypted reply bytes, healing enclave losses.
+
+        The plaintext is rebuilt and re-encrypted on every attempt: the
+        channel nonces are counters and a heal swaps the keys entirely,
+        so a captured ciphertext must never be replayed.
+        """
+        policy = retry_policy if retry_policy is not None else self._retry_policy
+        deadline = self._deadline(timeout)
+
+        def attempt():
+            endpoint = self._require_connected()
+            record = endpoint.encrypt(build_plaintext(endpoint))
+            reply = self._proxy.request(self._session_id, record)
+            return endpoint.decrypt(reply)
+
+        return call_with_retry(
+            attempt, policy=policy, clock=self._clock,
+            retry_on=(EnclaveLostError,), deadline=deadline,
+            on_retry=self._heal,
+        )
+
+    def _deadline(self, timeout):
+        if timeout is None:
+            return None
+        clock = self._clock
+        if clock is None:
+            from repro.core.retry import _SYSTEM_CLOCK
+            clock = _SYSTEM_CLOCK
+        return clock.time() + timeout
+
     def _require_connected(self):
         if self._endpoint is None:
             raise AttestationError(

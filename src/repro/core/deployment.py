@@ -4,10 +4,17 @@ Builds every premise of the adversary model: the trusted client domain
 (client + broker), the untrusted cloud node (proxy host + enclave +
 quoting enclave), the attestation service and the honest-but-curious
 search engine — and connects them exactly the way the protocol prescribes.
+
+The deployment is also the recommended API surface: it is a context
+manager (``with XSearchDeployment.create(...) as deployment:``) whose
+exit tears the proxy down cleanly, and ``deployment.client`` doubles as
+the default client *and* a factory — ``deployment.client(user_id="bob")``
+mints an additional attested client with its own broker session.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from repro.core.broker import Broker
@@ -17,6 +24,7 @@ from repro.core.proxy import (
     DEFAULT_K,
     XSearchProxyHost,
 )
+from repro.core.retry import RetryPolicy
 from repro.search.engine import SearchEngine
 from repro.search.tracking import TrackingSearchEngine
 from repro.sgx.attestation import AttestationService, QuotingEnclave
@@ -25,6 +33,50 @@ from repro.sgx.attestation import AttestationService, QuotingEnclave
 # deployment knob, not a protocol property (pass key_bits=2048 for the
 # full-strength setup).
 DEFAULT_ATTESTATION_KEY_BITS = 1024
+
+
+class _ClientFacade:
+    """What ``deployment.client`` returns: the default client, callable.
+
+    Attribute access (``deployment.client.search(...)``) goes to the
+    deployment's default client, so every pre-existing call site keeps
+    working; *calling* it (``deployment.client(user_id="bob")``) mints a
+    new attested client with its own broker session against the same
+    proxy.
+    """
+
+    __slots__ = ("_deployment",)
+
+    def __init__(self, deployment: "XSearchDeployment"):
+        object.__setattr__(self, "_deployment", deployment)
+
+    def __call__(self, *, user_id: str = "local-user",
+                 session_id: str = None,
+                 retry_policy: RetryPolicy = None,
+                 connect: bool = True) -> XSearchClient:
+        deployment = object.__getattribute__(self, "_deployment")
+        broker = Broker(
+            deployment.proxy,
+            service_public_key=deployment.attestation_service.public_key,
+            expected_measurement=deployment.proxy.measurement,
+            session_id=session_id,
+            retry_policy=retry_policy,
+        )
+        if connect:
+            broker.connect()
+        return XSearchClient(broker, user_id=user_id)
+
+    def __getattr__(self, name):
+        deployment = object.__getattribute__(self, "_deployment")
+        return getattr(deployment.default_client, name)
+
+    def __setattr__(self, name, value):
+        deployment = object.__getattribute__(self, "_deployment")
+        setattr(deployment.default_client, name, value)
+
+    def __repr__(self):
+        deployment = object.__getattribute__(self, "_deployment")
+        return f"<client facade for {deployment.default_client!r}>"
 
 
 @dataclass
@@ -37,7 +89,7 @@ class XSearchDeployment:
     quoting_enclave: QuotingEnclave
     proxy: XSearchProxyHost
     broker: Broker
-    client: XSearchClient
+    default_client: XSearchClient
 
     @classmethod
     def create(cls, *, k: int = DEFAULT_K,
@@ -53,8 +105,10 @@ class XSearchDeployment:
         RNG, making end-to-end runs reproducible.  With ``connect=True``
         (default) the broker performs attestation and the handshake
         immediately.  Extra keyword arguments (``pool_connections``,
-        ``cache_bytes``, ``epc``, …) pass through to
-        :class:`XSearchProxyHost` for performance experiments.
+        ``cache_bytes``, ``epc``, ``fault_plan``, ``sealing_platform``,
+        ``checkpoint_interval``, ``retry_policy``, …) pass through to
+        :class:`XSearchProxyHost` for performance and fault-tolerance
+        experiments.
         """
         if engine is None:
             engine = SearchEngine.with_synthetic_corpus(seed=seed)
@@ -88,11 +142,54 @@ class XSearchDeployment:
             quoting_enclave=quoting_enclave,
             proxy=proxy,
             broker=broker,
-            client=client,
+            default_client=client,
         )
 
+    # ------------------------------------------------------------------
+    # The client surface
+    # ------------------------------------------------------------------
+    @property
+    def client(self) -> _ClientFacade:
+        """The default client; call it to mint additional clients.
+
+        ``deployment.client.search("query")`` uses the default attested
+        session; ``deployment.client(user_id="bob")`` builds a new
+        :class:`XSearchClient` with its own broker (fresh attestation and
+        channel keys) against the same proxy.
+        """
+        return _ClientFacade(self)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Tear the deployment down: checkpoint (when sealing is on),
+        drain the engine connection pool and destroy the enclave.
+        Idempotent."""
+        self.proxy.close()
+
+    def __enter__(self) -> "XSearchDeployment":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Extra sessions and history warm-up
+    # ------------------------------------------------------------------
     def new_broker(self, session_id: str = None) -> Broker:
-        """An additional attested client session against the same proxy."""
+        """Deprecated: use ``deployment.client(user_id=...)`` instead.
+
+        Kept for compatibility; returns an additional attested broker
+        session against the same proxy.
+        """
+        warnings.warn(
+            "XSearchDeployment.new_broker() is deprecated; use "
+            "deployment.client(user_id=...) to mint an additional "
+            "attested client (its broker is reachable as client._broker)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         broker = Broker(
             self.proxy,
             service_public_key=self.attestation_service.public_key,

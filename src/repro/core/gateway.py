@@ -16,7 +16,16 @@ import urllib.parse
 from dataclasses import dataclass
 
 from repro.crypto.https import TlsServer, decode_frames, encode_frame
-from repro.errors import NetworkError
+from repro.errors import EngineUnavailableError, NetworkError
+from repro.faults.plan import (
+    KIND_DROP,
+    KIND_GARBLE,
+    KIND_REFUSE,
+    KIND_TIMEOUT,
+    SITE_ENGINE_CONNECT,
+    SITE_ENGINE_RECV,
+    SITE_ENGINE_SEND,
+)
 from repro.search.documents import SearchResult
 from repro.sgx.runtime import OcallTable
 
@@ -80,7 +89,7 @@ class EngineGateway:
     """
 
     def __init__(self, engine, *, source: str = "xsearch-proxy.cloud",
-                 tls_config: TlsServerConfig = None):
+                 tls_config: TlsServerConfig = None, fault_plan=None):
         import threading
 
         self._engine = engine
@@ -91,6 +100,29 @@ class EngineGateway:
         # The proxy serves sessions from multiple threads (paper §4.1);
         # the descriptor table is the shared host-side state.
         self._fd_lock = threading.Lock()
+        # Fault-injection plane (repro.faults); None = no faults and a
+        # single identity check per ocall.
+        self.fault_plan = fault_plan
+
+    def install_fault_plan(self, plan) -> None:
+        """Attach (or detach, with ``None``) a fault plan at runtime."""
+        self.fault_plan = plan
+
+    def reset_connections(self) -> None:
+        """Drop every open descriptor (host cleanup after an enclave
+        loss: the dead enclave's pooled sockets are closed by the OS)."""
+        with self._fd_lock:
+            for connection in self._connections.values():
+                connection.closed = True
+            self._connections.clear()
+
+    def open_connections(self) -> int:
+        """How many engine connections are currently open host-side."""
+        with self._fd_lock:
+            return sum(
+                1 for connection in self._connections.values()
+                if not connection.closed
+            )
 
     # ------------------------------------------------------------------
     # Ocall registration
@@ -111,6 +143,11 @@ class EngineGateway:
     # ------------------------------------------------------------------
     def sock_connect(self, host: str, port: int) -> int:
         """DNS lookup + TCP connect; returns a socket file descriptor."""
+        fault = self._fault(SITE_ENGINE_CONNECT)
+        if fault is not None:
+            raise EngineUnavailableError(
+                f"injected {fault.kind}: cannot connect to {host}:{port}"
+            )
         if host != ENGINE_HOST or port not in (ENGINE_PORT, ENGINE_TLS_PORT):
             raise NetworkError(f"connection refused: {host}:{port}")
         tls = None
@@ -127,6 +164,17 @@ class EngineGateway:
 
     def send(self, fd: int, data: bytes) -> int:
         connection = self._connection(fd)
+        fault = self._fault(SITE_ENGINE_SEND)
+        if fault is not None:
+            if fault.kind == KIND_DROP:
+                # The peer reset the connection: the descriptor is dead.
+                self._teardown(fd, connection)
+                raise EngineUnavailableError(
+                    "injected drop: engine reset the connection mid-send"
+                )
+            raise EngineUnavailableError(
+                f"injected {fault.kind}: send to the engine failed"
+            )
         connection.request_buffer += bytes(data)
         if connection.tls is not None:
             self._pump_tls(connection)
@@ -160,6 +208,23 @@ class EngineGateway:
 
     def recv(self, fd: int, maxlen: int) -> bytes:
         connection = self._connection(fd)
+        fault = self._fault(SITE_ENGINE_RECV)
+        if fault is not None:
+            if fault.kind == KIND_GARBLE:
+                # Deliver a corrupted chunk: framing/TLS/JSON parsing in
+                # the enclave must reject it, never trust it.
+                chunk = connection.pop_response(maxlen)
+                if not chunk:
+                    chunk = b"\xff\x00GARBLED\x00\xff"
+                return bytes(b ^ 0xA5 for b in chunk)
+            if fault.kind == KIND_DROP:
+                self._teardown(fd, connection)
+                raise EngineUnavailableError(
+                    "injected drop: engine closed the connection mid-recv"
+                )
+            raise EngineUnavailableError(
+                f"injected {fault.kind}: recv from the engine failed"
+            )
         return connection.pop_response(maxlen)
 
     def close(self, fd: int) -> None:
@@ -210,10 +275,32 @@ class EngineGateway:
 
     def _execute(self, subqueries, limit):
         # A tracking engine logs the request under the proxy's identity —
-        # the engine cannot see past the proxy.
-        if hasattr(self._engine, "search_or_from"):
-            return self._engine.search_or_from(self._source, subqueries, limit)
-        return self._engine.search_or(subqueries, limit)
+        # the engine cannot see past the proxy.  A substrate that fails
+        # at the OS level (a real socket backend would) surfaces as the
+        # typed transient error, never as a raw OSError leaking through
+        # the ocall interface into enclave code.
+        try:
+            if hasattr(self._engine, "search_or_from"):
+                return self._engine.search_or_from(
+                    self._source, subqueries, limit
+                )
+            return self._engine.search_or(subqueries, limit)
+        except (ConnectionError, OSError) as exc:
+            raise EngineUnavailableError(
+                f"search engine unreachable: {exc}"
+            ) from exc
+
+    def _fault(self, site: str):
+        """Consult the fault plan at one ocall site (None = no fault)."""
+        if self.fault_plan is None:
+            return None
+        return self.fault_plan.decide(site)
+
+    def _teardown(self, fd: int, connection: _Connection) -> None:
+        """Forcibly close a descriptor from the engine side."""
+        connection.closed = True
+        with self._fd_lock:
+            self._connections.pop(fd, None)
 
     def _connection(self, fd: int) -> _Connection:
         # The lookup must hold the descriptor-table lock: a concurrent

@@ -51,28 +51,34 @@ class SearchRequest:
 
 @dataclass(frozen=True)
 class SearchResponse:
-    """Filtered results travelling enclave → broker."""
+    """Filtered results travelling enclave → broker.
+
+    ``degraded`` marks a response served from the enclave's last-known
+    results cache while the engine was unreachable; absent on the wire
+    for normal responses so the v1 encoding is unchanged.
+    """
 
     results: tuple
+    degraded: bool = False
 
     def encode(self) -> bytes:
-        return json.dumps(
-            {
-                "v": PROTOCOL_VERSION,
-                "op": "results",
-                "results": [
-                    {
-                        "rank": r.rank,
-                        "url": r.url,
-                        "title": r.title,
-                        "snippet": r.snippet,
-                        "score": r.score,
-                    }
-                    for r in self.results
-                ],
-            },
-            separators=(",", ":"),
-        ).encode("utf-8")
+        doc = {
+            "v": PROTOCOL_VERSION,
+            "op": "results",
+            "results": [
+                {
+                    "rank": r.rank,
+                    "url": r.url,
+                    "title": r.title,
+                    "snippet": r.snippet,
+                    "score": r.score,
+                }
+                for r in self.results
+            ],
+        }
+        if self.degraded:
+            doc["degraded"] = True
+        return json.dumps(doc, separators=(",", ":")).encode("utf-8")
 
     @classmethod
     def decode(cls, data: bytes) -> "SearchResponse":
@@ -96,7 +102,8 @@ class SearchResponse:
                 )
             except (KeyError, TypeError, ValueError) as exc:
                 raise ProtocolError(f"malformed result entry: {entry!r}") from exc
-        return cls(results=tuple(results))
+        return cls(results=tuple(results),
+                   degraded=bool(doc.get("degraded", False)))
 
 
 @dataclass(frozen=True)

@@ -26,6 +26,24 @@ public cloud node: it loads the enclave, obtains attestation quotes from
 the platform's quoting enclave and shuttles opaque ciphertext between
 clients and the enclave.  Nothing in the host ever holds a plaintext
 query.
+
+Fault tolerance (the availability layer):
+
+* the engine leg runs under a :class:`~repro.core.retry.RetryPolicy` —
+  transport-level failures (drops, timeouts, garbled frames) are retried
+  on fresh connections before anything is surfaced;
+* when every retry is spent, a *degraded mode* serves the last filtered
+  results for the same user query from an in-enclave cache instead of
+  failing (responses are flagged ``degraded``);
+* the host periodically checkpoints the history as a sealed blob
+  (``checkpoint_history``) and, when the enclave is lost mid-flight
+  (:class:`~repro.errors.EnclaveLostError`), automatically respawns one
+  with the same measurement and restores the last checkpoint — clients
+  re-attest and re-handshake, then carry on.
+
+All of it is exercised by the seeded fault-injection plane in
+:mod:`repro.faults`; with no plan installed none of the machinery adds a
+single boundary crossing.
 """
 
 from __future__ import annotations
@@ -57,8 +75,20 @@ from repro.core.protocol import (
     decode_any_request,
 )
 from repro.core.result_cache import DEFAULT_CACHE_BYTES, ResultCache
+from repro.core.retry import DEFAULT_ENGINE_RETRY, RetryPolicy, call_with_retry
 from repro.crypto.channel import HandshakeResponder
-from repro.errors import EnclaveError, NetworkError, ProtocolError
+from repro.errors import (
+    CryptoError,
+    EnclaveError,
+    EnclaveLostError,
+    EngineUnavailableError,
+    NetworkError,
+    ProtocolError,
+    ReproError,
+    RetryExhaustedError,
+    TransientError,
+)
+from repro.faults.plan import KIND_TRANSIENT, SITE_ATTESTATION
 from repro.sgx.attestation import (
     AttestationService,
     AttestationVerdict,
@@ -78,6 +108,12 @@ _RECV_CHUNK = 1 << 16
 # Metered EPC footprint per session: two 32-byte channel keys, counters
 # and table slots.
 _SESSION_BYTES = 200
+# Degraded-mode cache: last filtered results per original user query,
+# served when the engine stays unreachable after every retry.
+DEFAULT_DEGRADED_CACHE_BYTES = 2 * 1024 * 1024
+# Host-side checkpoint cadence: seal the history every N served records
+# (only when a sealing platform is attached).
+DEFAULT_CHECKPOINT_INTERVAL = 64
 
 
 class _EngineConnection:
@@ -117,6 +153,8 @@ class XSearchEnclaveCode:
         self._pool = []
         self._pool_lock = threading.Lock()
         self._cache = None
+        self._degraded = None
+        self._retry_policy = DEFAULT_ENGINE_RETRY
         self._perf_lock = threading.Lock()
         self._perf = {
             "pool_connects": 0,
@@ -124,6 +162,9 @@ class XSearchEnclaveCode:
             "pool_disposals": 0,
             "tls_handshakes": 0,
             "engine_requests": 0,
+            "engine_retries": 0,
+            "engine_failures": 0,
+            "degraded_hits": 0,
         }
 
     def _bump(self, name: str) -> None:
@@ -145,7 +186,9 @@ class XSearchEnclaveCode:
              rng_seed: int = None, engine_ca_key=None,
              pool_connections: bool = True,
              pool_capacity: int = DEFAULT_POOL_CAPACITY,
-             cache_bytes: int = DEFAULT_CACHE_BYTES) -> None:
+             cache_bytes: int = DEFAULT_CACHE_BYTES,
+             retry_policy: RetryPolicy = None,
+             degraded_cache_bytes: int = DEFAULT_DEGRADED_CACHE_BYTES) -> None:
         """Setup options for X-Search (paper's ``init`` ecall).
 
         When ``engine_ca_key`` (an :class:`~repro.crypto.rsa.RsaPublicKey`)
@@ -158,6 +201,13 @@ class XSearchEnclaveCode:
         ``sock_connect``/``close`` ocall pair and a TLS handshake per
         search.  ``cache_bytes`` sizes the in-enclave LRU result cache
         (0 disables it); its memory is charged to the EPC model.
+
+        ``retry_policy`` governs the engine leg: transient transport
+        failures are retried on fresh connections up to
+        ``retry_policy.max_attempts`` times before the request is either
+        served from the degraded cache or failed.
+        ``degraded_cache_bytes`` sizes the in-enclave cache of last-known
+        filtered results per original query (0 disables degraded mode).
         """
         if self._configured:
             raise EnclaveError("enclave already initialised")
@@ -169,6 +219,8 @@ class XSearchEnclaveCode:
             raise EnclaveError("pool_capacity must be positive")
         if cache_bytes < 0:
             raise EnclaveError("cache_bytes cannot be negative")
+        if degraded_cache_bytes < 0:
+            raise EnclaveError("degraded_cache_bytes cannot be negative")
         self._k = k
         self._max_sessions = max_sessions
         self._history = QueryHistory(history_capacity,
@@ -182,6 +234,14 @@ class XSearchEnclaveCode:
         if cache_bytes:
             self._cache = ResultCache(cache_bytes,
                                       enclave_memory=self.memory)
+        if degraded_cache_bytes:
+            self._degraded = ResultCache(
+                degraded_cache_bytes,
+                enclave_memory=self.memory,
+                memory_key="xsearch.degraded_cache",
+            )
+        if retry_policy is not None:
+            self._retry_policy = retry_policy
         self._configured = True
 
     # ------------------------------------------------------------------
@@ -336,6 +396,41 @@ class XSearchEnclaveCode:
         self._history = restored
         return len(restored)
 
+    @ecall
+    def checkpoint_history(self) -> tuple:
+        """Seal the history and report its size in one transition.
+
+        The host's periodic checkpointer calls this instead of
+        ``seal_history`` so blob and entry count cost a single ecall;
+        the count lets recovery verify the restore was complete.
+        Returns ``(sealed_blob, entry_count)``.
+        """
+        self._require_configured()
+        self._require_sealer()
+        from repro.core.persistence import snapshot_history
+
+        blob = self._sealer.seal(
+            snapshot_history(self._history),
+            aad=b"repro.core.history-snapshot.v1",
+        )
+        return blob, len(self._history)
+
+    @ecall
+    def shutdown(self) -> int:
+        """Graceful teardown: close every pooled engine connection.
+
+        Idempotent; returns the number of connections closed.  The host
+        calls this from :meth:`XSearchProxyHost.close` before destroying
+        the enclave so the engine side does not see abandoned sockets.
+        """
+        if not self._configured:
+            return 0
+        with self._pool_lock:
+            connections, self._pool = self._pool, []
+        for connection in connections:
+            self._dispose_connection(connection)
+        return len(connections)
+
     def _require_sealer(self) -> None:
         if self._sealer is None:
             raise EnclaveError(
@@ -349,16 +444,36 @@ class XSearchEnclaveCode:
         obfuscated = obfuscate_query(
             request.query, self._history, self._k, self._rng
         )
-        raw_results = self._query_engine(
-            obfuscated.as_or_query(), request.limit
-        )
+        degraded_key = f"{request.limit}\x00{request.query}"
+        try:
+            raw_results = self._query_engine(
+                obfuscated.as_or_query(), request.limit
+            )
+        except (TransientError, RetryExhaustedError) as exc:
+            # Every retry spent and the engine is still unreachable: serve
+            # the last filtered results we produced for this exact query,
+            # flagged as degraded.  The cache holds only *filtered* result
+            # sets, so nothing about the fake queries leaks through it.
+            if self._degraded is not None:
+                stale = self._degraded.get(degraded_key)
+                if stale is not None:
+                    self._bump("degraded_hits")
+                    return SearchResponse(results=tuple(stale), degraded=True)
+            self._bump("engine_failures")
+            raise EngineUnavailableError(
+                f"engine unreachable and no degraded result cached for "
+                f"this query: {exc}"
+            ) from exc
         filtered = filter_results(
             obfuscated.original,
             obfuscated.fake_queries,
             raw_results,
             strip_tracking=True,
         )
-        return SearchResponse(results=tuple(filtered[:request.limit]))
+        results = tuple(filtered[:request.limit])
+        if self._degraded is not None:
+            self._degraded.put(degraded_key, results)
+        return SearchResponse(results=results)
 
     def _query_engine(self, or_query: str, limit: int) -> list:
         """Talk HTTP(S) to the search engine through the socket ocalls.
@@ -382,13 +497,45 @@ class XSearchEnclaveCode:
             "\r\n"
         ).encode("ascii")
         self._bump("engine_requests")
-        status, body = self._http_exchange(http_request)
+        status, body = call_with_retry(
+            lambda: self._exchange_once(http_request),
+            policy=self._retry_policy,
+            on_retry=lambda attempt, exc: self._bump("engine_retries"),
+        )
         if status != 200:
             raise NetworkError(f"search engine returned HTTP {status}")
         results = parse_results_body(body)
         if self._cache is not None:
             self._cache.put(cache_key, tuple(results))
         return results
+
+    def _exchange_once(self, http_request: bytes):
+        """One engine exchange, with transport failures normalised.
+
+        Anything that means "the bytes did not make it" — a refused or
+        dropped connection, a timeout, a garbled frame — becomes a
+        retryable :class:`~repro.errors.EngineUnavailableError`.  Two
+        things deliberately do NOT qualify: an HTTP error status or
+        malformed result body (the engine answered; retrying will not
+        change its mind — they surface from :meth:`_query_engine`), and
+        any :class:`~repro.errors.CryptoError` (a failed certificate
+        chain or AEAD tag fails *closed* — retrying a crypto failure
+        would hand an active adversary a free oracle).
+        """
+        try:
+            return self._http_exchange(http_request)
+        except TransientError:
+            raise
+        except CryptoError:
+            raise
+        except NetworkError as exc:
+            raise EngineUnavailableError(
+                f"engine exchange failed: {exc}"
+            ) from exc
+        except (ConnectionError, OSError) as exc:
+            raise EngineUnavailableError(
+                f"engine socket failed: {exc}"
+            ) from exc
 
     # ------------------------------------------------------------------
     # Engine exchange: pooled persistent connections (default) with a
@@ -568,6 +715,14 @@ class XSearchProxyHost:
     evidence to clients, and relays opaque records.  ``history_capacity``
     and ``k`` are part of the enclave's attested configuration: changing
     them changes the measurement clients expect.
+
+    The host is also the enclave's *supervisor*: when an ecall dies with
+    :class:`~repro.errors.EnclaveLostError` it respawns a fresh enclave
+    from the same code and config (so the measurement is identical),
+    restores the most recent sealed history checkpoint into it, and
+    resets the engine connection pool's host side.  The in-flight request
+    still fails — its session keys died with the enclave — but the next
+    attestation a client performs finds a live, restored proxy.
     """
 
     def __init__(self, engine, *, k: int = DEFAULT_K,
@@ -583,38 +738,182 @@ class XSearchProxyHost:
                  engine_tls_config: TlsServerConfig = None,
                  pool_connections: bool = True,
                  cache_bytes: int = DEFAULT_CACHE_BYTES,
+                 retry_policy: RetryPolicy = None,
+                 degraded_cache_bytes: int = DEFAULT_DEGRADED_CACHE_BYTES,
+                 fault_plan=None,
+                 checkpoint_interval: int = DEFAULT_CHECKPOINT_INTERVAL,
                  source: str = "xsearch-proxy.cloud"):
         self.gateway = EngineGateway(
-            engine, source=source, tls_config=engine_tls_config
+            engine, source=source, tls_config=engine_tls_config,
+            fault_plan=fault_plan,
         )
         https_flag = 1 if engine_ca_key is not None else 0
         pool_flag = 1 if pool_connections else 0
         # The performance knobs are part of the attested configuration:
         # a proxy that silently disables pooling or resizes the cache has
         # a different measurement.
-        config = (
+        self._config = (
             f"k={k};x={history_capacity};https={https_flag};"
-            f"pool={pool_flag};cache={cache_bytes}".encode("ascii")
+            f"pool={pool_flag};cache={cache_bytes};"
+            f"dc={degraded_cache_bytes}".encode("ascii")
         )
-        self.enclave = Enclave(
-            XSearchEnclaveCode,
-            config=config,
-            ocalls=self.gateway.ocall_table(),
-            epc=epc,
-            cost_model=cost_model,
-            sealing_platform=sealing_platform,
-        )
-        self.enclave.initialize()
-        self.enclave.call(
-            "init", k=k, history_capacity=history_capacity,
+        self._fault_plan = fault_plan
+        self._cost_model = cost_model
+        self._sealing_platform = sealing_platform
+        self._epc_usable = epc.usable_bytes if epc is not None else None
+        self._first_epc = epc
+        self._init_kwargs = dict(
+            k=k, history_capacity=history_capacity,
             max_sessions=max_sessions,
             rng_seed=rng_seed, engine_ca_key=engine_ca_key,
             pool_connections=pool_connections, cache_bytes=cache_bytes,
+            retry_policy=retry_policy,
+            degraded_cache_bytes=degraded_cache_bytes,
         )
+        if checkpoint_interval is not None and checkpoint_interval < 1:
+            raise ValueError("checkpoint_interval must be positive or None")
+        self._checkpoint_interval = checkpoint_interval
+        self._checkpoint_lock = threading.Lock()
+        self._requests_since_checkpoint = 0
+        self._history_checkpoint = None
+        self._enclave_lock = threading.RLock()
+        self._closed = False
+        self.respawn_count = 0
+        self.checkpoint_count = 0
+        self.checkpoint_failures = 0
+        self.last_checkpoint_entries = None
+        self.last_restore_count = None
+        self.last_restore_expected = None
+        self.enclave = self._spawn_enclave()
         self.k = k
         self.history_capacity = history_capacity
         self._quoting_enclave = quoting_enclave
         self._attestation_service = attestation_service
+
+    # ------------------------------------------------------------------
+    # Enclave supervision: spawn, respawn-on-loss, checkpointing
+    # ------------------------------------------------------------------
+    def _spawn_enclave(self) -> Enclave:
+        # The first enclave uses whatever EPC the caller handed in (so
+        # shared-EPC metering experiments keep working); a respawn gets a
+        # fresh EPC of the same size — the dead enclave's pages are gone.
+        if self.respawn_count == 0:
+            epc = self._first_epc
+        elif self._epc_usable is not None:
+            epc = EnclavePageCache(self._epc_usable)
+        else:
+            epc = None
+        enclave = Enclave(
+            XSearchEnclaveCode,
+            config=self._config,
+            ocalls=self.gateway.ocall_table(),
+            epc=epc,
+            cost_model=self._cost_model,
+            sealing_platform=self._sealing_platform,
+            fault_plan=self._fault_plan,
+        )
+        enclave.initialize()
+        enclave.call("init", **self._init_kwargs)
+        return enclave
+
+    def _respawn_locked(self) -> None:
+        """Replace a lost enclave; caller holds ``_enclave_lock``."""
+        # Pooled sockets belonged to the dead enclave: drop their host
+        # side so the respawned pool starts clean.
+        self.gateway.reset_connections()
+        self.respawn_count += 1
+        self.last_restore_count = None
+        self.last_restore_expected = None
+        self.enclave = self._spawn_enclave()
+        if self._history_checkpoint is not None:
+            blob, entries = self._history_checkpoint
+            self.last_restore_expected = entries
+            self.last_restore_count = self.enclave.call(
+                "restore_sealed_history", blob
+            )
+
+    def _call(self, name: str, *args, **kwargs):
+        """Issue an ecall, respawning the enclave first if it is dead.
+
+        A loss *during* the call still fails that call (the enclave that
+        held the session keys is gone), but the replacement is spawned
+        before the error surfaces, so the very next attestation succeeds.
+        """
+        with self._enclave_lock:
+            if self._closed:
+                raise EnclaveError("proxy host is closed")
+            if not self.enclave.is_initialized:
+                self._respawn_locked()
+            enclave = self.enclave
+        try:
+            return enclave.call(name, *args, **kwargs)
+        except EnclaveLostError:
+            with self._enclave_lock:
+                if not self._closed and not self.enclave.is_initialized:
+                    self._respawn_locked()
+            raise
+
+    def checkpoint_now(self) -> int:
+        """Seal the current history and keep the blob for recovery.
+
+        Returns the number of history entries captured.
+        """
+        blob, entries = self._call("checkpoint_history")
+        self._history_checkpoint = (blob, entries)
+        self.checkpoint_count += 1
+        self.last_checkpoint_entries = entries
+        return entries
+
+    def _after_requests(self, count: int) -> None:
+        """Periodic checkpointing, driven by served-request volume."""
+        if self._checkpoint_interval is None or self._sealing_platform is None:
+            return
+        with self._checkpoint_lock:
+            self._requests_since_checkpoint += count
+            due = (self._requests_since_checkpoint
+                   >= self._checkpoint_interval)
+            if due:
+                self._requests_since_checkpoint = 0
+        if due:
+            try:
+                self.checkpoint_now()
+            except ReproError:
+                # Background maintenance must not fail the request that
+                # happened to trigger it; the old checkpoint stays valid.
+                self.checkpoint_failures += 1
+
+    def close(self) -> None:
+        """Tear the proxy down: drain the pool, destroy the enclave.
+
+        Idempotent.  Takes a final history checkpoint first when sealing
+        is available, so a later host can restore from it.
+        """
+        with self._enclave_lock:
+            if self._closed:
+                return
+            self._closed = True
+            enclave = self.enclave
+        if enclave.is_initialized:
+            if self._sealing_platform is not None:
+                try:
+                    blob, entries = enclave.call("checkpoint_history")
+                    self._history_checkpoint = (blob, entries)
+                    self.checkpoint_count += 1
+                    self.last_checkpoint_entries = entries
+                except ReproError:
+                    self.checkpoint_failures += 1
+            try:
+                enclave.call("shutdown")
+            except ReproError:
+                pass  # best-effort: the sockets die with the host anyway
+            enclave.destroy()
+
+    @property
+    def history_checkpoint(self):
+        """The latest sealed checkpoint blob, or ``None`` (opaque to us)."""
+        if self._history_checkpoint is None:
+            return None
+        return self._history_checkpoint[0]
 
     # ------------------------------------------------------------------
     # Attestation plumbing (host-mediated, as in SGX)
@@ -624,7 +923,7 @@ class XSearchProxyHost:
         return self.enclave.measurement
 
     def channel_public(self) -> bytes:
-        return self.enclave.call("channel_public")
+        return self._call("channel_public")
 
     def attestation_evidence(self) -> AttestationVerdict:
         """Quote the enclave and have the attestation service verify it.
@@ -638,34 +937,63 @@ class XSearchProxyHost:
             raise EnclaveError(
                 "proxy host has no attestation infrastructure configured"
             )
-        quote = self._quoting_enclave.quote_enclave(self.enclave)
+        if self._fault_plan is not None:
+            fault = self._fault_plan.decide(SITE_ATTESTATION)
+            if fault is not None and fault.kind == KIND_TRANSIENT:
+                raise TransientError(
+                    "injected attestation transient: quoting service "
+                    "temporarily unavailable"
+                )
+        with self._enclave_lock:
+            if self._closed:
+                raise EnclaveError("proxy host is closed")
+            if not self.enclave.is_initialized:
+                self._respawn_locked()
+            enclave = self.enclave
+        quote = self._quoting_enclave.quote_enclave(enclave)
         return self._attestation_service.verify_quote(quote)
 
     # ------------------------------------------------------------------
     # Session relay (all payloads opaque to the host)
     # ------------------------------------------------------------------
     def begin_session(self, session_id: str, client_hello: bytes) -> None:
-        self.enclave.call("accept_session", session_id, client_hello)
+        self._call("accept_session", session_id, client_hello)
 
     def request(self, session_id: str, record: bytes) -> bytes:
-        return self.enclave.call("request", session_id, record)
+        reply = self._call("request", session_id, record)
+        self._after_requests(1)
+        return reply
 
     def request_batch(self, batch) -> tuple:
         """Relay N opaque ``(session_id, record)`` pairs in one ecall.
 
         The host cannot open the records; batching only changes how many
-        enclave transitions the traffic costs."""
-        return self.enclave.call("request_batch", list(batch))
+        enclave transitions the traffic costs.  An empty batch returns an
+        empty tuple without entering the enclave at all — no transition
+        is paid for no work."""
+        batch = list(batch)
+        if not batch:
+            return ()
+        replies = self._call("request_batch", batch)
+        self._after_requests(len(batch))
+        return replies
 
     def perf_stats(self) -> dict:
         """The enclave's hot-path counters (pool/cache/engine traffic)."""
-        return self.enclave.call("perf_stats")
+        return self._call("perf_stats")
 
     # ------------------------------------------------------------------
     # Sealed persistence (host stores opaque blobs only)
     # ------------------------------------------------------------------
     def seal_history(self) -> bytes:
-        return self.enclave.call("seal_history")
+        return self._call("seal_history")
 
     def restore_history(self, blob: bytes) -> int:
-        return self.enclave.call("restore_sealed_history", blob)
+        return self._call("restore_sealed_history", blob)
+
+    # -- context manager -------------------------------------------------
+    def __enter__(self) -> "XSearchProxyHost":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

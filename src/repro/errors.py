@@ -10,7 +10,26 @@ from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by the ``repro`` library."""
+    """Base class for all errors raised by the ``repro`` library.
+
+    ``retryable`` is the contract the fault-tolerance layer keys on: a
+    caller holding a :class:`~repro.core.retry.RetryPolicy` may re-issue
+    the failed operation if and only if the flag is true.  Errors that
+    indicate tampering, misconfiguration or exhausted recovery are final.
+    """
+
+    retryable = False
+
+
+class TransientError(ReproError):
+    """A failure expected to heal on its own (and safe to retry).
+
+    The operation did not complete, no partial effect is visible to the
+    caller, and re-issuing it is both safe and likely to succeed — the
+    category retry policies act on.
+    """
+
+    retryable = True
 
 
 class CryptoError(ReproError):
@@ -23,6 +42,26 @@ class AuthenticationError(CryptoError):
     Raised instead of returning corrupt plaintext; callers must treat the
     message as hostile.
     """
+
+
+class RetryExhaustedError(ReproError):
+    """A retried operation failed on every permitted attempt.
+
+    Carries the bookkeeping a supervisor needs to decide what to do next:
+    ``attempts`` (how many times the operation ran) and ``last_cause``
+    (the final underlying exception, also chained as ``__cause__``).
+    Deliberately *not* retryable: the policy already spent its budget.
+    """
+
+    def __init__(self, attempts: int, last_cause: BaseException,
+                 message: str = None):
+        if message is None:
+            message = (
+                f"operation failed after {attempts} attempt(s): {last_cause}"
+            )
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_cause = last_cause
 
 
 class EnclaveError(ReproError):
@@ -49,8 +88,27 @@ class SearchError(ReproError):
     """The search-engine substrate rejected a request."""
 
 
+class EnclaveLostError(TransientError, EnclaveError):
+    """The enclave died mid-operation (crash, teardown, platform reset).
+
+    Everything resident in enclave memory — sessions, channel endpoints,
+    the un-checkpointed tail of the history — is gone.  The host may
+    respawn an enclave with the same measurement; clients must re-attest
+    and re-handshake before retrying, which is why this is transient.
+    """
+
+
 class NetworkError(ReproError):
     """The simulated network could not deliver a message."""
+
+
+class EngineUnavailableError(TransientError, NetworkError):
+    """The search engine could not be reached (refused, dropped, timeout).
+
+    The obfuscated query never produced a result page; retrying against a
+    fresh connection — or falling back to the in-enclave degraded cache —
+    is the designed response.
+    """
 
 
 class CircuitError(NetworkError):

@@ -8,6 +8,8 @@
   filtered results vs k;
 * :mod:`~repro.experiments.fig5_throughput_latency` — open-loop saturation
   sweeps (X-Search, PEAS, Tor);
+* :mod:`~repro.experiments.fig5_availability` — availability under a
+  seeded fault schedule (enclave kill + engine outages, ``fig5a``);
 * :mod:`~repro.experiments.fig6_memory` — enclave memory vs stored
   queries against the EPC limit;
 * :mod:`~repro.experiments.fig7_round_trip` — end-to-end RTT CDFs

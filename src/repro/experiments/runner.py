@@ -16,6 +16,7 @@ from repro.experiments import (
     fig1_fake_queries,
     fig3_reidentification,
     fig4_accuracy,
+    fig5_availability,
     fig5_throughput_latency,
     fig6_memory,
     fig7_round_trip,
@@ -26,6 +27,7 @@ EXPERIMENTS = {
     "fig3": fig3_reidentification,
     "fig4": fig4_accuracy,
     "fig5": fig5_throughput_latency,
+    "fig5a": fig5_availability,
     "fig6": fig6_memory,
     "fig7": fig7_round_trip,
 }

@@ -7,9 +7,13 @@
 * :class:`~repro.net.loadgen.OpenLoopLoadGenerator` — the wrk2 analogue
   (constant-rate open-loop arrivals, no coordinated omission);
 * :class:`~repro.net.histogram.LatencyRecorder` — percentile/CDF
-  extraction.
+  extraction;
+* :class:`~repro.net.clock.VirtualClock` / :class:`~repro.net.clock.SystemClock`
+  — the time source retry/backoff policies wait on (virtual in tests, so
+  backoff schedules are asserted, never slept).
 """
 
+from repro.net.clock import SystemClock, VirtualClock
 from repro.net.histogram import LatencyRecorder
 from repro.net.latency import LatencyModel, LogNormalDelay, NetworkPath
 from repro.net.loadgen import (
@@ -22,6 +26,8 @@ from repro.net.loadgen import (
 from repro.net.queueing import QueueingStation, ServiceTime, StationRun
 
 __all__ = [
+    "SystemClock",
+    "VirtualClock",
     "LatencyRecorder",
     "LatencyModel",
     "NetworkPath",

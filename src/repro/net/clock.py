@@ -1,0 +1,58 @@
+"""Clock abstraction: real time for deployments, virtual time for tests.
+
+Retry/backoff policies (:mod:`repro.core.retry`) and the availability
+experiment need a notion of elapsing time, but the test suite must never
+actually sleep — exponential backoff across a fault schedule would turn
+the suite into minutes of wall-clock idling.  Everything that waits takes
+a *clock* object with two methods:
+
+* ``time()`` — monotonic seconds;
+* ``sleep(seconds)`` — block until that much time has passed.
+
+:class:`SystemClock` maps both onto the real OS clock.
+:class:`VirtualClock` advances an internal counter instantly, so a test
+can assert the exact backoff schedule ("0.1 s, then 0.2 s, then 0.4 s")
+without waiting for it.
+"""
+
+from __future__ import annotations
+
+import time as _time
+
+
+class SystemClock:
+    """The real monotonic clock; ``sleep`` actually blocks."""
+
+    def time(self) -> float:
+        return _time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            _time.sleep(seconds)
+
+
+class VirtualClock:
+    """A simulated clock: ``sleep`` advances time without blocking.
+
+    ``sleeps`` records every requested delay in order, so tests can
+    assert a policy's exact backoff sequence.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self.sleeps = []
+
+    def time(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("cannot sleep a negative duration")
+        self.sleeps.append(seconds)
+        self._now += seconds
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward without recording a sleep (external events)."""
+        if seconds < 0:
+            raise ValueError("cannot advance time backwards")
+        self._now += seconds

@@ -172,6 +172,32 @@ class EnclavePageCache:
         return self.stats.allocated_bytes > self.usable_bytes
 
     # ------------------------------------------------------------------
+    # Fault injection (repro.faults)
+    # ------------------------------------------------------------------
+    def pressure_spike(self) -> int:
+        """Evict the entire resident working set to untrusted memory.
+
+        Models a competing enclave (or the OS) claiming the EPC: every
+        resident page is swapped out with its full EWB cryptographic
+        cost charged, so the next access to each allocation pays the
+        fault-back-in as well.  Returns the number of pages evicted.
+        The enclave's *contents* are untouched — pressure degrades
+        performance, never correctness.
+        """
+        evicted = 0
+        for allocation in self._allocations.values():
+            if not allocation.resident:
+                continue
+            allocation.resident = False
+            allocation.version += 1
+            self.stats.resident_pages -= allocation.pages
+            self.stats.swapped_pages += allocation.pages
+            self.stats.swap_cycles += allocation.pages * PAGE_SWAP_CYCLES
+            self.stats.swap_events += 1
+            evicted += allocation.pages
+        return evicted
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
     def _make_room(self, pages_needed: int) -> None:

@@ -23,7 +23,8 @@ import sys
 import threading
 from dataclasses import dataclass, field
 
-from repro.errors import EnclaveError
+from repro.errors import EnclaveError, EnclaveLostError
+from repro.faults.plan import KIND_CRASH, KIND_PRESSURE, SITE_ECALL, SITE_EPC
 from repro.sgx.epc import EnclavePageCache
 from repro.sgx.measurement import Measurement, measure_code
 
@@ -304,7 +305,7 @@ class Enclave:
     def __init__(self, enclave_class: type, *, config: bytes = b"",
                  ocalls: OcallTable = None, epc: EnclavePageCache = None,
                  cost_model: CostModel = None, sealing_platform=None,
-                 tcs_count: int = DEFAULT_TCS_COUNT):
+                 tcs_count: int = DEFAULT_TCS_COUNT, fault_plan=None):
         if tcs_count <= 0:
             raise EnclaveError("an enclave needs at least one TCS")
         self._enclave_class = enclave_class
@@ -316,6 +317,9 @@ class Enclave:
         self.measurement: Measurement = measure_code(enclave_class, config)
         self.memory = EnclaveMemory(self.epc)
         self._sealing_platform = sealing_platform
+        # Fault-injection plane (repro.faults); None = nothing installed,
+        # and the dispatch paths below stay exactly as cheap as before.
+        self.fault_plan = fault_plan
         # Concurrent ecalls are bounded by the number of TCS pages: excess
         # callers block at the enclave boundary, exactly as on hardware.
         self.tcs_count = tcs_count
@@ -378,7 +382,11 @@ class Enclave:
     def call(self, name: str, *args, **kwargs):
         """Invoke an exported ecall, charging the mode-transition cost."""
         if self._destroyed:
-            raise EnclaveError("enclave has been destroyed")
+            # EnclaveLostError (a transient) rather than a bare
+            # EnclaveError: a destroyed enclave is exactly the condition
+            # the host supervisor and broker recover from by respawning
+            # and re-attesting.
+            raise EnclaveLostError("enclave has been destroyed")
         if not self._initialized:
             raise EnclaveError("enclave is not initialized (EINIT missing)")
         if name not in self._ecall_names:
@@ -386,6 +394,8 @@ class Enclave:
                 f"{name!r} is not an exported ecall of "
                 f"{self._enclave_class.__name__}"
             )
+        if self.fault_plan is not None:
+            self._inject_ecall_faults(name)
         with self._tcs:  # blocks when all TCS are occupied
             with self._concurrency_lock:
                 self._threads_inside += 1
@@ -398,6 +408,28 @@ class Enclave:
             finally:
                 with self._concurrency_lock:
                     self._threads_inside -= 1
+
+    def _inject_ecall_faults(self, name: str) -> None:
+        """Consult the fault plan at the enclave-entry sites.
+
+        A ``crash`` kills the enclave *before* the transition is charged
+        (the dying call never completes); all enclave-resident state —
+        sessions, channel keys, the un-checkpointed history tail — is
+        lost, exactly as on a real AEX-and-teardown.  A ``pressure``
+        fault models a competing workload claiming the EPC: the resident
+        set is swapped out and the call proceeds, paying fault-back-in
+        costs for whatever it touches.
+        """
+        fault = self.fault_plan.decide(SITE_ECALL)
+        if fault is not None and fault.kind == KIND_CRASH:
+            self.destroy()
+            raise EnclaveLostError(
+                f"enclave crashed entering ecall {name!r}"
+                + (f" ({fault.detail})" if fault.detail else "")
+            )
+        pressure = self.fault_plan.decide(SITE_EPC)
+        if pressure is not None and pressure.kind == KIND_PRESSURE:
+            self.epc.pressure_spike()
 
     def _on_boundary(self, direction: str, name: str, args) -> None:
         cycles = (

@@ -43,6 +43,18 @@ def test_empty_response_roundtrip():
     assert SearchResponse.decode(SearchResponse(results=()).encode()).results == ()
 
 
+def test_degraded_flag_roundtrips_and_defaults_false():
+    result = SearchResult(rank=1, url="http://a.example.com", title="t",
+                          snippet="s", score=2.5)
+    degraded = SearchResponse(results=(result,), degraded=True)
+    assert SearchResponse.decode(degraded.encode()).degraded is True
+    # A normal response does not carry the key at all — the v1 wire
+    # format is byte-identical to the pre-degraded-mode encoding.
+    normal = SearchResponse(results=(result,))
+    assert b"degraded" not in normal.encode()
+    assert SearchResponse.decode(normal.encode()).degraded is False
+
+
 def test_ingest_roundtrip():
     request = IngestRequest(queries=("a", "b"))
     assert IngestRequest.decode(request.encode()) == request

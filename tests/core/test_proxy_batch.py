@@ -124,10 +124,17 @@ def test_client_search_batch_end_to_end(deployment):
         assert isinstance(results, list)
 
 
-def test_client_search_batch_rejects_empty_queries(deployment):
+def test_client_search_batch_rejects_blank_queries(deployment):
     from repro.errors import ProtocolError
 
     with pytest.raises(ProtocolError):
         deployment.client.search_batch(["ok", "  "])
-    with pytest.raises(ProtocolError):
-        deployment.client.search_batch([])
+
+
+def test_client_empty_batch_is_free(deployment):
+    """``search_batch([])`` returns ``[]`` without paying a single ecall."""
+    before = deployment.proxy.enclave.boundary_snapshot()
+    assert deployment.client.search_batch([]) == []
+    delta = deployment.proxy.enclave.boundary_snapshot() - before
+    assert delta.ecalls == 0
+    assert delta.ocalls == 0

@@ -1,0 +1,206 @@
+"""The fault plan's contract: deterministic, composable, inert by default."""
+
+import threading
+
+import pytest
+
+from repro.faults import (
+    ENGINE_SITES,
+    KIND_CRASH,
+    KIND_DROP,
+    KIND_GARBLE,
+    KIND_REFUSE,
+    FaultPlan,
+    InjectedFault,
+    SITE_ECALL,
+    SITE_ENGINE_CONNECT,
+    SITE_ENGINE_RECV,
+    SITE_ENGINE_SEND,
+)
+from repro.faults.plan import decide as decide_helper
+
+
+def drive(plan, site, operations):
+    """Consult one site N times; returns the kinds that fired, by index."""
+    fired = {}
+    for index in range(operations):
+        fault = plan.decide(site)
+        if fault is not None:
+            fired[index] = fault.kind
+    return fired
+
+
+# ----------------------------------------------------------------------
+# Trigger styles
+# ----------------------------------------------------------------------
+def test_indexed_rule_fires_at_exact_operations():
+    plan = FaultPlan(seed=1).on(SITE_ENGINE_SEND, KIND_DROP, at=(2, 5))
+    assert drive(plan, SITE_ENGINE_SEND, 8) == {2: KIND_DROP, 5: KIND_DROP}
+
+
+def test_block_unblock_is_an_outage_window():
+    plan = FaultPlan(seed=1)
+    assert plan.decide(SITE_ENGINE_CONNECT) is None
+    handle = plan.block(SITE_ENGINE_CONNECT, KIND_REFUSE)
+    assert plan.decide(SITE_ENGINE_CONNECT).kind == KIND_REFUSE
+    assert plan.decide(SITE_ENGINE_CONNECT).kind == KIND_REFUSE
+    plan.unblock(handle)
+    assert plan.decide(SITE_ENGINE_CONNECT) is None
+    plan.unblock(handle)  # double-release is harmless
+
+
+def test_trigger_is_one_shot():
+    plan = FaultPlan(seed=1)
+    plan.trigger(SITE_ECALL, KIND_CRASH)
+    assert plan.decide(SITE_ECALL).kind == KIND_CRASH
+    assert plan.decide(SITE_ECALL) is None
+
+
+def test_probabilistic_rule_respects_limit():
+    plan = FaultPlan(seed=3).on(SITE_ENGINE_RECV, KIND_GARBLE,
+                                probability=0.5, limit=2)
+    fired = drive(plan, SITE_ENGINE_RECV, 50)
+    assert len(fired) == 2
+
+
+def test_rule_needs_a_schedule():
+    with pytest.raises(ValueError):
+        FaultPlan().on(SITE_ENGINE_SEND, KIND_DROP)
+    with pytest.raises(ValueError):
+        FaultPlan().on(SITE_ENGINE_SEND, KIND_DROP, probability=1.5)
+
+
+def test_first_installed_rule_wins():
+    plan = FaultPlan(seed=1)
+    plan.on(SITE_ENGINE_SEND, KIND_DROP, at=(0,))
+    plan.on(SITE_ENGINE_SEND, KIND_GARBLE, at=(0,))
+    assert plan.decide(SITE_ENGINE_SEND).kind == KIND_DROP
+
+
+# ----------------------------------------------------------------------
+# Determinism — the load-bearing property
+# ----------------------------------------------------------------------
+def build(seed):
+    plan = FaultPlan(seed=seed)
+    plan.on(SITE_ENGINE_RECV, KIND_GARBLE, probability=0.3)
+    plan.on(SITE_ENGINE_SEND, KIND_DROP, probability=0.2)
+    return plan
+
+
+def test_same_seed_same_trace():
+    runs = []
+    for _ in range(2):
+        plan = build(seed=42)
+        for _ in range(40):
+            plan.decide(SITE_ENGINE_RECV)
+            plan.decide(SITE_ENGINE_SEND)
+        runs.append(plan.trace)
+    assert runs[0] == runs[1]
+    assert runs[0]  # the schedule actually fired something
+
+
+def test_different_seed_different_trace():
+    traces = []
+    for seed in (1, 2):
+        plan = build(seed=seed)
+        for _ in range(60):
+            plan.decide(SITE_ENGINE_RECV)
+        traces.append(plan.trace)
+    assert traces[0] != traces[1]
+
+
+def test_trace_independent_of_cross_site_interleaving():
+    """Per-rule RNG streams make the per-site decisions identical no
+    matter how operations on *other* sites interleave with them."""
+    sequential = build(seed=7)
+    for _ in range(30):
+        sequential.decide(SITE_ENGINE_RECV)
+    for _ in range(30):
+        sequential.decide(SITE_ENGINE_SEND)
+
+    interleaved = build(seed=7)
+    for _ in range(30):
+        interleaved.decide(SITE_ENGINE_SEND)
+        interleaved.decide(SITE_ENGINE_RECV)
+
+    def per_site(plan):
+        faults = {}
+        for fault in plan.trace:
+            faults.setdefault(fault.site, []).append(
+                (fault.operation, fault.kind)
+            )
+        return faults
+
+    assert per_site(sequential) == per_site(interleaved)
+
+
+def test_shadowed_probabilistic_rule_still_draws():
+    """A blocked site does not shift a later probabilistic schedule:
+    shadowed rules consume their RNG draws anyway."""
+    def fire_pattern(with_outage):
+        plan = FaultPlan(seed=9)
+        plan.on(SITE_ENGINE_CONNECT, KIND_REFUSE, probability=0.3)
+        handle = None
+        pattern = []
+        for index in range(40):
+            if with_outage and index == 10:
+                handle = plan.block(SITE_ENGINE_CONNECT, KIND_DROP)
+            if with_outage and index == 20:
+                plan.unblock(handle)
+            fault = plan.decide(SITE_ENGINE_CONNECT)
+            pattern.append(None if fault is None else fault.kind)
+        return pattern
+
+    plain = fire_pattern(with_outage=False)
+    with_outage = fire_pattern(with_outage=True)
+    # Outside the outage window the probabilistic firings are identical.
+    assert plain[:10] == with_outage[:10]
+    assert plain[20:] == with_outage[20:]
+
+
+# ----------------------------------------------------------------------
+# Bookkeeping
+# ----------------------------------------------------------------------
+def test_counters_advance_once_per_decide():
+    plan = FaultPlan(seed=0)
+    for site in ENGINE_SITES:
+        assert plan.operations(site) == 0
+    plan.decide(SITE_ENGINE_CONNECT)
+    plan.decide(SITE_ENGINE_CONNECT)
+    assert plan.operations(SITE_ENGINE_CONNECT) == 2
+    assert plan.operations(SITE_ENGINE_SEND) == 0
+
+
+def test_trace_records_site_kind_and_operation():
+    plan = FaultPlan(seed=0)
+    plan.trigger(SITE_ECALL, KIND_CRASH, detail="mid-run kill")
+    plan.decide(SITE_ECALL)
+    assert plan.trace == (
+        InjectedFault(site=SITE_ECALL, kind=KIND_CRASH, operation=0,
+                      detail="mid-run kill"),
+    )
+
+
+def test_none_plan_helper_is_inert():
+    assert decide_helper(None, SITE_ENGINE_CONNECT) is None
+
+
+def test_thread_safe_consultation():
+    plan = FaultPlan(seed=5)
+    plan.on(SITE_ENGINE_RECV, KIND_GARBLE, probability=0.2)
+    errors = []
+
+    def worker():
+        try:
+            for _ in range(200):
+                plan.decide(SITE_ENGINE_RECV)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    assert plan.operations(SITE_ENGINE_RECV) == 800

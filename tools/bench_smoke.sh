@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Benchmark smoke run: proxy micro-benchmarks, boundary-crossing
-# accounting, and the Figure 5 throughput/latency sweep.
+# accounting, the Figure 5 throughput/latency sweep and the
+# availability-under-faults sweep.
 #
-# Writes the Figure 5 pytest-benchmark report to BENCH_fig5.json at the
-# repository root (committed, so perf regressions show up in review).
+# Writes the Figure 5 pytest-benchmark report to BENCH_fig5.json and the
+# availability digest to BENCH_fig5_availability.json at the repository
+# root (committed, so perf/availability regressions show up in review).
 #
 # Usage: tools/bench_smoke.sh [extra pytest args...]
 
@@ -23,4 +25,26 @@ python -m pytest benchmarks/test_fig5_throughput_latency.py -q -s \
     --benchmark-json=BENCH_fig5.json "$@"
 
 echo
-echo "wrote BENCH_fig5.json"
+echo "== figure 5 companion: availability under injected faults =="
+python -m pytest benchmarks/test_fig5_availability.py -q "$@"
+python - <<'PY'
+import json
+
+from repro.experiments import fig5_availability
+
+result = fig5_availability.run(
+    seed=0, total_requests=60, crash_at=18,
+    outages=((26, 34), (44, 50)), checkpoint_interval=6,
+)
+with open("BENCH_fig5_availability.json", "w") as handle:
+    json.dump(result.summary(), handle, indent=2, sort_keys=True)
+    handle.write("\n")
+print(fig5_availability.format_table(result))
+PY
+
+echo
+echo "== public API guard =="
+python tools/check_api.py
+
+echo
+echo "wrote BENCH_fig5.json, BENCH_fig5_availability.json"

@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""Guard the public API surface of ``repro.core``.
+
+The deployment/client facade is the contract downstream code programs
+against; this script fails (exit 1) if a public name disappears, if the
+uniform call surface loses one of its keyword options, or if the
+deprecated spellings stop working.  Run it after any refactor:
+
+    PYTHONPATH=src python tools/check_api.py
+"""
+
+from __future__ import annotations
+
+import inspect
+import sys
+
+# Names importable from repro.core, forever.
+EXPECTED_CORE_NAMES = [
+    "QueryHistory",
+    "obfuscate_query",
+    "ObfuscatedQuery",
+    "filter_results",
+    "score_result",
+    "ScoredResult",
+    "SearchRequest",
+    "SearchResponse",
+    "IngestRequest",
+    "Ack",
+    "XSearchEnclaveCode",
+    "XSearchProxyHost",
+    "EngineGateway",
+    "Broker",
+    "XSearchClient",
+    "XSearchDeployment",
+    "SealedHistoryStore",
+    "snapshot_history",
+    "restore_history",
+    "DEFAULT_K",
+    "DEFAULT_HISTORY_CAPACITY",
+    "RetryPolicy",
+    "call_with_retry",
+    "NO_RETRY",
+    "DEFAULT_ENGINE_RETRY",
+    "DEFAULT_BROKER_RETRY",
+]
+
+# method -> keyword-only parameters the uniform surface promises.
+EXPECTED_CALL_SURFACE = {
+    "XSearchClient.search": {"limit", "timeout", "retry_policy"},
+    "XSearchClient.search_batch": {"limit", "timeout", "retry_policy"},
+    "Broker.search": {"limit", "timeout", "retry_policy"},
+    "Broker.search_batch": {"limit", "timeout", "retry_policy"},
+}
+
+# Attributes/methods the facade must keep exposing.
+EXPECTED_ATTRS = {
+    "XSearchDeployment": ["create", "close", "__enter__", "__exit__",
+                          "client", "new_broker", "warm_history"],
+    "XSearchProxyHost": ["request", "request_batch", "close",
+                         "checkpoint_now", "seal_history",
+                         "restore_history", "attestation_evidence",
+                         "perf_stats", "measurement"],
+    "Broker": ["connect", "search", "search_batch", "ingest",
+               "is_connected", "last_degraded"],
+}
+
+
+def main() -> int:
+    import repro.core as core
+
+    problems = []
+
+    for name in EXPECTED_CORE_NAMES:
+        if not hasattr(core, name):
+            problems.append(f"repro.core.{name} is gone")
+        if name not in getattr(core, "__all__", ()):
+            problems.append(f"repro.core.__all__ no longer lists {name!r}")
+
+    for dotted, expected_kwargs in EXPECTED_CALL_SURFACE.items():
+        cls_name, method_name = dotted.split(".")
+        cls = getattr(core, cls_name, None)
+        method = getattr(cls, method_name, None)
+        if method is None:
+            problems.append(f"{dotted} is gone")
+            continue
+        signature = inspect.signature(method)
+        kwonly = {
+            parameter.name
+            for parameter in signature.parameters.values()
+            if parameter.kind is inspect.Parameter.KEYWORD_ONLY
+        }
+        missing = expected_kwargs - kwonly
+        if missing:
+            problems.append(
+                f"{dotted} lost keyword-only option(s): {sorted(missing)}"
+            )
+        has_varargs = any(
+            parameter.kind is inspect.Parameter.VAR_POSITIONAL
+            for parameter in signature.parameters.values()
+        )
+        if not has_varargs:
+            problems.append(
+                f"{dotted} dropped the deprecated positional-limit shim"
+            )
+
+    for cls_name, attrs in EXPECTED_ATTRS.items():
+        cls = getattr(core, cls_name, None)
+        if cls is None:
+            continue  # already reported above
+        for attr in attrs:
+            if not hasattr(cls, attr):
+                problems.append(f"{cls_name}.{attr} is gone")
+
+    if problems:
+        print("public API check FAILED:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print(
+        f"public API check OK: {len(EXPECTED_CORE_NAMES)} names, "
+        f"{len(EXPECTED_CALL_SURFACE)} call signatures, "
+        f"{sum(len(a) for a in EXPECTED_ATTRS.values())} attributes"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
