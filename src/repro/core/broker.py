@@ -43,6 +43,7 @@ from repro.errors import (
     ProtocolError,
     TransientError,
 )
+from repro.obs.tracing import PLACEMENT_CLIENT, event, span
 from repro.sgx.attestation import RemoteVerifier, report_data_for_key
 from repro.sgx.measurement import Measurement
 
@@ -82,8 +83,11 @@ class Broker:
                  expected_measurement: Measurement,
                  session_id: str = None,
                  retry_policy: RetryPolicy = None,
-                 clock=None):
+                 clock=None,
+                 recorder=None, registry=None):
         self._proxy = proxy
+        self._recorder = recorder
+        self._registry = registry
         self._verifier = RemoteVerifier(service_public_key, expected_measurement)
         self._session_id = (
             session_id if session_id is not None else secrets.token_hex(8)
@@ -111,12 +115,16 @@ class Broker:
         if self._endpoint is not None:
             raise ProtocolError("broker is already connected")
         policy = retry_policy if retry_policy is not None else self._retry_policy
-        call_with_retry(
-            self._connect_once,
-            policy=policy,
-            clock=self._clock,
-            retry_on=(TransientError,),
-        )
+        with span(self._recorder, "broker.connect",
+                  placement=PLACEMENT_CLIENT,
+                  **{"retry.max_attempts": policy.max_attempts}):
+            call_with_retry(
+                self._connect_once,
+                policy=policy,
+                clock=self._clock,
+                retry_on=(TransientError,),
+                on_retry=self._on_connect_retry,
+            )
 
     def _connect_once(self) -> None:
         verdict = self._proxy.attestation_evidence()
@@ -130,6 +138,11 @@ class Broker:
         initiator = HandshakeInitiator()
         self._proxy.begin_session(self._session_id, initiator.hello())
         self._endpoint = initiator.finish(enclave_public)
+        event(self._recorder, "broker.attested")
+
+    def _on_connect_retry(self, attempt: int, exc: Exception) -> None:
+        event(self._recorder, "retry", attempt=attempt,
+              error=type(exc).__name__)
 
     def _heal(self, attempt: int, exc: Exception) -> None:
         """Recover from an enclave loss between retry attempts.
@@ -144,6 +157,11 @@ class Broker:
         self.attested = False
         self._session_id = secrets.token_hex(8)
         self.reconnects += 1
+        event(self._recorder, "retry", attempt=attempt,
+              error=type(exc).__name__)
+        event(self._recorder, "broker.heal", attempt=attempt)
+        if self._registry is not None:
+            self._registry.counter("broker.heals").inc()
         call_with_retry(
             self._connect_once,
             policy=self._retry_policy,
@@ -171,13 +189,24 @@ class Broker:
         :attr:`last_degraded`.
         """
         limit = _limit_from_args(args, limit, "search")
-        response = self._request_with_recovery(
-            lambda endpoint: SearchRequest(query, limit).encode(),
-            timeout=timeout, retry_policy=retry_policy,
-        )
-        decoded = SearchResponse.decode(response)
-        self.last_degraded = decoded.degraded
-        return list(decoded.results)
+        policy = retry_policy if retry_policy is not None else self._retry_policy
+        with span(self._recorder, "broker.search",
+                  placement=PLACEMENT_CLIENT, limit=limit,
+                  query_bytes=len(query.encode("utf-8")),
+                  **{"retry.max_attempts": policy.max_attempts}) as root:
+            with self._latency_timer("latency.broker.search"):
+                response = self._request_with_recovery(
+                    lambda endpoint: SearchRequest(query, limit).encode(),
+                    timeout=timeout, retry_policy=policy,
+                )
+            decoded = SearchResponse.decode(response)
+            self.last_degraded = decoded.degraded
+            root.set(
+                outcome="degraded" if decoded.degraded else "reply",
+                degraded=decoded.degraded,
+                result_count=len(decoded.results),
+            )
+            return list(decoded.results)
 
     def search_batch(self, queries, *args, limit: int = DEFAULT_LIMIT,
                      timeout: float = None,
@@ -211,14 +240,24 @@ class Broker:
                 raise ProtocolError("proxy returned a mis-sized batch reply")
             return [endpoint.decrypt(reply) for reply in replies]
 
-        plaintexts = call_with_retry(
-            attempt, policy=policy, clock=self._clock,
-            retry_on=(EnclaveLostError,), deadline=deadline,
-            on_retry=self._heal,
-        )
-        decoded = [SearchResponse.decode(p) for p in plaintexts]
-        self.last_degraded = any(d.degraded for d in decoded)
-        return [list(d.results) for d in decoded]
+        with span(self._recorder, "broker.search_batch",
+                  placement=PLACEMENT_CLIENT, limit=limit,
+                  batch_size=len(queries),
+                  **{"retry.max_attempts": policy.max_attempts}) as root:
+            with self._latency_timer("latency.broker.search_batch"):
+                plaintexts = call_with_retry(
+                    attempt, policy=policy, clock=self._clock,
+                    retry_on=(EnclaveLostError,), deadline=deadline,
+                    on_retry=self._heal,
+                )
+            decoded = [SearchResponse.decode(p) for p in plaintexts]
+            self.last_degraded = any(d.degraded for d in decoded)
+            root.set(
+                outcome="degraded" if self.last_degraded else "reply",
+                degraded=self.last_degraded,
+                degraded_count=sum(1 for d in decoded if d.degraded),
+            )
+            return [list(d.results) for d in decoded]
 
     def ingest(self, queries, *, timeout: float = None,
                retry_policy: RetryPolicy = None) -> int:
@@ -227,11 +266,19 @@ class Broker:
         Used by simulations to model the traffic of many other users; a
         production broker does not expose this to the web client.
         """
-        reply = self._request_with_recovery(
-            lambda endpoint: IngestRequest(tuple(queries)).encode(),
-            timeout=timeout, retry_policy=retry_policy,
-        )
-        return Ack.decode(reply).count
+        queries = tuple(queries)
+        policy = retry_policy if retry_policy is not None else self._retry_policy
+        with span(self._recorder, "broker.ingest",
+                  placement=PLACEMENT_CLIENT, batch_size=len(queries),
+                  **{"retry.max_attempts": policy.max_attempts}) as root:
+            with self._latency_timer("latency.broker.ingest"):
+                reply = self._request_with_recovery(
+                    lambda endpoint: IngestRequest(queries).encode(),
+                    timeout=timeout, retry_policy=policy,
+                )
+            count = Ack.decode(reply).count
+            root.set(outcome="reply", degraded=False, ingested=count)
+            return count
 
     # ------------------------------------------------------------------
     # Internals
@@ -258,6 +305,19 @@ class Broker:
             retry_on=(EnclaveLostError,), deadline=deadline,
             on_retry=self._heal,
         )
+
+    def _latency_timer(self, name: str):
+        """A metrics timer for one broker operation (inert without a
+        registry — the clock is not even resolved)."""
+        from repro.obs.metrics import timer
+
+        if self._registry is None:
+            return timer(None, name, None)
+        clock = self._clock
+        if clock is None:
+            from repro.core.retry import _SYSTEM_CLOCK
+            clock = _SYSTEM_CLOCK
+        return timer(self._registry, name, clock)
 
     def _deadline(self, timeout):
         if timeout is None:

@@ -61,6 +61,8 @@ class _ClientFacade:
             expected_measurement=deployment.proxy.measurement,
             session_id=session_id,
             retry_policy=retry_policy,
+            recorder=deployment.recorder,
+            registry=deployment.registry,
         )
         if connect:
             broker.connect()
@@ -90,6 +92,8 @@ class XSearchDeployment:
     proxy: XSearchProxyHost
     broker: Broker
     default_client: XSearchClient
+    recorder: object = None
+    registry: object = None
 
     @classmethod
     def create(cls, *, k: int = DEFAULT_K,
@@ -98,6 +102,7 @@ class XSearchDeployment:
                engine: SearchEngine = None,
                key_bits: int = DEFAULT_ATTESTATION_KEY_BITS,
                connect: bool = True,
+               recorder=None, registry=None,
                **proxy_options) -> "XSearchDeployment":
         """Stand up a complete deployment.
 
@@ -109,7 +114,19 @@ class XSearchDeployment:
         ``checkpoint_interval``, ``retry_policy``, …) pass through to
         :class:`XSearchProxyHost` for performance and fault-tolerance
         experiments.
+
+        ``recorder`` / ``registry`` attach the observability plane
+        (:mod:`repro.obs`) to every layer — broker root spans, ecall and
+        ocall boundary spans, enclave pipeline spans, supervisor events
+        and the metrics behind the boundary accounting.  When neither is
+        passed the process defaults from :func:`repro.obs.install` are
+        used (``ProfileSession`` installs them); pass
+        ``recorder=NullRecorder()`` to opt out explicitly.
         """
+        if recorder is None and registry is None:
+            from repro import obs
+
+            recorder, registry = obs.installed()
         if engine is None:
             engine = SearchEngine.with_synthetic_corpus(seed=seed)
         tracking = TrackingSearchEngine(engine)
@@ -125,12 +142,16 @@ class XSearchDeployment:
             quoting_enclave=quoting_enclave,
             attestation_service=attestation_service,
             rng_seed=seed,
+            recorder=recorder,
+            registry=registry,
             **proxy_options,
         )
         broker = Broker(
             proxy,
             service_public_key=attestation_service.public_key,
             expected_measurement=proxy.measurement,
+            recorder=recorder,
+            registry=registry,
         )
         client = XSearchClient(broker)
         if connect:
@@ -143,6 +164,8 @@ class XSearchDeployment:
             proxy=proxy,
             broker=broker,
             default_client=client,
+            recorder=recorder,
+            registry=registry,
         )
 
     # ------------------------------------------------------------------
@@ -195,6 +218,8 @@ class XSearchDeployment:
             service_public_key=self.attestation_service.public_key,
             expected_measurement=self.proxy.measurement,
             session_id=session_id,
+            recorder=self.recorder,
+            registry=self.registry,
         )
         broker.connect()
         return broker

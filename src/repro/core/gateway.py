@@ -26,6 +26,7 @@ from repro.faults.plan import (
     SITE_ENGINE_RECV,
     SITE_ENGINE_SEND,
 )
+from repro.obs.tracing import event
 from repro.search.documents import SearchResult
 from repro.sgx.runtime import OcallTable
 
@@ -89,7 +90,8 @@ class EngineGateway:
     """
 
     def __init__(self, engine, *, source: str = "xsearch-proxy.cloud",
-                 tls_config: TlsServerConfig = None, fault_plan=None):
+                 tls_config: TlsServerConfig = None, fault_plan=None,
+                 recorder=None):
         import threading
 
         self._engine = engine
@@ -103,6 +105,11 @@ class EngineGateway:
         # Fault-injection plane (repro.faults); None = no faults and a
         # single identity check per ocall.
         self.fault_plan = fault_plan
+        # Tracing plane (repro.obs); the gateway is host code, so it only
+        # ever records *sizes* — the request text it handles is exactly
+        # what the §3 adversary sees, but the trace-privacy rule keeps
+        # payloads out of host spans regardless.
+        self.recorder = recorder
 
     def install_fault_plan(self, plan) -> None:
         """Attach (or detach, with ``None``) a fault plan at runtime."""
@@ -258,6 +265,8 @@ class EngineGateway:
             return _http_error(400, "invalid limit")
 
         subqueries = [s for s in query.split(_OR_SEPARATOR) if s.strip()]
+        event(self.recorder, "engine.request",
+              request_bytes=len(request), subquery_count=len(subqueries))
         results = self._execute(subqueries, limit)
         body = json.dumps(
             [
@@ -395,6 +404,12 @@ def split_http_response(raw, *, partial_ok: bool = False):
                 content_length = int(value.strip())
             except ValueError as exc:
                 raise NetworkError("bad Content-Length header") from exc
+            if content_length < 0:
+                # A negative length is garbage, not incompleteness: under
+                # ``partial_ok`` it would silently mis-frame the stream
+                # (``rest[:-1]`` truncates the body and the negative
+                # ``consumed`` under-advances the keep-alive buffer).
+                raise NetworkError("negative Content-Length header")
     if content_length is None:
         return status, rest, len(raw)
     if len(rest) < content_length:

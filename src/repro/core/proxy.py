@@ -89,6 +89,7 @@ from repro.errors import (
     TransientError,
 )
 from repro.faults.plan import KIND_TRANSIENT, SITE_ATTESTATION
+from repro.obs.tracing import PLACEMENT_ENCLAVE, event, span
 from repro.sgx.attestation import (
     AttestationService,
     AttestationVerdict,
@@ -147,6 +148,7 @@ class XSearchEnclaveCode:
         self._k = DEFAULT_K
         self._rng = None
         self._sealer = None
+        self._recorder = None
         self._engine_ca_key = None
         self._pool_connections = True
         self._pool_capacity = DEFAULT_POOL_CAPACITY
@@ -175,6 +177,16 @@ class XSearchEnclaveCode:
         """Runtime hook (EGETKEY analogue): receives the sealing facility
         bound to this enclave's own measurement."""
         self._sealer = sealer
+
+    def attach_recorder(self, recorder) -> None:
+        """Runtime hook: the trace recorder shared with the host.
+
+        Enclave-placed spans may carry plaintext attributes (the host
+        never reads span contents in the model — placement tags are what
+        the :class:`~repro.obs.checker.TraceChecker` privacy oracle keys
+        on); host-placed spans must stay payload-free.
+        """
+        self._recorder = recorder
 
     # ------------------------------------------------------------------
     # ecall: init(parameters)
@@ -441,14 +453,22 @@ class XSearchEnclaveCode:
     # Trusted request pipeline
     # ------------------------------------------------------------------
     def _serve_search(self, request: SearchRequest) -> SearchResponse:
-        obfuscated = obfuscate_query(
-            request.query, self._history, self._k, self._rng
-        )
+        recorder = self._recorder
+        with span(recorder, "enclave.obfuscation",
+                  placement=PLACEMENT_ENCLAVE,
+                  query=request.query, k=self._k):
+            obfuscated = obfuscate_query(
+                request.query, self._history, self._k, self._rng
+            )
         degraded_key = f"{request.limit}\x00{request.query}"
         try:
-            raw_results = self._query_engine(
-                obfuscated.as_or_query(), request.limit
-            )
+            with span(recorder, "enclave.engine",
+                      placement=PLACEMENT_ENCLAVE,
+                      **{"retry.max_attempts":
+                         self._retry_policy.max_attempts}):
+                raw_results = self._query_engine(
+                    obfuscated.as_or_query(), request.limit
+                )
         except (TransientError, RetryExhaustedError) as exc:
             # Every retry spent and the engine is still unreachable: serve
             # the last filtered results we produced for this exact query,
@@ -458,19 +478,23 @@ class XSearchEnclaveCode:
                 stale = self._degraded.get(degraded_key)
                 if stale is not None:
                     self._bump("degraded_hits")
+                    event(recorder, "degraded.hit")
                     return SearchResponse(results=tuple(stale), degraded=True)
             self._bump("engine_failures")
             raise EngineUnavailableError(
                 f"engine unreachable and no degraded result cached for "
                 f"this query: {exc}"
             ) from exc
-        filtered = filter_results(
-            obfuscated.original,
-            obfuscated.fake_queries,
-            raw_results,
-            strip_tracking=True,
-        )
-        results = tuple(filtered[:request.limit])
+        with span(recorder, "enclave.filtering",
+                  placement=PLACEMENT_ENCLAVE) as filter_span:
+            filtered = filter_results(
+                obfuscated.original,
+                obfuscated.fake_queries,
+                raw_results,
+                strip_tracking=True,
+            )
+            results = tuple(filtered[:request.limit])
+            filter_span.set(result_count=len(results))
         if self._degraded is not None:
             self._degraded.put(degraded_key, results)
         return SearchResponse(results=results)
@@ -488,6 +512,7 @@ class XSearchEnclaveCode:
         if self._cache is not None:
             cached = self._cache.get(cache_key)
             if cached is not None:
+                event(self._recorder, "cache.hit")
                 return list(cached)
         encoded = urllib.parse.quote_plus(or_query)
         http_request = (
@@ -500,7 +525,7 @@ class XSearchEnclaveCode:
         status, body = call_with_retry(
             lambda: self._exchange_once(http_request),
             policy=self._retry_policy,
-            on_retry=lambda attempt, exc: self._bump("engine_retries"),
+            on_retry=self._on_engine_retry,
         )
         if status != 200:
             raise NetworkError(f"search engine returned HTTP {status}")
@@ -508,6 +533,11 @@ class XSearchEnclaveCode:
         if self._cache is not None:
             self._cache.put(cache_key, tuple(results))
         return results
+
+    def _on_engine_retry(self, attempt: int, exc: Exception) -> None:
+        self._bump("engine_retries")
+        event(self._recorder, "retry", attempt=attempt,
+              error=type(exc).__name__)
 
     def _exchange_once(self, http_request: bytes):
         """One engine exchange, with transport failures normalised.
@@ -742,10 +772,13 @@ class XSearchProxyHost:
                  degraded_cache_bytes: int = DEFAULT_DEGRADED_CACHE_BYTES,
                  fault_plan=None,
                  checkpoint_interval: int = DEFAULT_CHECKPOINT_INTERVAL,
+                 recorder=None, registry=None,
                  source: str = "xsearch-proxy.cloud"):
+        self._recorder = recorder
+        self._registry = registry
         self.gateway = EngineGateway(
             engine, source=source, tls_config=engine_tls_config,
-            fault_plan=fault_plan,
+            fault_plan=fault_plan, recorder=recorder,
         )
         https_flag = 1 if engine_ca_key is not None else 0
         pool_flag = 1 if pool_connections else 0
@@ -811,6 +844,8 @@ class XSearchProxyHost:
             cost_model=self._cost_model,
             sealing_platform=self._sealing_platform,
             fault_plan=self._fault_plan,
+            recorder=self._recorder,
+            registry=self._registry,
         )
         enclave.initialize()
         enclave.call("init", **self._init_kwargs)
@@ -824,6 +859,10 @@ class XSearchProxyHost:
         self.respawn_count += 1
         self.last_restore_count = None
         self.last_restore_expected = None
+        event(self._recorder, "enclave.respawn",
+              respawn_count=self.respawn_count)
+        if self._registry is not None:
+            self._registry.counter("proxy.respawns").inc()
         self.enclave = self._spawn_enclave()
         if self._history_checkpoint is not None:
             blob, entries = self._history_checkpoint
@@ -831,6 +870,8 @@ class XSearchProxyHost:
             self.last_restore_count = self.enclave.call(
                 "restore_sealed_history", blob
             )
+            event(self._recorder, "checkpoint.restore",
+                  entries=self.last_restore_count)
 
     def _call(self, name: str, *args, **kwargs):
         """Issue an ecall, respawning the enclave first if it is dead.
@@ -862,6 +903,9 @@ class XSearchProxyHost:
         self._history_checkpoint = (blob, entries)
         self.checkpoint_count += 1
         self.last_checkpoint_entries = entries
+        event(self._recorder, "checkpoint", entries=entries)
+        if self._registry is not None:
+            self._registry.counter("proxy.checkpoints").inc()
         return entries
 
     def _after_requests(self, count: int) -> None:
@@ -960,6 +1004,11 @@ class XSearchProxyHost:
         self._call("accept_session", session_id, client_hello)
 
     def request(self, session_id: str, record: bytes) -> bytes:
+        if self._registry is not None:
+            self._registry.counter("proxy.requests").inc()
+            self._registry.histogram(
+                "proxy.request.record_bytes"
+            ).record(len(record))
         reply = self._call("request", session_id, record)
         self._after_requests(1)
         return reply
@@ -974,6 +1023,11 @@ class XSearchProxyHost:
         batch = list(batch)
         if not batch:
             return ()
+        if self._registry is not None:
+            self._registry.counter("proxy.requests").inc(len(batch))
+            self._registry.histogram(
+                "proxy.request.batch_size"
+            ).record(len(batch))
         replies = self._call("request_batch", batch)
         self._after_requests(len(batch))
         return replies

@@ -4,11 +4,21 @@ Usage::
 
     xsearch-experiments all          # every figure, paper-scale
     xsearch-experiments fig3 --fast  # one figure, CI-scale
+
+Every run is profiled through :class:`repro.obs.ProfileSession`: the
+session installs a trace recorder and metrics registry as the process
+defaults (picked up by every ``XSearchDeployment.create`` inside the
+experiment), and on completion its digest — span/event frequency
+tables, request outcomes, the :class:`~repro.obs.checker.TraceChecker`
+verdict and the metrics plane — is attached to the figure's
+``BENCH_<name>.json`` artefact when one exists (``--profile-json`` to
+force a path).  ``--no-profile`` disables the instrumentation entirely.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -54,6 +64,17 @@ def main(argv=None) -> int:
         default=None,
         help="for 'report': write the markdown to this file",
     )
+    parser.add_argument(
+        "--no-profile",
+        action="store_true",
+        help="run without the observability plane (no traces, no digest)",
+    )
+    parser.add_argument(
+        "--profile-json",
+        default=None,
+        help="attach the observability digest to this JSON report "
+             "(default: BENCH_<experiment>.json when it exists)",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "report":
@@ -66,9 +87,41 @@ def main(argv=None) -> int:
     for name in names:
         module = EXPERIMENTS[name]
         start = time.time()
-        module.main(fast=args.fast)
+        if args.no_profile:
+            module.main(fast=args.fast)
+        else:
+            _run_profiled(name, module, fast=args.fast,
+                          profile_json=args.profile_json)
         print(f"[{name} completed in {time.time() - start:.1f}s]\n")
     return 0
+
+
+def _run_profiled(name: str, module, *, fast: bool,
+                  profile_json: str = None) -> None:
+    """Run one experiment under a profiling session and export its digest.
+
+    The digest lands next to (inside) the figure's ``BENCH_<name>.json``
+    pytest-benchmark artefact so every committed benchmark report carries
+    the trace/metric evidence — and the checker verdict — of the run
+    that produced it.  With no artefact present and no explicit path the
+    digest is only summarised to stdout.
+    """
+    from repro.obs import ProfileSession
+
+    with ProfileSession(name) as session:
+        module.main(fast=fast)
+    target = profile_json
+    if target is None:
+        candidate = f"BENCH_{name}.json"
+        if os.path.exists(candidate):
+            target = candidate
+    digest = session.digest
+    traces = digest.get("traces", {})
+    print(f"[{name}: {traces.get('trace_count', 0)} traces recorded, "
+          f"invariants_ok={traces.get('invariants_ok', True)}]")
+    if target is not None:
+        session.attach(target)
+        print(f"[{name}: observability digest attached to {target}]")
 
 
 if __name__ == "__main__":  # pragma: no cover

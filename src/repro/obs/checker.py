@@ -1,0 +1,260 @@
+"""Trace-based test oracles: structural invariants over finished traces.
+
+A trace is more than a profile — it is a record of *what the system
+actually did*, and several of the reproduction's security and
+fault-tolerance claims are exactly statements about that record:
+
+* **balanced-boundary** — every ``ecall.*`` / ``ocall.*`` span closed:
+  no enclave transition entered without returning (or erroring) through
+  the runtime, so boundary accounting can be trusted;
+* **host-plaintext** — no host-placed span carries a plaintext user
+  query in any name, attribute or event: the host sees sizes and
+  timings, never payloads (the §3 adversary model, restated as a
+  machine-checkable rule);
+* **bounded-retries** — a span that declares ``retry.max_attempts``
+  never records more ``retry`` events than its policy permits;
+* **degraded-flagged** — a trace in which the enclave served stale
+  results (a ``degraded.hit`` event) must surface ``degraded=True`` on
+  its root span: degraded service is never silent;
+* **single-outcome** — every request trace ends in exactly one of
+  *reply*, *degraded reply* or *error* — no request vanishes, and no
+  request is double-counted.
+
+:class:`TraceChecker` walks traces and returns
+:class:`TraceViolation` records; ``assert_ok`` raises with a readable
+report.  The randomized stress test and the bench-smoke digest both run
+every recorded trace through the checker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.tracing import (
+    PLACEMENT_ENCLAVE,
+    PLACEMENT_HOST,
+    STATUS_ERROR,
+    STATUS_OK,
+    Trace,
+)
+
+#: Root span names that constitute one client *request* (and therefore
+#: must carry a single outcome).
+REQUEST_ROOT_NAMES = frozenset(
+    {"broker.search", "broker.search_batch", "broker.ingest"}
+)
+
+#: Outcomes a request trace may end in.
+OUTCOME_REPLY = "reply"
+OUTCOME_DEGRADED = "degraded"
+OUTCOME_ERROR = "error"
+OUTCOMES = frozenset({OUTCOME_REPLY, OUTCOME_DEGRADED, OUTCOME_ERROR})
+
+_RETRY_LIMIT_ATTRIBUTE = "retry.max_attempts"
+_RETRY_EVENT = "retry"
+_DEGRADED_EVENT = "degraded.hit"
+
+
+@dataclass(frozen=True)
+class TraceViolation:
+    """One invariant broken by one trace."""
+
+    invariant: str
+    trace_id: int
+    span_name: str
+    message: str
+
+    def __str__(self) -> str:
+        return (f"[{self.invariant}] trace {self.trace_id} "
+                f"span {self.span_name!r}: {self.message}")
+
+
+@dataclass
+class TraceChecker:
+    """Walks finished traces and collects invariant violations.
+
+    ``queries`` seeds the plaintext corpus for the host-plaintext check;
+    queries recorded by enclave-placed spans (their ``query`` attribute)
+    are added automatically, so a deployment-level test only needs to
+    pass queries that never reached the enclave.
+    """
+
+    queries: tuple = ()
+    #: Invariant names to skip (rarely needed; the stress test uses all).
+    skip: frozenset = frozenset()
+    _violations: list = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    def check(self, traces) -> list:
+        """Check every trace; returns the violations found (possibly [])."""
+        self._violations = []
+        traces = list(traces)
+        corpus = self._plaintext_corpus(traces)
+        for trace in traces:
+            self._check_balanced_boundary(trace)
+            self._check_host_plaintext(trace, corpus)
+            self._check_bounded_retries(trace)
+            self._check_degraded_flagged(trace)
+            self._check_single_outcome(trace)
+        return list(self._violations)
+
+    def check_recorder(self, recorder) -> list:
+        return self.check(recorder.traces)
+
+    def assert_ok(self, traces) -> None:
+        """Raise ``AssertionError`` with a readable report on violation."""
+        violations = self.check(traces)
+        if violations:
+            report = "\n".join(f"  - {violation}" for violation in violations)
+            raise AssertionError(
+                f"{len(violations)} trace invariant violation(s):\n{report}"
+            )
+
+    # ------------------------------------------------------------------
+    # The invariants
+    # ------------------------------------------------------------------
+    def _record(self, invariant: str, trace: Trace, span_name: str,
+                message: str) -> None:
+        if invariant in self.skip:
+            return
+        self._violations.append(
+            TraceViolation(
+                invariant=invariant, trace_id=trace.trace_id,
+                span_name=span_name, message=message,
+            )
+        )
+
+    def _check_balanced_boundary(self, trace: Trace) -> None:
+        for span in trace.walk():
+            if not span.name.startswith(("ecall.", "ocall.")):
+                continue
+            if not span.finished:
+                self._record(
+                    "balanced-boundary", trace, span.name,
+                    "boundary span was entered but never returned",
+                )
+            elif span.status not in (STATUS_OK, STATUS_ERROR):
+                self._record(
+                    "balanced-boundary", trace, span.name,
+                    f"boundary span closed without a status "
+                    f"({span.status!r})",
+                )
+
+    def _plaintext_corpus(self, traces) -> tuple:
+        corpus = {q for q in self.queries if q}
+        for trace in traces:
+            for span in trace.walk():
+                if span.placement != PLACEMENT_ENCLAVE:
+                    continue
+                query = span.attributes.get("query")
+                if isinstance(query, str) and query:
+                    corpus.add(query)
+        return tuple(corpus)
+
+    def _check_host_plaintext(self, trace: Trace, corpus: tuple) -> None:
+        if not corpus:
+            return
+        for span in trace.walk():
+            if span.placement != PLACEMENT_HOST:
+                continue
+            for where, text in self._host_visible_text(span):
+                for query in corpus:
+                    if query in text:
+                        self._record(
+                            "host-plaintext", trace, span.name,
+                            f"plaintext query {query!r} leaked into "
+                            f"host-side {where}",
+                        )
+
+    @staticmethod
+    def _host_visible_text(span):
+        yield "span name", span.name
+        for key, value in span.attributes.items():
+            yield f"attribute {key!r}", f"{key}={value!r}"
+        for event in span.events:
+            yield f"event {event.name!r}", event.name
+            for key, value in event.attributes.items():
+                yield (f"event {event.name!r} attribute {key!r}",
+                       f"{key}={value!r}")
+
+    def _check_bounded_retries(self, trace: Trace) -> None:
+        for span in trace.walk():
+            limit = span.attributes.get(_RETRY_LIMIT_ATTRIBUTE)
+            if limit is None:
+                continue
+            retries = sum(
+                1 for event in span.events if event.name == _RETRY_EVENT
+            )
+            if retries > limit - 1:
+                self._record(
+                    "bounded-retries", trace, span.name,
+                    f"{retries} retry event(s) exceed the policy budget "
+                    f"of {limit} attempt(s)",
+                )
+
+    def _check_degraded_flagged(self, trace: Trace) -> None:
+        served_degraded = any(
+            event.name == _DEGRADED_EVENT
+            for span in trace.walk()
+            for event in span.events
+        )
+        if not served_degraded:
+            return
+        if trace.root.name not in REQUEST_ROOT_NAMES:
+            return
+        if trace.root.status == STATUS_ERROR:
+            # The degraded result was produced but the request still
+            # failed upstream (e.g. the enclave died afterwards) — the
+            # reply never reached the client, so no flag is owed.
+            return
+        if not trace.root.attributes.get("degraded", False):
+            self._record(
+                "degraded-flagged", trace, trace.root.name,
+                "degraded cache served a reply but the root span does "
+                "not flag degraded=True",
+            )
+
+    def _check_single_outcome(self, trace: Trace) -> None:
+        root = trace.root
+        if root.name not in REQUEST_ROOT_NAMES:
+            return
+        outcome = root.attributes.get("outcome")
+        if root.status == STATUS_ERROR:
+            if outcome not in (None, OUTCOME_ERROR):
+                self._record(
+                    "single-outcome", trace, root.name,
+                    f"errored request also claims outcome {outcome!r}",
+                )
+            if not root.error:
+                self._record(
+                    "single-outcome", trace, root.name,
+                    "errored request does not name its error type",
+                )
+            return
+        if outcome not in (OUTCOME_REPLY, OUTCOME_DEGRADED):
+            self._record(
+                "single-outcome", trace, root.name,
+                f"request finished ok with outcome {outcome!r} "
+                f"(expected 'reply' or 'degraded')",
+            )
+            return
+        degraded_attr = bool(root.attributes.get("degraded", False))
+        if degraded_attr != (outcome == OUTCOME_DEGRADED):
+            self._record(
+                "single-outcome", trace, root.name,
+                f"outcome {outcome!r} disagrees with degraded="
+                f"{degraded_attr}",
+            )
+
+
+def outcome_of(trace: Trace) -> str:
+    """The single outcome of a request trace: ``reply``, ``degraded`` or
+    ``error`` (raises on non-request traces)."""
+    root = trace.root
+    if root.name not in REQUEST_ROOT_NAMES:
+        raise ValueError(f"{root.name!r} is not a request root span")
+    if root.status == STATUS_ERROR:
+        return OUTCOME_ERROR
+    return root.attributes.get("outcome", OUTCOME_REPLY)

@@ -1,0 +1,154 @@
+"""Profiling hooks and JSON exporters for the observability plane.
+
+:class:`ProfileSession` bundles a recorder and a registry for one
+experiment run and digests them on exit;
+:func:`attach_digest` folds the digest into an existing ``BENCH_*.json``
+report (pytest-benchmark output or the availability summary) under an
+``"observability"`` key, so every committed benchmark artefact carries
+the trace/metric evidence of the run that produced it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.obs.checker import TraceChecker, outcome_of
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import TraceRecorder
+
+DIGEST_KEY = "observability"
+
+
+def metrics_digest(registry) -> dict:
+    """The registry as a JSON-friendly dict (empty registry → empty)."""
+    if registry is None:
+        return {}
+    return registry.as_dict()
+
+
+def trace_digest(recorder, *, checker: TraceChecker = None) -> dict:
+    """Aggregate statistics over every finished trace.
+
+    Includes span/event frequency tables, per-outcome request counts and
+    the checker's verdict — the digest records *that* the invariants
+    held (or names the violations), so a committed benchmark artefact is
+    self-certifying.
+    """
+    if recorder is None:
+        return {}
+    traces = recorder.traces
+    span_counts = {}
+    event_counts = {}
+    placements = {}
+    outcomes = {}
+    for trace in traces:
+        for span in trace.walk():
+            span_counts[span.name] = span_counts.get(span.name, 0) + 1
+            placements[span.placement] = placements.get(span.placement, 0) + 1
+            for event in span.events:
+                event_counts[event.name] = event_counts.get(event.name, 0) + 1
+        try:
+            outcome = outcome_of(trace)
+        except ValueError:
+            continue
+        outcomes[outcome] = outcomes.get(outcome, 0) + 1
+    if checker is None:
+        checker = TraceChecker()
+    violations = checker.check(traces)
+    digest = {
+        "trace_count": len(traces),
+        "dropped_traces": getattr(recorder, "dropped_traces", 0),
+        "span_counts": dict(sorted(span_counts.items())),
+        "event_counts": dict(sorted(event_counts.items())),
+        "placements": dict(sorted(placements.items())),
+        "outcomes": dict(sorted(outcomes.items())),
+        "invariants_ok": not violations,
+        "violations": [str(violation) for violation in violations],
+    }
+    return digest
+
+
+def build_digest(*, recorder=None, registry=None,
+                 checker: TraceChecker = None) -> dict:
+    """The combined observability digest attached to BENCH reports."""
+    return {
+        "traces": trace_digest(recorder, checker=checker),
+        "metrics": metrics_digest(registry),
+    }
+
+
+def attach_digest(path: str, digest: dict, *, key: str = DIGEST_KEY) -> dict:
+    """Fold ``digest`` into the JSON document at ``path`` (in place).
+
+    A missing file becomes a fresh ``{key: digest}`` document, so the
+    exporter works whether or not pytest-benchmark ran first.  Returns
+    the document written.
+    """
+    document = {}
+    if os.path.exists(path):
+        with open(path, "r", encoding="utf-8") as handle:
+            try:
+                document = json.load(handle)
+            except json.JSONDecodeError:
+                document = {}
+        if not isinstance(document, dict):
+            document = {"data": document}
+    document[key] = digest
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return document
+
+
+class ProfileSession:
+    """One profiled run: a recorder + registry pair with a digest.
+
+    Usage::
+
+        with ProfileSession("fig5") as session:
+            run_workload(recorder=session.recorder,
+                         registry=session.registry)
+        session.attach("BENCH_fig5.json")
+
+    The session also *installs* its recorder/registry as the process
+    defaults (see :func:`repro.obs.install`) for the duration of the
+    block, so workloads that build deployments without explicit
+    observability arguments are traced too.
+    """
+
+    digest = None  # built on exit (or on the first attach())
+
+    def __init__(self, name: str, *, clock=None,
+                 checker: TraceChecker = None):
+        self.name = name
+        self.recorder = TraceRecorder(clock=clock)
+        self.registry = MetricsRegistry()
+        self.checker = checker
+        self.digest = None
+        self._previous = None
+
+    def __enter__(self) -> "ProfileSession":
+        from repro import obs
+
+        self._previous = obs.installed()
+        obs.install(recorder=self.recorder, registry=self.registry)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        from repro import obs
+
+        obs.install(recorder=self._previous[0], registry=self._previous[1])
+        self.digest = build_digest(
+            recorder=self.recorder, registry=self.registry,
+            checker=self.checker,
+        )
+
+    def attach(self, path: str) -> dict:
+        """Write this session's digest into the report at ``path``."""
+        if self.digest is None:
+            self.digest = build_digest(
+                recorder=self.recorder, registry=self.registry,
+                checker=self.checker,
+            )
+        return attach_digest(path, self.digest)

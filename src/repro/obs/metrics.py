@@ -1,0 +1,237 @@
+"""The metrics registry: counters, gauges and histograms in one plane.
+
+Replaces the ad-hoc counter plumbing that used to be scattered across the
+proxy, gateway and experiment scripts: every numeric observable is an
+*instrument* registered under a dotted name in a
+:class:`MetricsRegistry`, and one :meth:`MetricsRegistry.as_dict` call
+digests the whole plane into JSON for the ``BENCH_*.json`` reports.
+
+Three instrument kinds:
+
+* :class:`Counter` — a monotonic count (ecalls served, cache hits);
+* :class:`Gauge` — a point-in-time value, either set explicitly or
+  computed on read from a bound function (EPC occupancy);
+* :class:`Histogram` — a distribution, backed by the HdrHistogram-style
+  :class:`~repro.net.histogram.LatencyRecorder` so multi-million-sample
+  sweeps stay O(1) per record.
+
+The boundary-crossing accounting of :mod:`repro.sgx.runtime` is a facade
+over this registry (see ``CycleCounter``): the same numbers that the
+benchmarks assert on are now first-class metrics.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import ExperimentError
+from repro.net.histogram import LatencyRecorder
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only count up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name!r}, value={self._value})"
+
+
+class Gauge:
+    """A point-in-time value: set it, or bind a function computed on read."""
+
+    __slots__ = ("name", "_value", "_function")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0
+        self._function = None
+
+    def set(self, value) -> None:
+        self._function = None
+        self._value = value
+
+    def set_function(self, function) -> None:
+        """Compute the gauge on every read (e.g. live EPC occupancy)."""
+        if not callable(function):
+            raise ValueError("gauge function must be callable")
+        self._function = function
+
+    @property
+    def value(self):
+        if self._function is not None:
+            return self._function()
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name!r}, value={self.value})"
+
+
+class Histogram:
+    """A sample distribution with percentile queries.
+
+    ``exact=True`` keeps raw samples (small-N CDFs); the default uses
+    fixed-resolution logarithmic buckets.  Samples must be non-negative
+    (they are latencies, sizes or counts).
+    """
+
+    __slots__ = ("name", "_recorder", "_lock")
+
+    def __init__(self, name: str, *, exact: bool = False):
+        self.name = name
+        self._recorder = LatencyRecorder(exact=exact)
+        self._lock = threading.Lock()
+
+    def record(self, value: float) -> None:
+        with self._lock:
+            self._recorder.record(value)
+
+    @property
+    def count(self) -> int:
+        return self._recorder.count
+
+    def percentile(self, p: float) -> float:
+        with self._lock:
+            return self._recorder.percentile(p)
+
+    def summary(self) -> dict:
+        """JSON-friendly digest of the distribution."""
+        with self._lock:
+            if self._recorder.count == 0:
+                return {"count": 0}
+            return {
+                "count": self._recorder.count,
+                "mean": self._recorder.mean,
+                "min": self._recorder.min,
+                "max": self._recorder.max,
+                "p50": self._recorder.percentile(50.0),
+                "p95": self._recorder.percentile(95.0),
+                "p99": self._recorder.percentile(99.0),
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name!r}, count={self.count})"
+
+
+class _Timer:
+    """Context manager recording an elapsed duration into a histogram."""
+
+    __slots__ = ("_histogram", "_clock", "_start")
+
+    def __init__(self, histogram: Histogram, clock):
+        self._histogram = histogram
+        self._clock = clock
+
+    def __enter__(self) -> "_Timer":
+        self._start = self._clock.time()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._histogram.record(max(0.0, self._clock.time() - self._start))
+
+
+class _NullTimer:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_TIMER = _NullTimer()
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named instruments.
+
+    Instrument creation is idempotent — ``registry.counter("x")`` always
+    returns the same :class:`Counter` — and re-registering a name as a
+    different kind is an error (one name, one meaning).
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._instruments = {}
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str, *, exact: bool = False) -> Histogram:
+        return self._get_or_create(name, Histogram, exact=exact)
+
+    def timer(self, name: str, clock) -> _Timer:
+        """Time a block into ``histogram(name)`` against ``clock``."""
+        return _Timer(self.histogram(name), clock)
+
+    def _get_or_create(self, name: str, kind: type, **kwargs):
+        if not name:
+            raise ExperimentError("instruments need a non-empty name")
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = kind(name, **kwargs)
+                self._instruments[name] = instrument
+            elif not isinstance(instrument, kind):
+                raise ExperimentError(
+                    f"metric {name!r} is already registered as "
+                    f"{type(instrument).__name__}, not {kind.__name__}"
+                )
+            return instrument
+
+    def get(self, name: str):
+        """The instrument registered under ``name``, or ``None``."""
+        with self._lock:
+            return self._instruments.get(name)
+
+    def reset(self) -> None:
+        """Drop every instrument (handles held by callers go stale)."""
+        with self._lock:
+            self._instruments.clear()
+
+    def names(self) -> list:
+        with self._lock:
+            return sorted(self._instruments)
+
+    def as_dict(self) -> dict:
+        """The whole plane as JSON-friendly ``{kind: {name: value}}``."""
+        with self._lock:
+            instruments = dict(self._instruments)
+        out = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name in sorted(instruments):
+            instrument = instruments[name]
+            if isinstance(instrument, Counter):
+                out["counters"][name] = instrument.value
+            elif isinstance(instrument, Gauge):
+                out["gauges"][name] = instrument.value
+            elif isinstance(instrument, Histogram):
+                out["histograms"][name] = instrument.summary()
+        return out
+
+
+def timer(registry, name: str, clock):
+    """``registry.timer(...)`` tolerant of ``registry is None`` — the
+    no-registry fast path is one identity check and a shared inert
+    context manager."""
+    if registry is None:
+        return _NULL_TIMER
+    return registry.timer(name, clock)

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import EnclaveError, EnclaveLostError
 from repro.faults.plan import KIND_CRASH, KIND_PRESSURE, SITE_ECALL, SITE_EPC
+from repro.obs.metrics import MetricsRegistry
 from repro.sgx.epc import EnclavePageCache
 from repro.sgx.measurement import Measurement, measure_code
 
@@ -100,33 +101,72 @@ def _dict_delta(new: dict, old: dict) -> dict:
     return delta
 
 
-@dataclass
 class CycleCounter:
     """Accumulates simulated cycles spent inside the SGX machinery.
 
     Besides the aggregate ``ecalls``/``ocalls`` totals it keeps per-name
     counts (``{"sock_connect": 3, "recv": 7, ...}``) so experiments can
     attribute transition costs to individual boundary calls.
+
+    The storage is a :class:`~repro.obs.metrics.MetricsRegistry` — the
+    boundary accounting and the observability plane are the same
+    numbers, registered under ``sgx.boundary.*`` / ``sgx.ecall.<name>``
+    / ``sgx.ocall.<name>`` — while this class keeps the facade the
+    benchmarks and experiments have always asserted against
+    (``counter.ecalls``, ``counter.ocall_counts``, ``snapshot()``).
+    Callers mutate it only through :meth:`charge`/:meth:`record`, which
+    the enclave serialises under its concurrency lock.
     """
 
-    cycles: int = 0
-    ecalls: int = 0
-    ocalls: int = 0
-    ecall_counts: dict = field(default_factory=dict)
-    ocall_counts: dict = field(default_factory=dict)
+    def __init__(self, registry: MetricsRegistry = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._cycles = self.registry.counter("sgx.boundary.cycles")
+        self._ecalls = self.registry.counter("sgx.boundary.ecalls")
+        self._ocalls = self.registry.counter("sgx.boundary.ocalls")
+        # name -> Counter caches so the hot path never re-enters the
+        # registry lock after an instrument exists.
+        self._ecall_named = {}
+        self._ocall_named = {}
+
+    @property
+    def cycles(self) -> int:
+        return self._cycles.value
+
+    @property
+    def ecalls(self) -> int:
+        return self._ecalls.value
+
+    @property
+    def ocalls(self) -> int:
+        return self._ocalls.value
+
+    @property
+    def ecall_counts(self) -> dict:
+        return {name: c.value for name, c in self._ecall_named.items()
+                if c.value}
+
+    @property
+    def ocall_counts(self) -> dict:
+        return {name: c.value for name, c in self._ocall_named.items()
+                if c.value}
 
     def charge(self, cycles: int) -> None:
-        self.cycles += cycles
+        self._cycles.inc(cycles)
 
     def record(self, direction: str, name: str, cycles: int) -> None:
         """Charge one boundary crossing and attribute it by name."""
-        self.cycles += cycles
+        self._cycles.inc(cycles)
         if direction == "ecall":
-            self.ecalls += 1
-            self.ecall_counts[name] = self.ecall_counts.get(name, 0) + 1
+            self._ecalls.inc()
+            named, prefix = self._ecall_named, "sgx.ecall."
         else:
-            self.ocalls += 1
-            self.ocall_counts[name] = self.ocall_counts.get(name, 0) + 1
+            self._ocalls.inc()
+            named, prefix = self._ocall_named, "sgx.ocall."
+        counter = named.get(name)
+        if counter is None:
+            counter = self.registry.counter(prefix + name)
+            named[name] = counter
+        counter.inc()
 
     def snapshot(self) -> BoundarySnapshot:
         """A frozen copy of all counters, safe to keep and subtract."""
@@ -134,8 +174,8 @@ class CycleCounter:
             cycles=self.cycles,
             ecalls=self.ecalls,
             ocalls=self.ocalls,
-            ecall_counts=dict(self.ecall_counts),
-            ocall_counts=dict(self.ocall_counts),
+            ecall_counts=self.ecall_counts,
+            ocall_counts=self.ocall_counts,
         )
 
     def seconds(self, clock_hz: float = DEFAULT_CLOCK_HZ) -> float:
@@ -210,7 +250,20 @@ class _OcallProxy:
 
         def call(*args, **kwargs):
             enclave._on_boundary("ocall", name, args)
-            return table._invoke(name, *args, **kwargs)
+            recorder = enclave.recorder
+            if recorder is None:
+                return table._invoke(name, *args, **kwargs)
+            # Ocall spans are host-placed (the transition surfaces into
+            # untrusted code) and record payload *sizes* only — the
+            # bytes themselves never enter the trace (trace-privacy
+            # rule; see repro.obs.checker).
+            with recorder.span(
+                f"ocall.{name}", placement="host",
+                payload_bytes=sum(
+                    len(chunk) for chunk in _boundary_bytes(args)
+                ),
+            ):
+                return table._invoke(name, *args, **kwargs)
 
         call.__name__ = name
         return call
@@ -305,7 +358,8 @@ class Enclave:
     def __init__(self, enclave_class: type, *, config: bytes = b"",
                  ocalls: OcallTable = None, epc: EnclavePageCache = None,
                  cost_model: CostModel = None, sealing_platform=None,
-                 tcs_count: int = DEFAULT_TCS_COUNT, fault_plan=None):
+                 tcs_count: int = DEFAULT_TCS_COUNT, fault_plan=None,
+                 recorder=None, registry: MetricsRegistry = None):
         if tcs_count <= 0:
             raise EnclaveError("an enclave needs at least one TCS")
         self._enclave_class = enclave_class
@@ -313,7 +367,20 @@ class Enclave:
         self._ocall_table = ocalls if ocalls is not None else OcallTable()
         self.epc = epc if epc is not None else EnclavePageCache()
         self.cost_model = cost_model if cost_model is not None else CostModel()
-        self.counter = CycleCounter()
+        self.counter = CycleCounter(registry=registry)
+        # The boundary accounting and the metrics plane share storage;
+        # EPC occupancy is a live gauge computed on read so Figure 6
+        # digests never go stale.
+        self.registry = self.counter.registry
+        self.registry.gauge("sgx.epc.occupancy_bytes").set_function(
+            lambda: self.epc.occupancy_bytes
+        )
+        self.registry.gauge("sgx.epc.resident_pages").set_function(
+            lambda: self.epc.stats.resident_pages
+        )
+        # Tracing plane (repro.obs); None = no recorder installed, and
+        # every dispatch path below stays exactly as cheap as before.
+        self.recorder = recorder
         self.measurement: Measurement = measure_code(enclave_class, config)
         self.memory = EnclaveMemory(self.epc)
         self._sealing_platform = sealing_platform
@@ -364,6 +431,11 @@ class Enclave:
             self._instance.attach_sealer(
                 EnclaveSealer(self._sealing_platform, self.measurement)
             )
+        # Trusted code may emit enclave-placed spans on the same
+        # recorder; host code never sees the attribute values it records.
+        if (self.recorder is not None
+                and hasattr(self._instance, "attach_recorder")):
+            self._instance.attach_recorder(self.recorder)
         self._initialized = True
 
     def destroy(self) -> None:
@@ -394,6 +466,16 @@ class Enclave:
                 f"{name!r} is not an exported ecall of "
                 f"{self._enclave_class.__name__}"
             )
+        recorder = self.recorder
+        if recorder is None:
+            return self._dispatch(name, args, kwargs)
+        with recorder.span(
+            f"ecall.{name}", placement="host",
+            payload_bytes=sum(len(chunk) for chunk in _boundary_bytes(args)),
+        ):
+            return self._dispatch(name, args, kwargs)
+
+    def _dispatch(self, name: str, args, kwargs):
         if self.fault_plan is not None:
             self._inject_ecall_faults(name)
         with self._tcs:  # blocks when all TCS are occupied

@@ -166,6 +166,72 @@ def test_split_partial_ok_signals_incomplete_instead_of_raising():
     assert (status, body, consumed) == (200, b"payload", len(complete))
 
 
+def test_split_rejects_negative_content_length():
+    """Regression: a negative Content-Length used to be accepted and
+    silently mis-frame the stream (``rest[:-1]`` truncated the body and
+    ``consumed`` under-advanced the keep-alive buffer).  It must fail
+    closed — even under ``partial_ok``, because it is garbage, not an
+    incomplete read."""
+    raw = b"HTTP/1.1 200 OK\r\nContent-Length: -1\r\n\r\nabcdef"
+    with pytest.raises(NetworkError):
+        split_http_response(raw)
+    with pytest.raises(NetworkError):
+        split_http_response(raw, partial_ok=True)
+
+
+def test_split_partial_ok_when_content_length_exceeds_bytes_received():
+    """The partial-read boundary: the header may promise more body bytes
+    than have arrived so far.  At *every* cut point — mid-header, at the
+    header/body boundary, mid-body, one byte short — the splitter must
+    report "need more bytes" rather than return a truncated body, and
+    once the missing bytes arrive it must frame the response exactly."""
+    complete = http_response(b"0123456789abcdef")
+    header_end = complete.index(b"\r\n\r\n") + 4
+    for cut in range(len(complete)):
+        status, body, consumed = split_http_response(
+            complete[:cut], partial_ok=True
+        )
+        assert (status, body, consumed) == (None, b"", 0), (
+            f"cut={cut} (header ends at {header_end}) returned a frame "
+            f"from an incomplete response"
+        )
+    status, body, consumed = split_http_response(complete, partial_ok=True)
+    assert (status, body, consumed) == (200, b"0123456789abcdef",
+                                        len(complete))
+
+
+def test_keep_alive_reassembly_across_partial_reads(gateway):
+    """Drive the enclave's read loop shape against the gateway: bytes
+    arrive in tiny chunks, so ``split_http_response(partial_ok=True)``
+    repeatedly reports incomplete until the promised Content-Length is
+    buffered — then the framed body must match and trailing bytes of a
+    pipelined second response must survive in the buffer."""
+    fd = gateway.sock_connect(ENGINE_HOST, ENGINE_PORT)
+    gateway.send(
+        fd,
+        http_get("/search?q=hotel&limit=2") + http_get("/search?q=rome&limit=3"),
+    )
+    buffer = bytearray()
+    bodies = []
+    incomplete_sightings = 0
+    while len(bodies) < 2:
+        status, body, consumed = split_http_response(buffer, partial_ok=True)
+        if status is None:
+            chunk = gateway.recv(fd, 7)  # deliberately tiny reads
+            assert chunk, "engine closed mid-response"
+            buffer += chunk
+            incomplete_sightings += 1
+            continue
+        del buffer[:consumed]
+        bodies.append((status, body))
+    gateway.close(fd)
+    assert incomplete_sightings > 2  # the partial path was actually hit
+    assert [s for s, _ in bodies] == [200, 200]
+    assert len(parse_results_body(bodies[0][1])) == 2
+    assert len(parse_results_body(bodies[1][1])) == 3
+    assert not buffer  # nothing dropped, nothing invented
+
+
 def test_split_without_content_length_consumes_everything():
     raw = b"HTTP/1.1 200 OK\r\n\r\nclose-delimited body"
     status, body, consumed = split_http_response(raw)

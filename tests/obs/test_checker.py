@@ -1,0 +1,205 @@
+"""Unit tests for the trace oracle (repro.obs.checker).
+
+Each invariant is exercised both ways: a trace built to satisfy it and a
+trace built to break it.  Traces are produced through a real
+TraceRecorder so the shapes match what the instrumented stack emits.
+"""
+
+import pytest
+
+from repro.obs.checker import (
+    OUTCOME_DEGRADED,
+    OUTCOME_ERROR,
+    OUTCOME_REPLY,
+    TraceChecker,
+    outcome_of,
+)
+from repro.obs.tracing import (
+    PLACEMENT_CLIENT,
+    PLACEMENT_ENCLAVE,
+    PLACEMENT_HOST,
+    TraceRecorder,
+)
+
+
+def good_search_trace(recorder, query="secret medical query"):
+    """A well-formed broker.search trace, the shape the stack emits."""
+    with recorder.span("broker.search", placement=PLACEMENT_CLIENT,
+                       **{"retry.max_attempts": 2}) as root:
+        with recorder.span("ecall.request", placement=PLACEMENT_HOST,
+                           payload_bytes=321):
+            with recorder.span("enclave.obfuscation",
+                               placement=PLACEMENT_ENCLAVE, query=query):
+                pass
+            with recorder.span("enclave.engine",
+                               placement=PLACEMENT_ENCLAVE,
+                               **{"retry.max_attempts": 3}):
+                with recorder.span("ocall.send", placement=PLACEMENT_HOST,
+                                   payload_bytes=77):
+                    pass
+        root.set(outcome=OUTCOME_REPLY, degraded=False)
+
+
+def test_well_formed_trace_passes_every_invariant():
+    recorder = TraceRecorder()
+    good_search_trace(recorder)
+    assert TraceChecker().check_recorder(recorder) == []
+    TraceChecker().assert_ok(recorder.traces)
+
+
+def test_unbalanced_boundary_span_is_flagged():
+    recorder = TraceRecorder()
+    with recorder.span("broker.search", placement=PLACEMENT_CLIENT) as root:
+        scope = recorder.span("ecall.request", placement=PLACEMENT_HOST)
+        scope.__enter__()  # never exited: the transition did not return
+        root.set(outcome=OUTCOME_REPLY, degraded=False)
+    # Closing the root unwound the abandoned ecall with an error status,
+    # so fabricate the truly-unbalanced case on the finished tree:
+    (trace,) = recorder.traces
+    trace.root.children[0].end = None
+    violations = TraceChecker().check([trace])
+    assert any(v.invariant == "balanced-boundary" for v in violations)
+
+
+def test_plaintext_query_in_host_span_is_flagged():
+    recorder = TraceRecorder()
+    query = "embarrassing disease"
+    with recorder.span("broker.search", placement=PLACEMENT_CLIENT) as root:
+        with recorder.span("enclave.obfuscation",
+                           placement=PLACEMENT_ENCLAVE, query=query):
+            pass
+        # The bug the oracle exists to catch: a host span recording the
+        # payload instead of its size.
+        with recorder.span("ocall.send", placement=PLACEMENT_HOST,
+                           payload=f"GET /search?q={query}"):
+            pass
+        root.set(outcome=OUTCOME_REPLY, degraded=False)
+    violations = TraceChecker().check_recorder(recorder)
+    assert any(v.invariant == "host-plaintext" for v in violations)
+
+
+def test_plaintext_corpus_can_be_seeded_explicitly():
+    recorder = TraceRecorder()
+    with recorder.span("host.op", placement=PLACEMENT_HOST,
+                       note="contains the-secret right here"):
+        pass
+    assert TraceChecker().check_recorder(recorder) == []  # no corpus
+    violations = TraceChecker(queries=("the-secret",)).check_recorder(recorder)
+    assert any(v.invariant == "host-plaintext" for v in violations)
+
+
+def test_host_plaintext_in_event_attributes_is_flagged():
+    recorder = TraceRecorder()
+    with recorder.span("ocall.send", placement=PLACEMENT_HOST):
+        recorder.event("engine.request", url="/search?q=leaky query")
+    violations = TraceChecker(queries=("leaky query",)).check_recorder(recorder)
+    assert any(v.invariant == "host-plaintext" for v in violations)
+
+
+def test_retries_beyond_policy_budget_are_flagged():
+    recorder = TraceRecorder()
+    with recorder.span("enclave.engine", placement=PLACEMENT_ENCLAVE,
+                       **{"retry.max_attempts": 3}):
+        for attempt in range(3):  # 3 retries = 4 attempts > budget of 3
+            recorder.event("retry", attempt=attempt + 1)
+    violations = TraceChecker().check_recorder(recorder)
+    assert any(v.invariant == "bounded-retries" for v in violations)
+
+
+def test_retries_within_policy_budget_pass():
+    recorder = TraceRecorder()
+    with recorder.span("enclave.engine", placement=PLACEMENT_ENCLAVE,
+                       **{"retry.max_attempts": 3}):
+        recorder.event("retry", attempt=1)
+        recorder.event("retry", attempt=2)
+    assert TraceChecker().check_recorder(recorder) == []
+
+
+def test_unflagged_degraded_reply_is_caught():
+    recorder = TraceRecorder()
+    with recorder.span("broker.search", placement=PLACEMENT_CLIENT) as root:
+        recorder.event("degraded.hit")
+        root.set(outcome=OUTCOME_REPLY, degraded=False)  # the lie
+    violations = TraceChecker().check_recorder(recorder)
+    invariants = {v.invariant for v in violations}
+    assert "degraded-flagged" in invariants
+    assert "single-outcome" not in invariants or True  # outcome is consistent
+
+
+def test_flagged_degraded_reply_passes():
+    recorder = TraceRecorder()
+    with recorder.span("broker.search", placement=PLACEMENT_CLIENT) as root:
+        recorder.event("degraded.hit")
+        root.set(outcome=OUTCOME_DEGRADED, degraded=True)
+    assert TraceChecker().check_recorder(recorder) == []
+
+
+def test_degraded_hit_on_errored_request_owes_no_flag():
+    recorder = TraceRecorder()
+    with pytest.raises(RuntimeError):
+        with recorder.span("broker.search", placement=PLACEMENT_CLIENT):
+            recorder.event("degraded.hit")
+            raise RuntimeError("enclave died after the degraded lookup")
+    assert TraceChecker().check_recorder(recorder) == []
+
+
+def test_request_without_outcome_is_flagged():
+    recorder = TraceRecorder()
+    with recorder.span("broker.search", placement=PLACEMENT_CLIENT):
+        pass  # finished ok but never claimed an outcome
+    violations = TraceChecker().check_recorder(recorder)
+    assert any(v.invariant == "single-outcome" for v in violations)
+
+
+def test_outcome_degraded_mismatch_is_flagged():
+    recorder = TraceRecorder()
+    with recorder.span("broker.search", placement=PLACEMENT_CLIENT) as root:
+        root.set(outcome=OUTCOME_DEGRADED, degraded=False)
+    violations = TraceChecker().check_recorder(recorder)
+    assert any(v.invariant == "single-outcome" for v in violations)
+
+
+def test_errored_request_claiming_a_reply_is_flagged():
+    recorder = TraceRecorder()
+    with pytest.raises(RuntimeError):
+        with recorder.span("broker.search",
+                           placement=PLACEMENT_CLIENT) as root:
+            root.set(outcome=OUTCOME_REPLY)
+            raise RuntimeError("but it failed")
+    violations = TraceChecker().check_recorder(recorder)
+    assert any(v.invariant == "single-outcome" for v in violations)
+
+
+def test_non_request_roots_are_exempt_from_outcomes():
+    recorder = TraceRecorder()
+    with recorder.span("ecall.init", placement=PLACEMENT_HOST):
+        pass
+    assert TraceChecker().check_recorder(recorder) == []
+    with pytest.raises(ValueError):
+        outcome_of(recorder.traces[0])
+
+
+def test_outcome_of_reads_the_root():
+    recorder = TraceRecorder()
+    good_search_trace(recorder)
+    assert outcome_of(recorder.traces[0]) == OUTCOME_REPLY
+    with pytest.raises(RuntimeError):
+        with recorder.span("broker.search", placement=PLACEMENT_CLIENT):
+            raise RuntimeError("dead")
+    assert outcome_of(recorder.traces[1]) == OUTCOME_ERROR
+
+
+def test_skip_silences_a_named_invariant():
+    recorder = TraceRecorder()
+    with recorder.span("broker.search", placement=PLACEMENT_CLIENT):
+        pass
+    checker = TraceChecker(skip=frozenset({"single-outcome"}))
+    assert checker.check_recorder(recorder) == []
+
+
+def test_assert_ok_raises_with_a_readable_report():
+    recorder = TraceRecorder()
+    with recorder.span("broker.search", placement=PLACEMENT_CLIENT):
+        pass
+    with pytest.raises(AssertionError, match="single-outcome"):
+        TraceChecker().assert_ok(recorder.traces)

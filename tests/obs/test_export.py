@@ -1,0 +1,109 @@
+"""Digest building and JSON export (repro.obs.export)."""
+
+import json
+
+from repro import obs
+from repro.obs.checker import TraceChecker
+from repro.obs.export import (
+    DIGEST_KEY,
+    ProfileSession,
+    attach_digest,
+    build_digest,
+    metrics_digest,
+    trace_digest,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import PLACEMENT_CLIENT, PLACEMENT_HOST, TraceRecorder
+
+
+def recorded_workload():
+    recorder = TraceRecorder()
+    with recorder.span("broker.search", placement=PLACEMENT_CLIENT) as root:
+        with recorder.span("ecall.request", placement=PLACEMENT_HOST):
+            recorder.event("engine.request", request_bytes=10)
+        root.set(outcome="reply", degraded=False)
+    return recorder
+
+
+def test_trace_digest_counts_spans_events_outcomes():
+    digest = trace_digest(recorded_workload())
+    assert digest["trace_count"] == 1
+    assert digest["span_counts"] == {"broker.search": 1, "ecall.request": 1}
+    assert digest["event_counts"] == {"engine.request": 1}
+    assert digest["placements"] == {"client": 1, "host": 1}
+    assert digest["outcomes"] == {"reply": 1}
+    assert digest["invariants_ok"] is True
+    assert digest["violations"] == []
+
+
+def test_trace_digest_reports_violations():
+    recorder = TraceRecorder()
+    with recorder.span("broker.search", placement=PLACEMENT_CLIENT):
+        pass  # no outcome claimed
+    digest = trace_digest(recorder)
+    assert digest["invariants_ok"] is False
+    assert any("single-outcome" in v for v in digest["violations"])
+
+
+def test_digests_tolerate_missing_planes():
+    assert trace_digest(None) == {}
+    assert metrics_digest(None) == {}
+    combined = build_digest()
+    assert combined == {"traces": {}, "metrics": {}}
+
+
+def test_attach_digest_folds_into_existing_report(tmp_path):
+    path = tmp_path / "BENCH_test.json"
+    path.write_text(json.dumps({"benchmarks": [1, 2, 3]}))
+    attach_digest(str(path), {"trace_count": 5})
+    document = json.loads(path.read_text())
+    assert document["benchmarks"] == [1, 2, 3]  # pre-existing data kept
+    assert document[DIGEST_KEY] == {"trace_count": 5}
+
+
+def test_attach_digest_creates_missing_report(tmp_path):
+    path = tmp_path / "fresh.json"
+    attach_digest(str(path), {"x": 1})
+    assert json.loads(path.read_text()) == {DIGEST_KEY: {"x": 1}}
+
+
+def test_attach_digest_recovers_from_corrupt_report(tmp_path):
+    path = tmp_path / "corrupt.json"
+    path.write_text("{not json")
+    document = attach_digest(str(path), {"x": 1})
+    assert document[DIGEST_KEY] == {"x": 1}
+
+
+def test_profile_session_installs_and_restores_defaults(tmp_path):
+    assert obs.installed() == (None, None)
+    with ProfileSession("unit") as session:
+        assert obs.installed() == (session.recorder, session.registry)
+        with session.recorder.span("broker.search",
+                                   placement=PLACEMENT_CLIENT) as root:
+            root.set(outcome="reply", degraded=False)
+        session.registry.counter("ops").inc()
+    assert obs.installed() == (None, None)  # restored on exit
+    assert session.digest["traces"]["trace_count"] == 1
+    assert session.digest["metrics"]["counters"] == {"ops": 1}
+
+    path = tmp_path / "BENCH_unit.json"
+    session.attach(str(path))
+    document = json.loads(path.read_text())
+    assert document[DIGEST_KEY]["traces"]["trace_count"] == 1
+
+
+def test_profile_session_uses_supplied_checker():
+    checker = TraceChecker(skip=frozenset({"single-outcome"}))
+    with ProfileSession("unit", checker=checker) as session:
+        with session.recorder.span("broker.search",
+                                   placement=PLACEMENT_CLIENT):
+            pass  # would violate single-outcome, but the checker skips it
+    assert session.digest["traces"]["invariants_ok"] is True
+
+
+def test_nested_profile_sessions_restore_the_outer_one():
+    with ProfileSession("outer") as outer:
+        with ProfileSession("inner"):
+            pass
+        assert obs.installed() == (outer.recorder, outer.registry)
+    assert obs.installed() == (None, None)

@@ -1,0 +1,96 @@
+"""Unit tests for the metrics registry (repro.obs.metrics)."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.net.clock import VirtualClock
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    timer,
+)
+
+
+def test_counter_counts_up_only():
+    counter = Counter("c")
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_gauge_set_and_function():
+    gauge = Gauge("g")
+    assert gauge.value == 0
+    gauge.set(7)
+    assert gauge.value == 7
+    backing = {"value": 1}
+    gauge.set_function(lambda: backing["value"])
+    backing["value"] = 42
+    assert gauge.value == 42  # computed on read, never stale
+    gauge.set(3)  # an explicit set unbinds the function
+    assert gauge.value == 3
+    with pytest.raises(ValueError):
+        gauge.set_function("not callable")
+
+
+def test_histogram_summary_percentiles():
+    histogram = Histogram("h", exact=True)
+    assert histogram.summary() == {"count": 0}
+    for v in range(1, 101):
+        histogram.record(float(v))
+    summary = histogram.summary()
+    assert summary["count"] == 100
+    assert summary["min"] == 1.0
+    assert summary["max"] == 100.0
+    assert 49 <= summary["p50"] <= 52
+    assert 94 <= summary["p95"] <= 96
+    assert histogram.percentile(99.0) >= 98
+
+
+def test_registry_get_or_create_is_idempotent():
+    registry = MetricsRegistry()
+    assert registry.counter("a") is registry.counter("a")
+    assert registry.gauge("b") is registry.gauge("b")
+    assert registry.histogram("c") is registry.histogram("c")
+    assert registry.get("a") is registry.counter("a")
+    assert registry.get("missing") is None
+    assert registry.names() == ["a", "b", "c"]
+
+
+def test_registry_rejects_kind_conflicts_and_empty_names():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(ExperimentError):
+        registry.gauge("x")
+    with pytest.raises(ExperimentError):
+        registry.counter("")
+
+
+def test_as_dict_digests_every_instrument():
+    registry = MetricsRegistry()
+    registry.counter("hits").inc(3)
+    registry.gauge("depth").set(9)
+    registry.histogram("lat").record(1.0)
+    digest = registry.as_dict()
+    assert digest["counters"] == {"hits": 3}
+    assert digest["gauges"] == {"depth": 9}
+    assert digest["histograms"]["lat"]["count"] == 1
+
+
+def test_timer_records_elapsed_clock_time():
+    registry = MetricsRegistry()
+    clock = VirtualClock(start=10.0)
+    with registry.timer("op", clock):
+        clock.advance(0.25)
+    summary = registry.histogram("op").summary()
+    assert summary["count"] == 1
+    assert summary["max"] == pytest.approx(0.25, rel=0.01)
+
+
+def test_module_timer_tolerates_no_registry():
+    with timer(None, "noop", None):
+        pass  # no registry, no clock resolution, no exception

@@ -1,0 +1,212 @@
+"""Unit tests for the span-tree recorder (repro.obs.tracing)."""
+
+import threading
+
+import pytest
+
+from repro.net.clock import VirtualClock
+from repro.obs.tracing import (
+    PLACEMENT_CLIENT,
+    PLACEMENT_ENCLAVE,
+    PLACEMENT_HOST,
+    STATUS_ERROR,
+    STATUS_OK,
+    NullRecorder,
+    TraceRecorder,
+    _NULL_SPAN,
+    event,
+    span,
+)
+
+
+def test_single_span_becomes_a_trace():
+    recorder = TraceRecorder()
+    with recorder.span("root", placement=PLACEMENT_CLIENT) as root:
+        root.set(marker=1)
+    traces = recorder.traces
+    assert len(traces) == 1
+    assert traces[0].root.name == "root"
+    assert traces[0].root.placement == PLACEMENT_CLIENT
+    assert traces[0].root.status == STATUS_OK
+    assert traces[0].root.attributes == {"marker": 1}
+    assert traces[0].root.finished
+
+
+def test_nested_spans_build_a_tree():
+    recorder = TraceRecorder()
+    with recorder.span("root"):
+        with recorder.span("child.a", placement=PLACEMENT_ENCLAVE):
+            with recorder.span("grandchild"):
+                pass
+        with recorder.span("child.b"):
+            pass
+    (trace,) = recorder.traces
+    names = [s.name for s in trace.walk()]
+    assert names == ["root", "child.a", "grandchild", "child.b"]
+    assert trace.root.children[0].placement == PLACEMENT_ENCLAVE
+    assert trace.root.children[0].parent_id == trace.root.span_id
+
+
+def test_exception_marks_span_errored_and_propagates():
+    recorder = TraceRecorder()
+    with pytest.raises(ValueError):
+        with recorder.span("root"):
+            raise ValueError("boom")
+    (trace,) = recorder.traces
+    assert trace.root.status == STATUS_ERROR
+    assert trace.root.error == "ValueError"
+
+
+def test_events_attach_to_the_innermost_open_span():
+    recorder = TraceRecorder()
+    with recorder.span("root"):
+        recorder.event("on.root")
+        with recorder.span("child"):
+            recorder.event("on.child", n=3)
+    (trace,) = recorder.traces
+    assert [e.name for e in trace.root.events] == ["on.root"]
+    child = trace.root.children[0]
+    assert [e.name for e in child.events] == ["on.child"]
+    assert child.events[0].attributes == {"n": 3}
+    assert trace.events("on.child")
+
+
+def test_orphan_events_are_kept_not_lost():
+    recorder = TraceRecorder()
+    recorder.event("no.span.open")
+    assert [e.name for e in recorder.orphan_events] == ["no.span.open"]
+    assert recorder.traces == ()
+
+
+def test_default_timestamps_are_a_deterministic_sequence():
+    recorder = TraceRecorder()
+    with recorder.span("a"):
+        pass
+    with recorder.span("b"):
+        pass
+    a, b = (t.root for t in recorder.traces)
+    assert (a.start, a.end, b.start, b.end) == (1.0, 2.0, 3.0, 4.0)
+
+
+def test_injected_clock_supplies_timestamps():
+    clock = VirtualClock(start=100.0)
+    recorder = TraceRecorder(clock=clock)
+    with recorder.span("timed"):
+        clock.advance(2.5)
+    (trace,) = recorder.traces
+    assert trace.root.start == 100.0
+    assert trace.root.end == 102.5
+    assert trace.root.duration == 2.5
+
+
+def test_threads_keep_separate_span_stacks():
+    recorder = TraceRecorder()
+    barrier = threading.Barrier(2)
+
+    def worker(name):
+        with recorder.span(name):
+            barrier.wait()
+            with recorder.span(f"{name}.inner"):
+                pass
+
+    threads = [threading.Thread(target=worker, args=(f"t{i}",))
+               for i in range(2)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    traces = recorder.traces
+    assert len(traces) == 2
+    for trace in traces:
+        assert len(trace.root.children) == 1
+        assert trace.root.children[0].name == f"{trace.root.name}.inner"
+
+
+def test_mis_nested_close_unwinds_abandoned_spans():
+    recorder = TraceRecorder()
+    outer_scope = recorder.span("outer")
+    outer = outer_scope.__enter__()
+    inner_scope = recorder.span("inner")
+    inner_scope.__enter__()
+    # The inner __exit__ is skipped (simulating a broken unwind path);
+    # closing the outer span must still finish the abandoned inner one.
+    outer_scope.__exit__(None, None, None)
+    (trace,) = recorder.traces
+    assert trace.root is outer
+    assert trace.root.children[0].finished
+    assert recorder.current_span() is None
+
+
+def test_max_traces_drops_and_counts():
+    recorder = TraceRecorder(max_traces=2)
+    for i in range(5):
+        with recorder.span(f"s{i}"):
+            pass
+    assert len(recorder.traces) == 2
+    assert recorder.dropped_traces == 3
+    recorder.reset()
+    assert recorder.traces == ()
+    assert recorder.dropped_traces == 0
+
+
+def test_normalized_form_is_structure_only():
+    recorder = TraceRecorder()
+    with recorder.span("root", payload_bytes=123, label="stable",
+                       elapsed_seconds=0.5, weird=object()) as root:
+        root.set(count=7)
+        recorder.event("evt")
+    (trace,) = recorder.traces
+    normal = trace.normalized()
+    assert normal["name"] == "root"
+    assert normal["attributes"]["payload_bytes"] == "<volatile>"
+    assert normal["attributes"]["elapsed_seconds"] == "<volatile>"
+    assert normal["attributes"]["label"] == "stable"
+    assert normal["attributes"]["count"] == 7
+    assert normal["attributes"]["weird"] == "<object>"
+    assert normal["events"] == ["evt"]
+    assert "start" not in normal and "span_id" not in normal
+
+
+def test_to_dict_round_trips_the_full_tree():
+    recorder = TraceRecorder()
+    with recorder.span("root"):
+        with recorder.span("child"):
+            pass
+    (trace,) = recorder.traces
+    data = trace.to_dict()
+    assert data["root"]["name"] == "root"
+    assert data["root"]["children"][0]["name"] == "child"
+
+
+def test_module_helpers_tolerate_no_recorder():
+    with span(None, "anything", placement=PLACEMENT_HOST) as s:
+        s.set(ignored=True)
+    event(None, "ignored")
+    assert span(None, "x") is _NULL_SPAN  # shared inert object, no alloc
+
+
+def test_null_recorder_is_inert():
+    recorder = NullRecorder()
+    assert recorder.enabled is False
+    with recorder.span("x") as s:
+        s.set(a=1)
+    recorder.event("y")
+    assert recorder.traces == ()
+    recorder.reset()
+
+
+def test_trace_find_filters_by_name():
+    recorder = TraceRecorder()
+    with recorder.span("root"):
+        with recorder.span("leaf"):
+            pass
+        with recorder.span("leaf"):
+            pass
+    (trace,) = recorder.traces
+    assert len(trace.find("leaf")) == 2
+    assert len(trace.find("missing")) == 0
+
+
+def test_max_traces_must_be_positive():
+    with pytest.raises(ValueError):
+        TraceRecorder(max_traces=0)

@@ -31,15 +31,32 @@ python - <<'PY'
 import json
 
 from repro.experiments import fig5_availability
+from repro.obs import ProfileSession
 
-result = fig5_availability.run(
-    seed=0, total_requests=60, crash_at=18,
-    outages=((26, 34), (44, 50)), checkpoint_interval=6,
-)
+# Profile the run: the ProfileSession installs a TraceRecorder +
+# MetricsRegistry as the process defaults, so the deployment built
+# inside fig5_availability.run() is traced end to end.  The digest
+# (span/outcome counts, TraceChecker verdict, metrics summary) is
+# folded into both BENCH reports.
+with ProfileSession("fig5_availability") as session:
+    result = fig5_availability.run(
+        seed=0, total_requests=60, crash_at=18,
+        outages=((26, 34), (44, 50)), checkpoint_interval=6,
+    )
 with open("BENCH_fig5_availability.json", "w") as handle:
     json.dump(result.summary(), handle, indent=2, sort_keys=True)
     handle.write("\n")
+session.attach("BENCH_fig5_availability.json")
+session.attach("BENCH_fig5.json")
+traces = session.digest["traces"]
+if not traces.get("invariants_ok", False):
+    raise SystemExit(
+        "TraceChecker violations in the profiled availability run:\n"
+        + "\n".join(traces.get("violations", ()))
+    )
 print(fig5_availability.format_table(result))
+print(f"observability: {traces['trace_count']} traces, "
+      f"invariants_ok={traces['invariants_ok']}")
 PY
 
 echo

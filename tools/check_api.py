@@ -1,10 +1,14 @@
 #!/usr/bin/env python
-"""Guard the public API surface of ``repro.core``.
+"""Guard the public API surface of ``repro.core`` and ``repro.obs``.
 
 The deployment/client facade is the contract downstream code programs
 against; this script fails (exit 1) if a public name disappears, if the
 uniform call surface loses one of its keyword options, or if the
-deprecated spellings stop working.  Run it after any refactor:
+deprecated spellings stop working.  It also enforces the observability
+layer's zero-overhead promise: a deployment instrumented with the no-op
+recorder (or a live ``TraceRecorder``) must produce bit-for-bit the same
+``Enclave.boundary_snapshot()`` deltas as an uninstrumented one.  Run it
+after any refactor:
 
     PYTHONPATH=src python tools/check_api.py
 """
@@ -64,6 +68,82 @@ EXPECTED_ATTRS = {
                "is_connected", "last_degraded"],
 }
 
+# Names importable from repro.obs, forever.
+EXPECTED_OBS_NAMES = [
+    "TraceRecorder",
+    "NullRecorder",
+    "Span",
+    "SpanEvent",
+    "Trace",
+    "span",
+    "event",
+    "PLACEMENT_CLIENT",
+    "PLACEMENT_HOST",
+    "PLACEMENT_ENCLAVE",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "timer",
+    "TraceChecker",
+    "TraceViolation",
+    "outcome_of",
+    "OUTCOME_REPLY",
+    "OUTCOME_DEGRADED",
+    "OUTCOME_ERROR",
+    "ProfileSession",
+    "build_digest",
+    "trace_digest",
+    "metrics_digest",
+    "attach_digest",
+    "install",
+    "installed",
+]
+
+EXPECTED_OBS_ATTRS = {
+    "TraceRecorder": ["span", "event", "traces", "reset",
+                      "dropped_traces", "enabled"],
+    "NullRecorder": ["span", "event", "traces", "reset", "enabled"],
+    "MetricsRegistry": ["counter", "gauge", "histogram", "timer",
+                        "get", "names", "as_dict", "reset"],
+    "TraceChecker": ["check", "check_recorder", "assert_ok"],
+    "ProfileSession": ["__enter__", "__exit__", "digest", "attach"],
+}
+
+
+def check_noop_boundary_deltas(problems: list) -> None:
+    """The zero-overhead contract: observability must never perturb the
+    boundary-crossing counts the benchmarks assert on."""
+    from repro.core.deployment import XSearchDeployment
+    from repro.obs import NullRecorder, TraceRecorder
+
+    def boundary_fingerprint(recorder):
+        kwargs = {} if recorder is ... else {"recorder": recorder}
+        with XSearchDeployment.create(seed=11, k=2, **kwargs) as dep:
+            dep.client.search("warmup query", limit=3)  # one-time connect
+            before = dep.proxy.enclave.boundary_snapshot()
+            for i in range(8):
+                dep.client.search(f"probe query {i}", limit=3)
+            dep.client.search_batch(["batch one", "batch two"], limit=3)
+            delta = dep.proxy.enclave.boundary_snapshot() - before
+        return {
+            "ecalls": delta.ecalls,
+            "ocalls": delta.ocalls,
+            "ecall_counts": dict(delta.ecall_counts),
+            "ocall_counts": dict(delta.ocall_counts),
+            "cycles": delta.cycles,
+        }
+
+    uninstrumented = boundary_fingerprint(...)
+    for label, recorder in (("NullRecorder", NullRecorder()),
+                            ("TraceRecorder", TraceRecorder())):
+        fingerprint = boundary_fingerprint(recorder)
+        if fingerprint != uninstrumented:
+            problems.append(
+                f"boundary deltas under {label} diverge from the "
+                f"uninstrumented run: {fingerprint} != {uninstrumented}"
+            )
+
 
 def main() -> int:
     import repro.core as core
@@ -111,15 +191,35 @@ def main() -> int:
             if not hasattr(cls, attr):
                 problems.append(f"{cls_name}.{attr} is gone")
 
+    import repro.obs as obs
+
+    for name in EXPECTED_OBS_NAMES:
+        if not hasattr(obs, name):
+            problems.append(f"repro.obs.{name} is gone")
+        if name not in getattr(obs, "__all__", ()):
+            problems.append(f"repro.obs.__all__ no longer lists {name!r}")
+
+    for cls_name, attrs in EXPECTED_OBS_ATTRS.items():
+        cls = getattr(obs, cls_name, None)
+        if cls is None:
+            continue  # already reported above
+        for attr in attrs:
+            if not hasattr(cls, attr):
+                problems.append(f"obs.{cls_name}.{attr} is gone")
+
+    check_noop_boundary_deltas(problems)
+
     if problems:
         print("public API check FAILED:")
         for problem in problems:
             print(f"  - {problem}")
         return 1
     print(
-        f"public API check OK: {len(EXPECTED_CORE_NAMES)} names, "
+        f"public API check OK: {len(EXPECTED_CORE_NAMES)} core names, "
+        f"{len(EXPECTED_OBS_NAMES)} obs names, "
         f"{len(EXPECTED_CALL_SURFACE)} call signatures, "
-        f"{sum(len(a) for a in EXPECTED_ATTRS.values())} attributes"
+        f"{sum(len(a) for a in EXPECTED_ATTRS.values()) + sum(len(a) for a in EXPECTED_OBS_ATTRS.values())} attributes, "
+        f"boundary deltas invariant under instrumentation"
     )
     return 0
 
