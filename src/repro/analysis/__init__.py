@@ -1,8 +1,11 @@
-"""Analytical privacy arguments (the paper's §6.1 'analytically show').
+"""Static analysis: xlint framework plus analytical privacy arguments.
 
-Encodes the adversary-model comparison of §2/§3 as data with a Pareto
-dominance relation, plus the guessing-bound yardsticks against which the
-empirical Figure 3 rates are read.
+Two halves live here.  :mod:`repro.analysis.adversary` encodes the
+paper's §6.1 adversary-model comparison as data.  The rest is ``xlint``
+— a whole-repo static-analysis suite that proves the enclave-boundary,
+determinism, error-taxonomy and lock-discipline invariants at the
+source level (run it via ``tools/xlint.py`` or
+:func:`repro.analysis.run_checks`).
 """
 
 from repro.analysis.adversary import (
@@ -14,8 +17,33 @@ from repro.analysis.adversary import (
     ranked_by_privacy,
     uninformed_guess_rate,
 )
+from repro.analysis.findings import (
+    FINDING_SCHEMA_VERSION,
+    Baseline,
+    Finding,
+    load_baseline,
+    save_baseline,
+    sort_findings,
+)
+from repro.analysis.lint import (
+    Checker,
+    CheckResult,
+    LintContext,
+    all_checkers,
+    get_checker,
+    register_checker,
+    run_checks,
+)
+from repro.analysis.modulegraph import ModuleGraph, SourceModule
+from repro.analysis.placement import (
+    BRIDGE_MODULES,
+    classify,
+    placement_of,
+    verify_registry,
+)
 
 __all__ = [
+    # adversary-model comparison (paper §6.1)
     "SystemModel",
     "SYSTEM_MODELS",
     "dominates",
@@ -23,4 +51,26 @@ __all__ = [
     "format_comparison_table",
     "uninformed_guess_rate",
     "obfuscation_never_hurts",
+    # xlint: findings
+    "FINDING_SCHEMA_VERSION",
+    "Finding",
+    "Baseline",
+    "load_baseline",
+    "save_baseline",
+    "sort_findings",
+    # xlint: framework
+    "Checker",
+    "CheckResult",
+    "LintContext",
+    "register_checker",
+    "all_checkers",
+    "get_checker",
+    "run_checks",
+    # xlint: module graph + placement registry
+    "ModuleGraph",
+    "SourceModule",
+    "BRIDGE_MODULES",
+    "classify",
+    "placement_of",
+    "verify_registry",
 ]

@@ -1,0 +1,28 @@
+"""The built-in ``xlint`` checkers.
+
+Importing this package registers the four shipped checkers with the
+framework registry (:func:`repro.analysis.lint.all_checkers` does it for
+you):
+
+* :mod:`~repro.analysis.checks.boundary` — the enclave-boundary / taint
+  rules (host and client code never holds enclave-only state);
+* :mod:`~repro.analysis.checks.determinism` — no wall clock or unseeded
+  randomness where golden traces and fault replay demand determinism;
+* :mod:`~repro.analysis.checks.taxonomy` — the error-taxonomy contract
+  (no swallowed exceptions on bridge paths, crypto never retried, only
+  ``repro.errors`` types cross the facade);
+* :mod:`~repro.analysis.checks.locks` — shared mutable state touched
+  only under its declared lock, with lock-acquisition ordering.
+"""
+
+from repro.analysis.checks.boundary import BoundaryChecker
+from repro.analysis.checks.determinism import DeterminismChecker
+from repro.analysis.checks.taxonomy import TaxonomyChecker
+from repro.analysis.checks.locks import LockDisciplineChecker
+
+__all__ = [
+    "BoundaryChecker",
+    "DeterminismChecker",
+    "TaxonomyChecker",
+    "LockDisciplineChecker",
+]

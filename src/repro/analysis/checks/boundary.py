@@ -1,0 +1,164 @@
+"""Boundary/taint checker: host and client code never touches the enclave.
+
+The no-host-plaintext invariant the :class:`~repro.obs.checker
+.TraceChecker` enforces dynamically (on recorded traces) is proven here
+at the source level, for *every* path: a module placed ``host`` or
+``client`` may not import enclave-placed modules, may not import or
+construct enclave-only types (the history, the trusted proxy logic, the
+enclave channel endpoint), may not reach into enclave-private
+attributes, and may reach enclave code only through the declared
+ecall/ocall bridge modules.  A leak that a test never drives is a lint
+error, not a latent hole.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint import (
+    Checker,
+    dotted_name,
+    register_checker,
+    terminal_name,
+)
+from repro.analysis import placement as P
+
+
+@register_checker
+class BoundaryChecker(Checker):
+    id = "boundary"
+    description = (
+        "host/client code must not import, construct or reach into "
+        "enclave-only state; enclave access goes through the bridge"
+    )
+    rules = {
+        "XB000": "module is not classified in the placement registry",
+        "XB001": "host/client module imports an enclave-placed module",
+        "XB002": "host/client module imports an enclave-only name",
+        "XB003": "host/client module reaches an enclave-private attribute",
+        "XB004": "host/client module constructs an enclave-only type",
+        "XB005": "span placement tag contradicts the module's placement",
+    }
+
+    def check(self, module, context):
+        placement = context.placement_of(module.name)
+        if placement is None:
+            if module.name == "repro" or module.name.startswith("repro."):
+                yield self.finding(
+                    "XB000", module, None,
+                    f"module {module.name} has no placement declaration",
+                    hint="classify it in repro.analysis.placement "
+                         "(enclave/host/client/neutral)",
+                )
+            return
+
+        bridge = context.is_bridge(module.name)
+        untrusted = placement in (P.HOST, P.CLIENT) and not bridge
+
+        if untrusted:
+            yield from self._check_imports(module, context)
+            yield from self._check_references(module)
+        if not bridge and placement in (P.ENCLAVE, P.HOST, P.CLIENT):
+            yield from self._check_span_placements(module, placement)
+
+    # ------------------------------------------------------------------
+    # XB001 / XB002: imports
+    # ------------------------------------------------------------------
+    def _check_imports(self, module, context):
+        for node, target, names in module.import_statements():
+            for alias, attribute in names.items():
+                resolved = context.graph.resolve_import(target, attribute)
+                if resolved is None:
+                    # Outside the scanned tree: fall back to the
+                    # registry so single-module fixtures still check.
+                    resolved = (
+                        f"{target}.{attribute}"
+                        if attribute
+                        and P.placement_of(f"{target}.{attribute}")
+                        is not None
+                        else target
+                    )
+                if (P.placement_of(resolved) == P.ENCLAVE
+                        and not context.is_bridge(resolved)):
+                    yield self.finding(
+                        "XB001", module, node,
+                        f"{module.name} ({P.placement_of(module.name)}) "
+                        f"imports enclave module {resolved}",
+                        hint="go through the ecall bridge "
+                             "(repro.core.proxy / repro.sgx.runtime) "
+                             "instead of linking enclave code",
+                    )
+                if attribute in P.ENCLAVE_ONLY_NAMES:
+                    yield self.finding(
+                        "XB002", module, node,
+                        f"{module.name} imports enclave-only name "
+                        f"{attribute!r} from {target}",
+                        hint="enclave-only types never leave the TEE; "
+                             "use the attested client/broker surface",
+                    )
+
+    # ------------------------------------------------------------------
+    # XB003 / XB004: reach-through and construction
+    # ------------------------------------------------------------------
+    def _check_references(self, module):
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Attribute):
+                is_self = (
+                    isinstance(node.value, ast.Name)
+                    and node.value.id in ("self", "cls")
+                )
+                if node.attr in P.ENCLAVE_PRIVATE_ATTRS and not is_self:
+                    yield self.finding(
+                        "XB003", module, node,
+                        f"access to enclave-private attribute "
+                        f"{node.attr!r} from "
+                        f"{P.placement_of(module.name)} code",
+                        hint="enclave internals are reachable only via "
+                             "ecalls; add an ecall if the data may "
+                             "legitimately cross",
+                    )
+            elif isinstance(node, ast.Call):
+                name = terminal_name(node.func)
+                if name in P.ENCLAVE_ONLY_NAMES:
+                    yield self.finding(
+                        "XB004", module, node,
+                        f"{P.placement_of(module.name)} code constructs "
+                        f"enclave-only type {name!r}",
+                        hint="only enclave (or bridge) code may hold "
+                             "this object",
+                    )
+
+    # ------------------------------------------------------------------
+    # XB005: span placement tags must agree with the registry
+    # ------------------------------------------------------------------
+    _PLACEMENT_CONSTANTS = {
+        "PLACEMENT_CLIENT": P.CLIENT,
+        "PLACEMENT_HOST": P.HOST,
+        "PLACEMENT_ENCLAVE": P.ENCLAVE,
+    }
+
+    def _check_span_placements(self, module, placement):
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if terminal_name(node.func) != "span":
+                continue
+            for keyword in node.keywords:
+                if keyword.arg != "placement":
+                    continue
+                tag = self._placement_literal(keyword.value)
+                if tag is not None and tag != placement:
+                    yield self.finding(
+                        "XB005", module, node,
+                        f"span tagged {tag!r} inside a module the "
+                        f"registry places as {placement!r}",
+                        hint="fix the tag or reclassify the module; "
+                             "the TraceChecker privacy oracle keys on "
+                             "these tags",
+                    )
+
+    def _placement_literal(self, node):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return node.value
+        name = terminal_name(node) or dotted_name(node)
+        return self._PLACEMENT_CONSTANTS.get(name.rsplit(".", 1)[-1])

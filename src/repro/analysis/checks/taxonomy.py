@@ -1,0 +1,163 @@
+"""Error-taxonomy checker: failures keep their type across the bridge.
+
+The fault-tolerance layer (PR 2) keys every recovery decision on the
+``repro.errors`` hierarchy — ``retryable`` flags, the
+crypto-never-retried rule, the facade contract that callers only ever
+see typed ``repro.errors`` exceptions.  A single careless handler can
+silently void all of it: a bare ``except`` swallows an
+``EnclaveLostError`` the supervisor needed to see; wrapping a
+``CryptoError`` as a transient hands an active adversary a retry
+oracle.  This checker pins the taxonomy at the source level.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint import (
+    Checker,
+    handler_type_names,
+    register_checker,
+    terminal_name,
+)
+from repro.analysis import placement as P
+
+_BROAD = frozenset({"Exception", "BaseException"})
+_CRYPTO = frozenset({"CryptoError", "AuthenticationError"})
+#: Exceptions the retry machinery acts on: raising one of these from a
+#: crypto failure would make the failure retryable.
+_RETRYABLE = frozenset({
+    "TransientError", "EngineUnavailableError", "EnclaveLostError",
+})
+#: Builtins legitimate for argument validation (stdlib convention).
+_VALIDATION_BUILTINS = frozenset({
+    "TypeError", "ValueError", "NotImplementedError", "KeyError",
+    "StopIteration",
+})
+
+
+def _repro_error_names() -> frozenset:
+    """Every exception class ``repro.errors`` defines, read live so the
+    checker never drifts from the taxonomy it guards."""
+    import repro.errors as errors
+
+    return frozenset(
+        name for name, obj in vars(errors).items()
+        if isinstance(obj, type) and issubclass(obj, BaseException)
+    )
+
+
+@register_checker
+class TaxonomyChecker(Checker):
+    id = "taxonomy"
+    description = (
+        "no swallowed exceptions on bridge-crossing paths; crypto "
+        "failures never become retryable; only repro.errors types "
+        "cross the facade"
+    )
+    rules = {
+        "XE001": "bare except: swallows every exception type",
+        "XE002": "broad except swallows errors on a bridge-crossing path",
+        "XE003": "crypto failure wrapped as a retryable error",
+        "XE004": "non-repro.errors exception crosses the facade",
+    }
+
+    def __init__(self):
+        self._facade_allowed = _repro_error_names() | _VALIDATION_BUILTINS
+
+    def check(self, module, context):
+        placement = context.placement_of(module.name)
+        on_bridge_path = (
+            context.is_bridge(module.name)
+            or placement in (P.ENCLAVE, P.HOST, P.CLIENT)
+        )
+        facade = module.name in P.FACADE_MODULES
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler):
+                yield from self._check_handler(
+                    module, node, on_bridge_path
+                )
+            elif isinstance(node, ast.Raise) and facade:
+                yield from self._check_facade_raise(module, node)
+
+    # ------------------------------------------------------------------
+    # XE001 / XE002 / XE003
+    # ------------------------------------------------------------------
+    def _check_handler(self, module, handler, on_bridge_path):
+        names = handler_type_names(handler)
+        if handler.type is None:
+            yield self.finding(
+                "XE001", module, handler,
+                "bare except: catches (and may swallow) every error, "
+                "including EnclaveLostError and KeyboardInterrupt",
+                hint="catch the narrowest repro.errors type the path "
+                     "can actually raise",
+            )
+            return
+        if on_bridge_path and any(name in _BROAD for name in names):
+            if not self._reraises(handler):
+                caught = next(n for n in names if n in _BROAD)
+                yield self.finding(
+                    "XE002", module, handler,
+                    f"except {caught} swallows typed errors on a "
+                    f"bridge-crossing path",
+                    hint="catch specific repro.errors types, or "
+                         "re-raise after cleanup (a handler ending in "
+                         "a bare `raise` is allowed)",
+                )
+        if any(name in _CRYPTO for name in names):
+            for raised in self._raised_types(handler):
+                if raised in _RETRYABLE:
+                    yield self.finding(
+                        "XE003", module, handler,
+                        f"crypto failure re-raised as retryable "
+                        f"{raised}",
+                        hint="crypto failures fail closed — retrying "
+                             "one gives an active adversary a free "
+                             "oracle (see repro.core.proxy."
+                             "_exchange_once)",
+                    )
+
+    @staticmethod
+    def _reraises(handler) -> bool:
+        """Whether the handler re-raises (bare ``raise`` anywhere in it,
+        or raises-from the caught exception)."""
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Raise) and node.exc is None:
+                return True
+        return False
+
+    @staticmethod
+    def _raised_types(handler):
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Raise) and node.exc is not None:
+                exc = node.exc
+                if isinstance(exc, ast.Call):
+                    exc = exc.func
+                name = terminal_name(exc)
+                if name:
+                    yield name
+
+    # ------------------------------------------------------------------
+    # XE004: the facade error contract
+    # ------------------------------------------------------------------
+    def _check_facade_raise(self, module, node):
+        exc = node.exc
+        if exc is None:
+            return  # bare re-raise keeps the original type
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        name = terminal_name(exc)
+        # Only judge names that are recognisably exception classes; a
+        # `raise last_error` of a caught variable keeps its type.
+        if not name or not name.endswith(("Error", "Exception")):
+            return
+        if name not in self._facade_allowed:
+            yield self.finding(
+                "XE004", module, node,
+                f"{name} is not a repro.errors type but crosses the "
+                f"{module.name} facade",
+                hint="define it in repro.errors (with an explicit "
+                     "retryable flag) so callers can catch ReproError",
+            )

@@ -1,0 +1,267 @@
+"""The ``xlint`` framework: pluggable checkers over the module graph.
+
+A *checker* is a small object with an ``id``, a rule catalogue and a
+``check(module, context)`` method yielding :class:`~repro.analysis
+.findings.Finding` objects.  Checkers register themselves into a global
+registry (import :mod:`repro.analysis.checks` to load the built-in four)
+and :func:`run_checks` drives them over a :class:`~repro.analysis
+.modulegraph.ModuleGraph`, applies the committed baseline and returns a
+:class:`CheckResult` that renders as a human report or as the JSON
+contract CI consumes.
+
+Adding a checker (see docs/STATIC_ANALYSIS.md)::
+
+    from repro.analysis.lint import Checker, register_checker
+
+    @register_checker
+    class MyChecker(Checker):
+        id = "mything"
+        description = "what invariant this proves"
+        def check(self, module, context):
+            yield self.finding("XM001", module, node, "message", hint="…")
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+
+from repro.analysis.findings import (
+    Baseline,
+    FINDING_SCHEMA_VERSION,
+    Finding,
+    sort_findings,
+)
+from repro.analysis.modulegraph import ModuleGraph, SourceModule
+from repro.analysis import placement as placement_registry
+
+
+@dataclass
+class LintContext:
+    """Everything a checker may consult beyond its own module."""
+
+    graph: ModuleGraph
+    placement: object = placement_registry
+
+    def placement_of(self, module_name: str) -> str:
+        return self.placement.placement_of(module_name)
+
+    def is_bridge(self, module_name: str) -> bool:
+        return self.placement.is_bridge(module_name)
+
+
+class Checker:
+    """Base class for all checkers: id, catalogue, finding factory."""
+
+    #: Short machine id (selects the checker on the CLI).
+    id = None
+    #: One-line description shown by ``xlint --list-checkers``.
+    description = ""
+    #: rule code -> one-line rule summary (the checker catalogue).
+    rules = {}
+
+    def check(self, module: SourceModule, context: LintContext):
+        raise NotImplementedError
+
+    def finding(self, code: str, module: SourceModule, node,
+                message: str, *, hint: str = "") -> Finding:
+        """Build a finding anchored at an AST node (or the whole file)."""
+        line = getattr(node, "lineno", 0) if node is not None else 0
+        column = getattr(node, "col_offset", 0) if node is not None else 0
+        return Finding(
+            checker=self.id,
+            code=code,
+            path=module.path,
+            line=line,
+            column=column,
+            message=message,
+            hint=hint,
+            module=module.name,
+        )
+
+
+_REGISTRY = {}
+
+
+def register_checker(cls):
+    """Class decorator: add a checker to the global registry."""
+    if not getattr(cls, "id", None):
+        raise ValueError(f"checker {cls.__name__} has no id")
+    _REGISTRY[cls.id] = cls
+    return cls
+
+
+def all_checkers() -> list:
+    """Fresh instances of every registered checker (built-ins included)."""
+    _load_builtin_checkers()
+    return [cls() for _id, cls in sorted(_REGISTRY.items())]
+
+
+def get_checker(checker_id: str) -> Checker:
+    _load_builtin_checkers()
+    try:
+        return _REGISTRY[checker_id]()
+    except KeyError:
+        raise KeyError(
+            f"no such checker {checker_id!r}; known: "
+            f"{', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def _load_builtin_checkers() -> None:
+    import repro.analysis.checks  # noqa: F401  (registers on import)
+
+
+@dataclass
+class CheckResult:
+    """The outcome of one lint run."""
+
+    findings: list = field(default_factory=list)      # new (failing)
+    grandfathered: list = field(default_factory=list)  # baselined
+    modules_checked: int = 0
+    checkers: list = field(default_factory=list)       # checker ids run
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "version": FINDING_SCHEMA_VERSION,
+            "ok": self.ok,
+            "modules_checked": self.modules_checked,
+            "checkers": list(self.checkers),
+            "findings": [f.to_dict() for f in self.findings],
+            "grandfathered": [f.to_dict() for f in self.grandfathered],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    def to_text(self) -> str:
+        lines = []
+        for finding in self.findings:
+            lines.append(finding.render())
+        summary = (
+            f"xlint: {len(self.findings)} finding(s) "
+            f"({len(self.grandfathered)} baselined) across "
+            f"{self.modules_checked} module(s), "
+            f"checkers: {', '.join(self.checkers)}"
+        )
+        lines.append(summary)
+        return "\n".join(lines) + "\n"
+
+
+def run_checks(target, *, checkers=None, baseline: Baseline = None,
+               strict_registry: bool = True) -> CheckResult:
+    """Run checkers over a tree and apply the baseline.
+
+    ``target`` is a path to a package directory (e.g. ``src/repro``), an
+    existing :class:`ModuleGraph`, or an iterable of
+    :class:`SourceModule` objects (test fixtures).  ``checkers`` is an
+    iterable of checker ids or instances (default: all registered).
+    With ``strict_registry`` the placement registry's own consistency is
+    verified first — a broken registry fails loudly rather than silently
+    passing every module.
+    """
+    if isinstance(target, ModuleGraph):
+        graph = target
+    elif isinstance(target, (str, bytes)) or hasattr(target, "__fspath__"):
+        graph = ModuleGraph.from_root(target)
+    else:
+        graph = ModuleGraph.from_modules(target)
+
+    if strict_registry:
+        problems = placement_registry.verify_registry()
+        if problems:
+            raise ValueError(
+                "placement registry is inconsistent: " + "; ".join(problems)
+            )
+
+    if checkers is None:
+        instances = all_checkers()
+    else:
+        instances = [
+            get_checker(c) if isinstance(c, str) else c for c in checkers
+        ]
+
+    context = LintContext(graph=graph)
+    findings = []
+    for module in graph:
+        suppressed = _suppressions(module)
+        for checker in instances:
+            for finding in checker.check(module, context):
+                if finding.line in suppressed.get(checker.id, ()):
+                    continue
+                findings.append(finding)
+    findings = sort_findings(findings)
+
+    if baseline is None:
+        baseline = Baseline()
+    new, old = baseline.split(findings)
+    return CheckResult(
+        findings=new,
+        grandfathered=old,
+        modules_checked=len(graph),
+        checkers=[checker.id for checker in instances],
+    )
+
+
+def _suppressions(module: SourceModule) -> dict:
+    """Per-line inline waivers: ``# xlint: disable=<checker-id>``.
+
+    Used sparingly (the baseline is the preferred mechanism); kept
+    per-checker so one waiver never silences an unrelated rule.
+    """
+    out = {}
+    for number, text in enumerate(module.source.splitlines(), start=1):
+        marker = "# xlint: disable="
+        index = text.find(marker)
+        if index < 0:
+            continue
+        for checker_id in text[index + len(marker):].split(","):
+            checker_id = checker_id.strip()
+            if checker_id:
+                out.setdefault(checker_id, set()).add(number)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Shared AST helpers for checkers
+# ---------------------------------------------------------------------------
+
+def dotted_name(node) -> str:
+    """``a.b.c`` for an Attribute/Name chain, else ``""``."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def terminal_name(node) -> str:
+    """The rightmost identifier of a Name/Attribute, else ``""``."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def handler_type_names(handler: ast.ExceptHandler) -> list:
+    """The exception type names an ``except`` clause catches."""
+    node = handler.type
+    if node is None:
+        return []
+    elements = node.elts if isinstance(node, ast.Tuple) else [node]
+    return [terminal_name(element) for element in elements]

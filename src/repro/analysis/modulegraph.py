@@ -1,0 +1,176 @@
+"""Source model for ``xlint``: parsed modules and their import graph.
+
+The checkers never import the code they analyse — everything is derived
+from the AST, so a module with a side-effectful import (or a deliberate
+seeded violation in a test fixture) is analysed safely.  A
+:class:`SourceModule` is one parsed file; a :class:`ModuleGraph` is the
+whole tree plus the resolved intra-``repro`` import edges the boundary
+checker walks.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SourceModule:
+    """One parsed Python module."""
+
+    name: str                      # dotted name, e.g. "repro.core.proxy"
+    path: str                      # filesystem path as scanned
+    source: str
+    tree: ast.AST = None
+
+    def __post_init__(self):
+        if self.tree is None:
+            self.tree = ast.parse(self.source, filename=self.path)
+
+    @classmethod
+    def from_source(cls, name: str, source: str,
+                    path: str = None) -> "SourceModule":
+        """Build a module from source text (test fixtures use this)."""
+        return cls(name=name, path=path or f"<{name}>", source=source)
+
+    @classmethod
+    def from_file(cls, name: str, path: str) -> "SourceModule":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls(name=name, path=path, source=handle.read())
+
+    # ------------------------------------------------------------------
+    # Import extraction
+    # ------------------------------------------------------------------
+    def import_statements(self):
+        """Yield ``(node, target_module, bound_names)`` per import.
+
+        ``target_module`` is the dotted module named by the statement
+        (relative imports are resolved against this module's package);
+        ``bound_names`` maps the local alias to the imported attribute
+        (empty string for plain ``import x``).
+        """
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    yield node, alias.name, {
+                        (alias.asname or alias.name.split(".")[0]): ""
+                    }
+            elif isinstance(node, ast.ImportFrom):
+                target = self._resolve_from(node)
+                if target is None:
+                    continue
+                names = {
+                    (alias.asname or alias.name): alias.name
+                    for alias in node.names
+                }
+                yield node, target, names
+
+    def _resolve_from(self, node: ast.ImportFrom):
+        if node.level == 0:
+            return node.module
+        # Relative import: walk up from this module's package.
+        parts = self.name.split(".")
+        # A module's own package is its name minus the leaf (packages
+        # themselves — __init__ files — are their own package).
+        package_parts = parts if self.is_package else parts[:-1]
+        if node.level > len(package_parts):
+            return None  # escapes the scanned tree
+        base = package_parts[: len(package_parts) - (node.level - 1)]
+        if node.module:
+            base = base + node.module.split(".")
+        return ".".join(base)
+
+    @property
+    def is_package(self) -> bool:
+        return os.path.basename(self.path) == "__init__.py"
+
+
+@dataclass
+class ModuleGraph:
+    """Every scanned module plus the intra-tree import edges."""
+
+    modules: dict = field(default_factory=dict)  # name -> SourceModule
+
+    @classmethod
+    def from_root(cls, root) -> "ModuleGraph":
+        """Scan a package directory (e.g. ``src/repro``) recursively.
+
+        Module names are rooted at the directory's own basename, so
+        scanning ``src/repro`` yields ``repro``, ``repro.core``, … — the
+        same names the placement registry classifies.
+        """
+        root = os.path.abspath(root)
+        package = os.path.basename(root.rstrip(os.sep))
+        graph = cls()
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames[:] = sorted(
+                d for d in dirnames
+                if not d.startswith(".") and d != "__pycache__"
+            )
+            for filename in sorted(filenames):
+                if not filename.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, filename)
+                relative = os.path.relpath(path, root)
+                parts = relative[:-3].replace(os.sep, ".").split(".")
+                if parts[-1] == "__init__":
+                    parts = parts[:-1]
+                name = ".".join([package] + [p for p in parts if p])
+                graph.add(SourceModule.from_file(name, path))
+        return graph
+
+    @classmethod
+    def from_modules(cls, modules) -> "ModuleGraph":
+        graph = cls()
+        for module in modules:
+            graph.add(module)
+        return graph
+
+    def add(self, module: SourceModule) -> None:
+        self.modules[module.name] = module
+
+    def module(self, name: str) -> SourceModule:
+        return self.modules[name]
+
+    def __iter__(self):
+        return iter(self.modules.values())
+
+    def __len__(self) -> int:
+        return len(self.modules)
+
+    # ------------------------------------------------------------------
+    # Edges
+    # ------------------------------------------------------------------
+    def resolve_import(self, target: str, attribute: str = "") -> str:
+        """Map an import statement onto a scanned module name.
+
+        ``from repro.core import history`` names the *module*
+        ``repro.core.history`` when it exists, otherwise the package
+        itself.  Targets outside the scanned tree resolve to ``None``.
+        """
+        if attribute and f"{target}.{attribute}" in self.modules:
+            return f"{target}.{attribute}"
+        if target in self.modules:
+            return target
+        return None
+
+    def imports_of(self, name: str) -> set:
+        """The scanned modules ``name`` imports (resolved, deduplicated)."""
+        out = set()
+        for _node, target, names in self.modules[name].import_statements():
+            direct = self.resolve_import(target)
+            if direct is not None:
+                out.add(direct)
+            for attribute in names.values():
+                resolved = self.resolve_import(target, attribute)
+                if resolved is not None and resolved != direct:
+                    out.add(resolved)
+        return out
+
+    def importers_of(self, name: str) -> set:
+        """Every scanned module that imports ``name``."""
+        return {
+            other for other in self.modules
+            if other != name and name in self.imports_of(other)
+        }

@@ -74,13 +74,13 @@ class QueryHistory:
             size = self._entry_size(query_text)
             self._entries.append(query_text)
             self._bytes += size
-            self._charge_segment(self._total_added, size)
+            self._charge_segment_locked(self._total_added, size)
             self._total_added += 1
             while len(self._entries) > self.capacity:
                 evicted = self._entries.popleft()
                 evicted_size = self._entry_size(evicted)
                 self._bytes -= evicted_size
-                self._charge_segment(self._total_evicted, -evicted_size)
+                self._charge_segment_locked(self._total_evicted, -evicted_size)
                 self._total_evicted += 1
 
     def extend(self, query_texts) -> None:
@@ -110,7 +110,7 @@ class QueryHistory:
             out = []
             for _ in range(count):
                 position = rng.randrange(len(self._entries))
-                self._touch_segment(self._total_evicted + position)
+                self._touch_segment_locked(self._total_evicted + position)
                 out.append(self._entries[position])
             return out
 
@@ -143,7 +143,7 @@ class QueryHistory:
     def _segment_key(self, number: int) -> str:
         return f"{self._namespace}.seg{number}"
 
-    def _charge_segment(self, absolute_index: int, delta: int) -> None:
+    def _charge_segment_locked(self, absolute_index: int, delta: int) -> None:
         number = absolute_index // SEGMENT_ENTRIES
         new_size = self._segment_bytes.get(number, 0) + delta
         if new_size < 0:
@@ -160,7 +160,7 @@ class QueryHistory:
             self._memory.store(self._segment_key(number), number,
                                nbytes=new_size)
 
-    def _touch_segment(self, absolute_index: int) -> None:
+    def _touch_segment_locked(self, absolute_index: int) -> None:
         if self._memory is None:
             return
         key = self._segment_key(absolute_index // SEGMENT_ENTRIES)

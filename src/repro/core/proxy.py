@@ -864,8 +864,10 @@ class XSearchProxyHost:
         if self._registry is not None:
             self._registry.counter("proxy.respawns").inc()
         self.enclave = self._spawn_enclave()
-        if self._history_checkpoint is not None:
-            blob, entries = self._history_checkpoint
+        with self._checkpoint_lock:
+            checkpoint = self._history_checkpoint
+        if checkpoint is not None:
+            blob, entries = checkpoint
             self.last_restore_expected = entries
             self.last_restore_count = self.enclave.call(
                 "restore_sealed_history", blob
@@ -900,7 +902,8 @@ class XSearchProxyHost:
         Returns the number of history entries captured.
         """
         blob, entries = self._call("checkpoint_history")
-        self._history_checkpoint = (blob, entries)
+        with self._checkpoint_lock:
+            self._history_checkpoint = (blob, entries)
         self.checkpoint_count += 1
         self.last_checkpoint_entries = entries
         event(self._recorder, "checkpoint", entries=entries)
@@ -941,7 +944,8 @@ class XSearchProxyHost:
             if self._sealing_platform is not None:
                 try:
                     blob, entries = enclave.call("checkpoint_history")
-                    self._history_checkpoint = (blob, entries)
+                    with self._checkpoint_lock:
+                        self._history_checkpoint = (blob, entries)
                     self.checkpoint_count += 1
                     self.last_checkpoint_entries = entries
                 except ReproError:
@@ -955,16 +959,19 @@ class XSearchProxyHost:
     @property
     def history_checkpoint(self):
         """The latest sealed checkpoint blob, or ``None`` (opaque to us)."""
-        if self._history_checkpoint is None:
+        with self._checkpoint_lock:
+            checkpoint = self._history_checkpoint
+        if checkpoint is None:
             return None
-        return self._history_checkpoint[0]
+        return checkpoint[0]
 
     # ------------------------------------------------------------------
     # Attestation plumbing (host-mediated, as in SGX)
     # ------------------------------------------------------------------
     @property
     def measurement(self):
-        return self.enclave.measurement
+        with self._enclave_lock:
+            return self.enclave.measurement
 
     def channel_public(self) -> bytes:
         return self._call("channel_public")

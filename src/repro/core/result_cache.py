@@ -109,7 +109,7 @@ class ResultCache:
                 _, (_, evicted_bytes) = self._entries.popitem(last=False)
                 self._bytes -= evicted_bytes
                 self.stats.evictions += 1
-            self._charge_memory()
+            self._charge_memory_locked()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -137,7 +137,7 @@ class ResultCache:
         return (len(key.encode("utf-8")) + estimate_size(value)
                 + ENTRY_OVERHEAD_BYTES)
 
-    def _charge_memory(self) -> None:
+    def _charge_memory_locked(self) -> None:
         if self._memory is None:
             return
         if self._bytes == 0:

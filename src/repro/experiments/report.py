@@ -9,9 +9,9 @@ of the hand-curated EXPERIMENTS.md.
 from __future__ import annotations
 
 import io
-import time
 
 from repro.analysis import format_comparison_table
+from repro.net.clock import SystemClock
 from repro.experiments import (
     fig1_fake_queries,
     fig3_reidentification,
@@ -23,8 +23,10 @@ from repro.experiments import (
 from repro.experiments.context import ContextConfig, ExperimentContext
 
 
-def generate_report(*, fast: bool = True, seed: int = 42) -> str:
+def generate_report(*, fast: bool = True, seed: int = 42,
+                    clock=None) -> str:
     """Run every figure and return the markdown report text."""
+    clock = clock if clock is not None else SystemClock()
     out = io.StringIO()
     config = ContextConfig.fast() if fast else ContextConfig()
     config.seed = seed
@@ -88,10 +90,10 @@ def generate_report(*, fast: bool = True, seed: int = 42) -> str:
         ),
     ]
     for title, render in sections:
-        started = time.time()
+        started = clock.time()
         table = render()
         out.write(f"## {title}\n\n```\n{table}\n```\n\n")
-        out.write(f"_(generated in {time.time() - started:.1f}s)_\n\n")
+        out.write(f"_(generated in {clock.time() - started:.1f}s)_\n\n")
 
     out.write("## Adversary-model comparison (analytical, §2/§3)\n\n")
     out.write(f"```\n{format_comparison_table()}\n```\n")

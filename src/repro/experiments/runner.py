@@ -20,7 +20,6 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-import time
 
 from repro.experiments import (
     fig1_fake_queries,
@@ -31,6 +30,7 @@ from repro.experiments import (
     fig6_memory,
     fig7_round_trip,
 )
+from repro.net.clock import SystemClock
 
 EXPERIMENTS = {
     "fig1": fig1_fake_queries,
@@ -83,16 +83,17 @@ def main(argv=None) -> int:
         report.main(fast=args.fast, output=args.output)
         return 0
 
+    clock = SystemClock()
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         module = EXPERIMENTS[name]
-        start = time.time()
+        start = clock.time()
         if args.no_profile:
             module.main(fast=args.fast)
         else:
             _run_profiled(name, module, fast=args.fast,
                           profile_json=args.profile_json)
-        print(f"[{name} completed in {time.time() - start:.1f}s]\n")
+        print(f"[{name} completed in {clock.time() - start:.1f}s]\n")
     return 0
 
 

@@ -46,10 +46,11 @@ class Counter:
 
     @property
     def value(self) -> int:
-        return self._value
+        with self._lock:
+            return self._value
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Counter({self.name!r}, value={self._value})"
+        return f"Counter({self.name!r}, value={self.value})"
 
 
 class Gauge:
@@ -103,7 +104,8 @@ class Histogram:
 
     @property
     def count(self) -> int:
-        return self._recorder.count
+        with self._lock:
+            return self._recorder.count
 
     def percentile(self, p: float) -> float:
         with self._lock:

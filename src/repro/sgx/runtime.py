@@ -535,7 +535,8 @@ class Enclave:
     @property
     def boundary_log(self):
         """All boundary crossings with the byte payloads that crossed."""
-        return tuple(self._boundary_log)
+        with self._concurrency_lock:
+            return tuple(self._boundary_log)
 
     def transition_seconds(self) -> float:
         """Simulated wall time spent on transitions and paging."""

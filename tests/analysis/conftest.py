@@ -1,0 +1,34 @@
+"""Fixtures for the xlint test suite."""
+
+from __future__ import annotations
+
+import os
+import textwrap
+
+import pytest
+
+from repro.analysis import ModuleGraph, SourceModule, run_checks
+
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "..")
+)
+REPRO_SRC = os.path.join(REPO_ROOT, "src", "repro")
+
+
+@pytest.fixture(scope="session")
+def repo_graph():
+    """The real src/repro tree, parsed once for the whole session."""
+    return ModuleGraph.from_root(REPRO_SRC)
+
+
+@pytest.fixture
+def lint():
+    """Run one checker over fixture source: lint(name, source, checker)."""
+
+    def run(name, source, checker, extra_modules=()):
+        modules = [SourceModule.from_source(name, textwrap.dedent(source))]
+        modules += list(extra_modules)
+        result = run_checks(modules, checkers=[checker])
+        return result.findings
+
+    return run

@@ -1,0 +1,123 @@
+"""Boundary checker: seeded violations fire, legitimate code does not."""
+
+from __future__ import annotations
+
+from repro.analysis import run_checks
+from repro.analysis.checks import BoundaryChecker
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+def test_host_importing_enclave_module_is_flagged(lint):
+    findings = lint("repro.attacks.evil", """
+        from repro.core import history
+    """, BoundaryChecker())
+    assert "XB001" in codes(findings)
+    assert findings[0].line == 2
+    assert "enclave" in findings[0].message
+
+
+def test_client_importing_enclave_only_name_is_flagged(lint):
+    findings = lint("repro.baselines.evil", """
+        from repro.core.history import QueryHistory
+    """, BoundaryChecker())
+    assert "XB002" in codes(findings)
+
+
+def test_host_constructing_enclave_only_type_is_flagged(lint):
+    findings = lint("repro.search.evil", """
+        def grab(mod):
+            return mod.QueryHistory(max_bytes=1024)
+    """, BoundaryChecker())
+    assert "XB004" in codes(findings)
+
+
+def test_host_reaching_enclave_private_attribute_is_flagged(lint):
+    findings = lint("repro.attacks.evil", """
+        def peek(proxy):
+            return proxy._history
+    """, BoundaryChecker())
+    assert codes(findings) == ["XB003"]
+
+
+def test_self_attribute_access_is_not_reach_through(lint):
+    findings = lint("repro.attacks.model", """
+        class Attacker:
+            def __init__(self):
+                self._history = []
+            def observe(self, q):
+                self._history.append(q)
+    """, BoundaryChecker())
+    assert findings == []
+
+
+def test_unclassified_repro_module_is_flagged(lint):
+    findings = lint("repro.rogue_package.new_thing", "x = 1\n",
+                    BoundaryChecker())
+    assert codes(findings) == ["XB000"]
+
+
+def test_non_repro_modules_are_out_of_scope(lint):
+    findings = lint("somelib.util", "from repro.core import history\n",
+                    BoundaryChecker())
+    assert findings == []
+
+
+def test_span_placement_tag_must_match_the_registry(lint):
+    findings = lint("repro.core.gateway", """
+        from repro.obs.tracing import PLACEMENT_ENCLAVE, span
+
+        def serve(recorder):
+            with span(recorder, "gateway.connect",
+                      placement=PLACEMENT_ENCLAVE):
+                pass
+    """, BoundaryChecker())
+    assert codes(findings) == ["XB005"]
+
+
+def test_span_literal_tag_mismatch_is_flagged(lint):
+    findings = lint("repro.core.broker", """
+        from repro.obs.tracing import span
+
+        def handshake(recorder):
+            with span(recorder, "broker.handshake", placement="host"):
+                pass
+    """, BoundaryChecker())
+    assert codes(findings) == ["XB005"]
+
+
+def test_matching_span_tag_is_clean(lint):
+    findings = lint("repro.core.broker", """
+        from repro.obs.tracing import PLACEMENT_CLIENT, span
+
+        def handshake(recorder):
+            with span(recorder, "broker.handshake",
+                      placement=PLACEMENT_CLIENT):
+                pass
+    """, BoundaryChecker())
+    assert findings == []
+
+
+def test_bridge_modules_may_import_enclave_code(lint):
+    findings = lint("repro.core.deployment", """
+        from repro.core.history import QueryHistory
+        from repro.core import proxy
+    """, BoundaryChecker())
+    assert findings == []
+
+
+def test_enclave_module_may_hold_enclave_state(lint):
+    findings = lint("repro.core.obfuscation", """
+        from repro.core.history import QueryHistory
+
+        def build():
+            return QueryHistory(max_bytes=4096)
+    """, BoundaryChecker())
+    assert findings == []
+
+
+def test_real_tree_has_no_boundary_violations(repo_graph):
+    result = run_checks(repo_graph, checkers=[BoundaryChecker()])
+    assert result.findings == []

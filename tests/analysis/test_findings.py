@@ -1,0 +1,90 @@
+"""Finding model: JSON round-trip, fingerprints, baseline semantics."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis import (
+    FINDING_SCHEMA_VERSION,
+    Baseline,
+    Finding,
+    load_baseline,
+    save_baseline,
+    sort_findings,
+)
+
+
+def make(code="XB001", path="a.py", line=3, message="msg", **kw):
+    return Finding(checker="boundary", code=code, path=path, line=line,
+                   message=message, **kw)
+
+
+def test_finding_round_trips_through_dict():
+    finding = make(hint="fix it", module="repro.x", column=4)
+    assert Finding.from_dict(finding.to_dict()) == finding
+
+
+def test_finding_dict_field_set_is_the_schema_contract():
+    assert set(make().to_dict()) == {
+        "checker", "code", "path", "line", "message", "hint", "module",
+        "column", "severity",
+    }
+
+
+def test_location_is_editor_clickable():
+    assert make(path="src/x.py", line=7).location() == "src/x.py:7"
+
+
+def test_fingerprint_ignores_line_but_not_rule_or_message():
+    a = make(line=3)
+    assert a.fingerprint() == make(line=99).fingerprint()
+    assert a.fingerprint() != make(code="XB002").fingerprint()
+    assert a.fingerprint() != make(message="other").fingerprint()
+
+
+def test_fingerprint_prefers_module_over_path():
+    a = make(module="repro.core.proxy", path="src/repro/core/proxy.py")
+    b = make(module="repro.core.proxy", path="elsewhere/proxy.py")
+    assert a.fingerprint() == b.fingerprint()
+
+
+def test_sort_findings_orders_by_path_line_column_code():
+    unsorted = [make(path="b.py", line=1), make(path="a.py", line=9),
+                make(path="a.py", line=2, code="XB009"),
+                make(path="a.py", line=2, code="XB001")]
+    ordered = sort_findings(unsorted)
+    assert [(f.path, f.line, f.code) for f in ordered] == [
+        ("a.py", 2, "XB001"), ("a.py", 2, "XB009"),
+        ("a.py", 9, "XB001"), ("b.py", 1, "XB001"),
+    ]
+
+
+def test_baseline_split_partitions_new_from_grandfathered():
+    old = make(message="grandfathered")
+    new = make(message="fresh")
+    baseline = Baseline({old.fingerprint()})
+    fresh, kept = baseline.split([old, new])
+    assert fresh == [new]
+    assert kept == [old]
+
+
+def test_baseline_survives_line_shifts():
+    baseline = Baseline({make(line=10).fingerprint()})
+    assert make(line=400) in baseline
+
+
+def test_save_and_load_baseline_round_trip(tmp_path):
+    path = tmp_path / "baseline.json"
+    save_baseline(path, [make(), make(code="XD001")])
+    loaded = load_baseline(path)
+    assert make(line=123) in loaded
+    assert make(code="XD001") in loaded
+    assert make(code="XL001") not in loaded
+    data = json.loads(path.read_text())
+    assert data["version"] == FINDING_SCHEMA_VERSION
+    assert data["fingerprints"] == sorted(data["fingerprints"])
+
+
+def test_missing_baseline_file_is_empty(tmp_path):
+    baseline = load_baseline(tmp_path / "nope.json")
+    assert make() not in baseline

@@ -1,0 +1,149 @@
+"""Lock-discipline checker: guarded attributes and acquisition order."""
+
+from __future__ import annotations
+
+from repro.analysis import run_checks
+from repro.analysis.checks import LockDisciplineChecker
+from repro.analysis.checks.locks import LOCK_MAP
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+FIXTURE_MAP = {
+    "fix.mod": {
+        "Thing": {
+            "_lock": ("_data", "_count"),
+            "_aux_lock": ("_aux",),
+        },
+    },
+}
+FIXTURE_ORDER = ("_aux_lock", "_lock")
+
+
+def checker():
+    return LockDisciplineChecker(lock_map=FIXTURE_MAP,
+                                 lock_order=FIXTURE_ORDER)
+
+
+def test_unguarded_access_is_flagged(lint):
+    findings = lint("fix.mod", """
+        class Thing:
+            def peek(self):
+                return self._data
+    """, checker())
+    assert codes(findings) == ["XL001"]
+    assert "_lock" in findings[0].message
+
+
+def test_access_under_the_lock_is_clean(lint):
+    findings = lint("fix.mod", """
+        class Thing:
+            def peek(self):
+                with self._lock:
+                    return self._data
+    """, checker())
+    assert findings == []
+
+
+def test_wrong_lock_does_not_count(lint):
+    findings = lint("fix.mod", """
+        class Thing:
+            def peek(self):
+                with self._aux_lock:
+                    return self._data
+    """, checker())
+    assert codes(findings) == ["XL001"]
+
+
+def test_init_and_locked_suffix_methods_are_exempt(lint):
+    findings = lint("fix.mod", """
+        class Thing:
+            def __init__(self):
+                self._data = []
+            def _evict_locked(self):
+                self._data.clear()
+    """, checker())
+    assert findings == []
+
+
+def test_nested_function_bodies_are_out_of_scope(lint):
+    # A closure may run after the lock is released, so analysing it with
+    # the enclosing held-set would be unsound either way; the checker
+    # skips nested bodies rather than guessing.
+    findings = lint("fix.mod", """
+        class Thing:
+            def schedule(self):
+                with self._lock:
+                    def later():
+                        return self._data
+                    return later
+    """, checker())
+    assert findings == []
+
+
+def test_lock_order_inversion_is_flagged(lint):
+    findings = lint("fix.mod", """
+        class Thing:
+            def bad(self):
+                with self._lock:
+                    with self._aux_lock:
+                        return self._aux
+    """, checker())
+    assert codes(findings) == ["XL002"]
+
+
+def test_declared_lock_order_is_clean(lint):
+    findings = lint("fix.mod", """
+        class Thing:
+            def good(self):
+                with self._aux_lock:
+                    with self._lock:
+                        return (self._aux, self._data)
+    """, checker())
+    assert findings == []
+
+
+def test_unmapped_classes_still_get_order_checking(lint):
+    findings = lint("other.mod", """
+        class Unmapped:
+            def bad(self):
+                with self._lock:
+                    with self._aux_lock:
+                        pass
+    """, checker())
+    assert codes(findings) == ["XL002"]
+
+
+def test_lock_map_covers_the_shared_hot_path_objects():
+    assert "XSearchEnclaveCode" in LOCK_MAP["repro.core.proxy"]
+    assert "XSearchProxyHost" in LOCK_MAP["repro.core.proxy"]
+    assert "EngineGateway" in LOCK_MAP["repro.core.gateway"]
+    assert "QueryHistory" in LOCK_MAP["repro.core.history"]
+    assert "TraceRecorder" in LOCK_MAP["repro.obs.tracing"]
+
+
+def test_lock_map_classes_exist_with_their_locks(repo_graph):
+    import ast
+
+    for module_name, class_maps in LOCK_MAP.items():
+        tree = repo_graph.module(module_name).tree
+        classes = {
+            node.name: node for node in ast.walk(tree)
+            if isinstance(node, ast.ClassDef)
+        }
+        for class_name, locks in class_maps.items():
+            assert class_name in classes, (
+                f"{module_name}.{class_name} vanished; prune LOCK_MAP"
+            )
+            source = ast.dump(classes[class_name])
+            for lock in locks:
+                assert lock in source, (
+                    f"{module_name}.{class_name} no longer uses {lock}"
+                )
+
+
+def test_real_tree_has_no_lock_violations(repo_graph):
+    result = run_checks(repo_graph, checkers=[LockDisciplineChecker()])
+    assert result.findings == []

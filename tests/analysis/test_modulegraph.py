@@ -1,0 +1,75 @@
+"""Module graph: naming, import extraction and resolution."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import ModuleGraph, SourceModule
+
+
+def module(name, source, path=None):
+    return SourceModule.from_source(name, textwrap.dedent(source),
+                                    path=path)
+
+
+def test_from_root_names_modules_after_the_scanned_package(tmp_path):
+    pkg = tmp_path / "pkg"
+    (pkg / "sub").mkdir(parents=True)
+    (pkg / "__init__.py").write_text("")
+    (pkg / "a.py").write_text("import os\n")
+    (pkg / "sub" / "__init__.py").write_text("")
+    (pkg / "sub" / "b.py").write_text("")
+    graph = ModuleGraph.from_root(pkg)
+    assert sorted(m.name for m in graph) == [
+        "pkg", "pkg.a", "pkg.sub", "pkg.sub.b",
+    ]
+
+
+def test_import_statements_cover_plain_from_and_aliases():
+    mod = module("pkg.a", """
+        import os
+        import json as j
+        from pkg.sub import b as bee, c
+    """)
+    statements = {
+        target: names for _node, target, names in mod.import_statements()
+    }
+    assert statements["os"] == {"os": ""}
+    assert statements["json"] == {"j": ""}
+    assert statements["pkg.sub"] == {"bee": "b", "c": "c"}
+
+
+def test_relative_imports_resolve_against_the_package():
+    mod = module("pkg.sub.b", """
+        from . import c
+        from .. import a
+        from ..other import thing
+    """, path="b.py")
+    targets = [target for _n, target, _names in mod.import_statements()]
+    assert targets == ["pkg.sub", "pkg", "pkg.other"]
+
+
+def test_relative_import_in_package_init_is_its_own_package():
+    mod = module("pkg.sub", "from .b import thing\n", path="__init__.py")
+    targets = [target for _n, target, _names in mod.import_statements()]
+    assert targets == ["pkg.sub.b"]
+
+
+def test_resolve_import_prefers_submodule_over_attribute():
+    graph = ModuleGraph.from_modules([
+        module("pkg", ""), module("pkg.a", ""), module("pkg.sub", ""),
+        module("pkg.sub.b", ""),
+    ])
+    assert graph.resolve_import("pkg.sub", "b") == "pkg.sub.b"
+    assert graph.resolve_import("pkg.sub", "some_function") == "pkg.sub"
+    assert graph.resolve_import("os", "path") is None
+
+
+def test_imports_of_and_importers_of():
+    graph = ModuleGraph.from_modules([
+        module("pkg.a", "from pkg import b\n"),
+        module("pkg.b", ""),
+        module("pkg", ""),
+    ])
+    assert graph.imports_of("pkg.a") == {"pkg", "pkg.b"}
+    assert graph.importers_of("pkg.b") == {"pkg.a"}

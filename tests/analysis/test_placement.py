@@ -1,0 +1,90 @@
+"""Placement registry: self-consistent, complete, in sync with repro.obs."""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    BRIDGE_MODULES,
+    classify,
+    placement_of,
+    verify_registry,
+)
+from repro.analysis import placement as P
+from repro.obs.tracing import (
+    PLACEMENT_CLIENT,
+    PLACEMENT_ENCLAVE,
+    PLACEMENT_HOST,
+    PLACEMENTS,
+)
+
+
+def test_registry_is_internally_consistent():
+    assert verify_registry() == []
+
+
+def test_module_placements_are_exactly_the_obs_tags_plus_neutral():
+    assert set(P.MODULE_PLACEMENTS) == set(PLACEMENTS) | {P.NEUTRAL}
+    assert P.ENCLAVE == PLACEMENT_ENCLAVE
+    assert P.HOST == PLACEMENT_HOST
+    assert P.CLIENT == PLACEMENT_CLIENT
+
+
+def test_every_real_module_is_classified(repo_graph):
+    unclassified = P.unclassified(repo_graph)
+    assert unclassified == [], (
+        f"new modules must take a side in repro.analysis.placement: "
+        f"{unclassified}"
+    )
+
+
+def test_classify_covers_the_whole_graph(repo_graph):
+    placements = classify(repo_graph)
+    assert len(placements) == len(repo_graph)
+    assert set(placements.values()) <= set(P.MODULE_PLACEMENTS)
+
+
+def test_the_partition_cuts_where_the_paper_says():
+    assert placement_of("repro.core.history") == P.ENCLAVE
+    assert placement_of("repro.core.obfuscation") == P.ENCLAVE
+    assert placement_of("repro.core.gateway") == P.HOST
+    assert placement_of("repro.attacks.reidentify") == P.HOST
+    assert placement_of("repro.search.engine") == P.HOST
+    assert placement_of("repro.core.broker") == P.CLIENT
+    assert placement_of("repro.baselines.peas") == P.CLIENT
+    assert placement_of("repro.errors") == P.NEUTRAL
+    assert placement_of("not.our.code") is None
+
+
+def test_exact_entries_beat_package_prefixes():
+    # repro.core is neutral as a package but its modules take sides.
+    assert placement_of("repro.core") == P.NEUTRAL
+    assert placement_of("repro.core.history") == P.ENCLAVE
+
+
+def test_bridge_modules_are_classified_and_minimal():
+    assert BRIDGE_MODULES == {
+        "repro.core.proxy", "repro.core.deployment", "repro.sgx.runtime",
+    }
+    for name in BRIDGE_MODULES:
+        assert placement_of(name) is not None
+
+
+def test_deterministic_scope_covers_enclave_faults_and_experiments():
+    assert P.in_deterministic_scope("repro.core.history")
+    assert P.in_deterministic_scope("repro.faults.plan")
+    assert P.in_deterministic_scope("repro.experiments.runner")
+    assert P.in_deterministic_scope("repro.core.proxy")  # bridge
+    assert not P.in_deterministic_scope("repro.search.engine")
+    assert not P.in_deterministic_scope("repro.baselines.peas")
+
+
+def test_entropy_allowlist_is_crypto_shaped():
+    assert P.entropy_allowed("repro.crypto.aead")
+    assert P.entropy_allowed("repro.sgx.sealing")
+    assert not P.entropy_allowed("repro.faults.plan")
+    assert not P.entropy_allowed("repro.experiments.runner")
+
+
+def test_verify_registry_reports_unknown_placements(monkeypatch):
+    monkeypatch.setitem(P._EXACT, "repro.bogus", "mars")
+    problems = verify_registry()
+    assert any("mars" in problem for problem in problems)

@@ -1,0 +1,119 @@
+"""Taxonomy checker: swallowed exceptions, crypto retries, facade types."""
+
+from __future__ import annotations
+
+from repro.analysis import run_checks
+from repro.analysis.checks import TaxonomyChecker
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+def test_bare_except_is_always_flagged(lint):
+    findings = lint("repro.datasets.loader", """
+        def load():
+            try:
+                return open("x")
+            except:
+                return None
+    """, TaxonomyChecker())
+    assert codes(findings) == ["XE001"]
+
+
+def test_broad_except_on_bridge_path_is_flagged(lint):
+    findings = lint("repro.core.gateway", """
+        def serve(sock):
+            try:
+                sock.recv()
+            except Exception:
+                pass
+    """, TaxonomyChecker())
+    assert codes(findings) == ["XE002"]
+
+
+def test_broad_except_that_reraises_is_allowed(lint):
+    findings = lint("repro.core.gateway", """
+        def serve(sock):
+            try:
+                sock.recv()
+            except Exception:
+                sock.close()
+                raise
+    """, TaxonomyChecker())
+    assert findings == []
+
+
+def test_broad_except_off_the_bridge_path_is_tolerated(lint):
+    findings = lint("repro.datasets.loader", """
+        def load():
+            try:
+                return open("x")
+            except Exception:
+                return None
+    """, TaxonomyChecker())
+    assert findings == []
+
+
+def test_crypto_failure_wrapped_as_retryable_is_flagged(lint):
+    findings = lint("repro.core.broker", """
+        from repro.errors import CryptoError, TransientError
+
+        def open_tunnel(channel):
+            try:
+                return channel.decrypt()
+            except CryptoError:
+                raise TransientError("try again")
+    """, TaxonomyChecker())
+    assert codes(findings) == ["XE003"]
+
+
+def test_crypto_failure_kept_fatal_is_fine(lint):
+    findings = lint("repro.core.broker", """
+        from repro.errors import AuthenticationError, CryptoError
+
+        def open_tunnel(channel):
+            try:
+                return channel.decrypt()
+            except CryptoError as exc:
+                raise AuthenticationError(str(exc))
+    """, TaxonomyChecker())
+    assert findings == []
+
+
+def test_non_repro_error_crossing_the_facade_is_flagged(lint):
+    findings = lint("repro.core.deployment", """
+        class BogusError(RuntimeError):
+            pass
+
+        def search(q):
+            raise BogusError(q)
+    """, TaxonomyChecker())
+    assert codes(findings) == ["XE004"]
+
+
+def test_repro_errors_and_validation_builtins_cross_freely(lint):
+    findings = lint("repro.core.deployment", """
+        from repro.errors import ProtocolError
+
+        def search(q, limit):
+            if limit < 1:
+                raise ValueError("limit must be positive")
+            if not q:
+                raise ProtocolError("empty query")
+    """, TaxonomyChecker())
+    assert findings == []
+
+
+def test_reraising_a_caught_variable_is_not_judged(lint):
+    findings = lint("repro.core.proxy", """
+        def flush(last_error):
+            if last_error is not None:
+                raise last_error
+    """, TaxonomyChecker())
+    assert findings == []
+
+
+def test_real_tree_has_no_taxonomy_violations(repo_graph):
+    result = run_checks(repo_graph, checkers=[TaxonomyChecker()])
+    assert result.findings == []

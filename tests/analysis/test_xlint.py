@@ -1,0 +1,180 @@
+"""The framework and the CLI: registry, suppressions, baseline, exit codes."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    Baseline,
+    SourceModule,
+    all_checkers,
+    get_checker,
+    run_checks,
+)
+
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "..")
+)
+BASELINE_PATH = os.path.join(REPO_ROOT, "tools", "xlint_baseline.json")
+
+
+def fixture_module(name="repro.attacks.evil",
+                   source="from repro.core import history\n"):
+    return SourceModule.from_source(name, textwrap.dedent(source))
+
+
+# ---------------------------------------------------------------------------
+# Framework
+# ---------------------------------------------------------------------------
+
+def test_the_four_shipped_checkers_are_registered():
+    assert [c.id for c in all_checkers()] == [
+        "boundary", "determinism", "locks", "taxonomy",
+    ]
+    for checker in all_checkers():
+        assert checker.description
+        assert checker.rules
+
+
+def test_rule_codes_are_unique_across_checkers():
+    seen = {}
+    for checker in all_checkers():
+        for code in checker.rules:
+            assert code not in seen, f"{code} in both {seen.get(code)} " \
+                                     f"and {checker.id}"
+            seen[code] = checker.id
+
+
+def test_get_checker_rejects_unknown_ids():
+    with pytest.raises(KeyError, match="boundary"):
+        get_checker("nonsense")
+
+
+def test_checkers_selected_by_id():
+    result = run_checks([fixture_module()], checkers=["determinism"])
+    assert result.checkers == ["determinism"]
+    assert result.findings == []  # the boundary violation is not checked
+
+
+def test_inline_suppression_waives_one_checker_on_one_line():
+    module = fixture_module(source=(
+        "from repro.core import history  # xlint: disable=boundary\n"
+    ))
+    assert run_checks([module], checkers=["boundary"]).findings == []
+    # The waiver is per-checker: an unrelated id does not silence it.
+    module = fixture_module(source=(
+        "from repro.core import history  # xlint: disable=locks\n"
+    ))
+    assert len(run_checks([module], checkers=["boundary"]).findings) == 1
+
+
+def test_baseline_grandfathers_old_findings():
+    first = run_checks([fixture_module()], checkers=["boundary"])
+    assert not first.ok
+    baseline = Baseline({f.fingerprint() for f in first.findings})
+    second = run_checks([fixture_module()], checkers=["boundary"],
+                        baseline=baseline)
+    assert second.ok
+    assert len(second.grandfathered) == len(first.findings)
+
+
+def test_result_json_shape():
+    result = run_checks([fixture_module()], checkers=["boundary"])
+    data = json.loads(result.to_json())
+    assert data["ok"] is False
+    assert data["version"] == 1
+    assert data["modules_checked"] == 1
+    finding = data["findings"][0]
+    assert finding["code"] == "XB001"
+    assert finding["line"] == 1
+    assert finding["hint"]
+
+
+def test_whole_tree_is_clean_modulo_committed_baseline(repo_graph):
+    from repro.analysis import load_baseline
+
+    result = run_checks(repo_graph,
+                        baseline=load_baseline(BASELINE_PATH))
+    assert result.ok, result.to_text()
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def run_cli(*args, cwd=REPO_ROOT):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    return subprocess.run(
+        [sys.executable, os.path.join(REPO_ROOT, "tools", "xlint.py"),
+         *args],
+        capture_output=True, text=True, env=env, cwd=cwd,
+    )
+
+
+def seeded_bad_tree(tmp_path):
+    """A scan root named ``repro`` with one determinism violation."""
+    pkg = tmp_path / "repro"
+    (pkg / "faults").mkdir(parents=True)
+    (pkg / "__init__.py").write_text("")
+    (pkg / "faults" / "__init__.py").write_text("")
+    (pkg / "faults" / "bad.py").write_text(
+        "import time\n\n\ndef now():\n    return time.time()\n"
+    )
+    return pkg
+
+
+def test_cli_is_clean_on_the_real_tree():
+    proc = run_cli("src/repro")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 finding(s)" in proc.stdout
+
+
+def test_cli_fails_with_json_findings_on_a_seeded_violation(tmp_path):
+    proc = run_cli(str(seeded_bad_tree(tmp_path)), "--format=json")
+    assert proc.returncode == 1
+    data = json.loads(proc.stdout)
+    assert data["ok"] is False
+    (finding,) = data["findings"]
+    assert finding["code"] == "XD001"
+    assert finding["module"] == "repro.faults.bad"
+    assert finding["line"] == 5
+    assert finding["path"].endswith("bad.py")
+
+
+def test_cli_write_baseline_then_clean(tmp_path):
+    tree = seeded_bad_tree(tmp_path)
+    baseline = tmp_path / "baseline.json"
+    wrote = run_cli(str(tree), "--baseline", str(baseline),
+                    "--write-baseline")
+    assert wrote.returncode == 0
+    assert "baselined 1 finding(s)" in wrote.stdout
+    rerun = run_cli(str(tree), "--baseline", str(baseline))
+    assert rerun.returncode == 0
+    assert "(1 baselined)" in rerun.stdout
+
+
+def test_cli_checker_selection_skips_other_rules(tmp_path):
+    proc = run_cli(str(seeded_bad_tree(tmp_path)), "--checkers=taxonomy")
+    assert proc.returncode == 0
+
+
+def test_cli_output_file(tmp_path):
+    out = tmp_path / "report.json"
+    proc = run_cli("src/repro", "--format=json", "-o", str(out))
+    assert proc.returncode == 0
+    assert json.loads(out.read_text())["ok"] is True
+
+
+def test_cli_list_checkers():
+    proc = run_cli("--list-checkers")
+    assert proc.returncode == 0
+    for expected in ("boundary", "determinism", "locks", "taxonomy",
+                     "XB001", "XD001", "XE001", "XL001"):
+        assert expected in proc.stdout

@@ -15,6 +15,10 @@ cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
+echo "== xlint preflight (boundary/determinism/taxonomy/locks) =="
+python tools/xlint.py src/repro
+
+echo
 echo "== proxy micro-benchmarks =="
 python -m pytest benchmarks/test_micro_proxy.py \
     benchmarks/test_micro_boundary.py -q "$@"

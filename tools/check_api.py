@@ -110,6 +110,89 @@ EXPECTED_OBS_ATTRS = {
     "ProfileSession": ["__enter__", "__exit__", "digest", "attach"],
 }
 
+# Names importable from repro.analysis, forever (the xlint contract:
+# tools/xlint.py, CI and third-party checkers all program against it).
+EXPECTED_ANALYSIS_NAMES = [
+    # adversary-model comparison
+    "SystemModel",
+    "SYSTEM_MODELS",
+    "dominates",
+    "ranked_by_privacy",
+    "format_comparison_table",
+    "uninformed_guess_rate",
+    "obfuscation_never_hurts",
+    # xlint
+    "FINDING_SCHEMA_VERSION",
+    "Finding",
+    "Baseline",
+    "load_baseline",
+    "save_baseline",
+    "sort_findings",
+    "Checker",
+    "CheckResult",
+    "LintContext",
+    "register_checker",
+    "all_checkers",
+    "get_checker",
+    "run_checks",
+    "ModuleGraph",
+    "SourceModule",
+    "BRIDGE_MODULES",
+    "classify",
+    "placement_of",
+    "verify_registry",
+]
+
+EXPECTED_ANALYSIS_ATTRS = {
+    "Finding": ["fingerprint", "location", "to_dict", "from_dict",
+                "render"],
+    "Baseline": ["split", "to_dict", "from_dict", "__contains__"],
+    "Checker": ["check", "finding", "id", "description", "rules"],
+    "CheckResult": ["ok", "exit_code", "to_dict", "to_json", "to_text"],
+    "ModuleGraph": ["from_root", "from_modules", "resolve_import",
+                    "imports_of", "importers_of"],
+    "SourceModule": ["from_source", "from_file", "import_statements"],
+}
+
+#: Every JSON finding must carry exactly these fields (the machine
+#: contract CI and editors parse).
+EXPECTED_FINDING_FIELDS = {
+    "checker", "code", "path", "line", "column", "message", "hint",
+    "module", "severity",
+}
+
+
+def check_finding_schema(problems: list) -> None:
+    """The JSON finding contract: exact field set, stable version."""
+    from repro.analysis import FINDING_SCHEMA_VERSION, Finding
+
+    sample = Finding(checker="boundary", code="XB001", path="x.py",
+                     line=1, message="m")
+    fields = set(sample.to_dict())
+    if fields != EXPECTED_FINDING_FIELDS:
+        problems.append(
+            f"finding JSON fields changed: {sorted(fields)} != "
+            f"{sorted(EXPECTED_FINDING_FIELDS)} — bump "
+            f"FINDING_SCHEMA_VERSION and update consumers"
+        )
+    if FINDING_SCHEMA_VERSION != 1:
+        problems.append(
+            "FINDING_SCHEMA_VERSION changed — update this guard "
+            "alongside every JSON consumer"
+        )
+
+
+def check_registered_checkers(problems: list) -> None:
+    """The four shipped checkers stay registered under their ids."""
+    from repro.analysis import all_checkers
+
+    ids = sorted(checker.id for checker in all_checkers())
+    expected = ["boundary", "determinism", "locks", "taxonomy"]
+    if not set(expected) <= set(ids):
+        problems.append(
+            f"built-in checkers missing: have {ids}, need {expected}"
+        )
+
 
 def check_noop_boundary_deltas(problems: list) -> None:
     """The zero-overhead contract: observability must never perturb the
@@ -207,6 +290,26 @@ def main() -> int:
             if not hasattr(cls, attr):
                 problems.append(f"obs.{cls_name}.{attr} is gone")
 
+    import repro.analysis as analysis
+
+    for name in EXPECTED_ANALYSIS_NAMES:
+        if not hasattr(analysis, name):
+            problems.append(f"repro.analysis.{name} is gone")
+        if name not in getattr(analysis, "__all__", ()):
+            problems.append(
+                f"repro.analysis.__all__ no longer lists {name!r}"
+            )
+
+    for cls_name, attrs in EXPECTED_ANALYSIS_ATTRS.items():
+        cls = getattr(analysis, cls_name, None)
+        if cls is None:
+            continue  # already reported above
+        for attr in attrs:
+            if not hasattr(cls, attr):
+                problems.append(f"analysis.{cls_name}.{attr} is gone")
+
+    check_finding_schema(problems)
+    check_registered_checkers(problems)
     check_noop_boundary_deltas(problems)
 
     if problems:
@@ -217,8 +320,10 @@ def main() -> int:
     print(
         f"public API check OK: {len(EXPECTED_CORE_NAMES)} core names, "
         f"{len(EXPECTED_OBS_NAMES)} obs names, "
+        f"{len(EXPECTED_ANALYSIS_NAMES)} analysis names, "
         f"{len(EXPECTED_CALL_SURFACE)} call signatures, "
-        f"{sum(len(a) for a in EXPECTED_ATTRS.values()) + sum(len(a) for a in EXPECTED_OBS_ATTRS.values())} attributes, "
+        f"{sum(len(a) for a in EXPECTED_ATTRS.values()) + sum(len(a) for a in EXPECTED_OBS_ATTRS.values()) + sum(len(a) for a in EXPECTED_ANALYSIS_ATTRS.values())} attributes, "
+        f"finding schema v1, "
         f"boundary deltas invariant under instrumentation"
     )
     return 0
