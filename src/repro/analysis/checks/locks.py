@@ -28,11 +28,18 @@ LOCK_MAP = {
             "_session_lock": ("_sessions",),
             "_pool_lock": ("_pool",),
             "_perf_lock": ("_perf",),
+            "_inflight_lock": ("_inflight",),
         },
         "XSearchProxyHost": {
             "_enclave_lock": ("enclave", "_closed"),
             "_checkpoint_lock": ("_requests_since_checkpoint",
                                  "_history_checkpoint"),
+        },
+    },
+    "repro.core.scheduler": {
+        "RequestScheduler": {
+            "_queue_lock": ("_queue", "_active_sessions",
+                            "_inflight", "_closed"),
         },
     },
     "repro.core.gateway": {
@@ -65,16 +72,21 @@ LOCK_MAP = {
         "Enclave": {
             "_concurrency_lock": ("_threads_inside", "_boundary_log"),
         },
+        "CycleCounter": {
+            "_lock": ("_ecall_named", "_ocall_named"),
+        },
     },
 }
 
 #: Sanctioned acquisition order, outermost first.  Acquiring a lock
 #: whose rank is *earlier* than one already held inverts the order.
 LOCK_ORDER = (
+    "_queue_lock",
     "_enclave_lock",
     "_checkpoint_lock",
     "_session_lock",
     "_fd_lock",
+    "_inflight_lock",
     "_pool_lock",
     "_concurrency_lock",
     "_perf_lock",

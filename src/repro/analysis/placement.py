@@ -68,6 +68,8 @@ _EXACT = {
                                            # host supervisor shares it)
     "repro.core.result_cache": ENCLAVE,
     "repro.core.retry": NEUTRAL,
+    "repro.core.scheduler": HOST,          # untrusted executor: holds
+                                           # ciphertext records only
     "repro.core.walkthrough": NEUTRAL,
     # repro.sgx — the platform model.
     "repro.sgx": NEUTRAL,

@@ -8,6 +8,8 @@
   :class:`~repro.core.proxy.XSearchEnclaveCode` /
   :class:`~repro.core.proxy.XSearchProxyHost`;
 * the attesting client-side broker — :class:`~repro.core.broker.Broker`;
+* the concurrent multi-worker front end —
+  :class:`~repro.core.scheduler.RequestScheduler`;
 * one-call wiring — :class:`~repro.core.deployment.XSearchDeployment`;
 * retry/backoff policies for the fault-tolerance layer —
   :class:`~repro.core.retry.RetryPolicy` /
@@ -47,6 +49,12 @@ from repro.core.retry import (
     RetryPolicy,
     call_with_retry,
 )
+from repro.core.scheduler import (
+    DEFAULT_COALESCE_WINDOW,
+    DEFAULT_MAX_BATCH,
+    DEFAULT_MAX_WORKERS,
+    RequestScheduler,
+)
 
 __all__ = [
     "QueryHistory",
@@ -77,4 +85,8 @@ __all__ = [
     "DEFAULT_BROKER_RETRY",
     "DEFAULT_CHECKPOINT_INTERVAL",
     "DEFAULT_DEGRADED_CACHE_BYTES",
+    "RequestScheduler",
+    "DEFAULT_MAX_WORKERS",
+    "DEFAULT_MAX_BATCH",
+    "DEFAULT_COALESCE_WINDOW",
 ]

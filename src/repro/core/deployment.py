@@ -25,6 +25,11 @@ from repro.core.proxy import (
     XSearchProxyHost,
 )
 from repro.core.retry import RetryPolicy
+from repro.core.scheduler import (
+    DEFAULT_COALESCE_WINDOW,
+    DEFAULT_MAX_BATCH,
+    RequestScheduler,
+)
 from repro.search.engine import SearchEngine
 from repro.search.tracking import TrackingSearchEngine
 from repro.sgx.attestation import AttestationService, QuotingEnclave
@@ -56,7 +61,7 @@ class _ClientFacade:
                  connect: bool = True) -> XSearchClient:
         deployment = object.__getattribute__(self, "_deployment")
         broker = Broker(
-            deployment.proxy,
+            deployment.frontend,
             service_public_key=deployment.attestation_service.public_key,
             expected_measurement=deployment.proxy.measurement,
             session_id=session_id,
@@ -94,6 +99,7 @@ class XSearchDeployment:
     default_client: XSearchClient
     recorder: object = None
     registry: object = None
+    scheduler: RequestScheduler = None
 
     @classmethod
     def create(cls, *, k: int = DEFAULT_K,
@@ -103,6 +109,9 @@ class XSearchDeployment:
                key_bits: int = DEFAULT_ATTESTATION_KEY_BITS,
                connect: bool = True,
                recorder=None, registry=None,
+               max_workers: int = None,
+               coalesce_window: float = DEFAULT_COALESCE_WINDOW,
+               max_batch: int = DEFAULT_MAX_BATCH,
                **proxy_options) -> "XSearchDeployment":
         """Stand up a complete deployment.
 
@@ -114,6 +123,18 @@ class XSearchDeployment:
         ``checkpoint_interval``, ``retry_policy``, …) pass through to
         :class:`XSearchProxyHost` for performance and fault-tolerance
         experiments.
+
+        ``max_workers`` switches the deployment to concurrent mode: a
+        :class:`~repro.core.scheduler.RequestScheduler` with that many
+        worker threads fronts the proxy, adaptively coalescing queued
+        requests into batched ecalls (``coalesce_window`` seconds of
+        linger under backlog, at most ``max_batch`` records per ecall)
+        and fanning each batch's obfuscated queries out in parallel
+        across pooled engine connections.  Brokers minted by the
+        deployment then submit through the scheduler; the synchronous
+        client facade is unchanged.  With ``max_workers=None`` (default)
+        no scheduler is built and the pipeline is byte-identical to
+        previous releases.
 
         ``recorder`` / ``registry`` attach the observability plane
         (:mod:`repro.obs`) to every layer — broker root spans, ecall and
@@ -135,6 +156,14 @@ class XSearchDeployment:
         quoting_enclave = QuotingEnclave(key_bits)
         attestation_service.provision_platform(quoting_enclave)
 
+        if max_workers is not None:
+            # Concurrent mode: let the enclave fan engine queries out in
+            # parallel unless the caller pinned fanout.  The pool is a
+            # per-worker resource (two parallel engine connections per
+            # worker, like cores × connections in a real deployment)
+            # shared by every in-flight batch, so adding workers adds
+            # both compute concurrency and engine bandwidth.
+            proxy_options.setdefault("fanout", 2 * max_workers)
         proxy = XSearchProxyHost(
             tracking,
             k=k,
@@ -146,8 +175,18 @@ class XSearchDeployment:
             registry=registry,
             **proxy_options,
         )
+        scheduler = None
+        if max_workers is not None:
+            scheduler = RequestScheduler(
+                proxy,
+                max_workers=max_workers,
+                coalesce_window=coalesce_window,
+                max_batch=max_batch,
+                recorder=recorder,
+                registry=registry,
+            )
         broker = Broker(
-            proxy,
+            scheduler if scheduler is not None else proxy,
             service_public_key=attestation_service.public_key,
             expected_measurement=proxy.measurement,
             recorder=recorder,
@@ -166,11 +205,18 @@ class XSearchDeployment:
             default_client=client,
             recorder=recorder,
             registry=registry,
+            scheduler=scheduler,
         )
 
     # ------------------------------------------------------------------
     # The client surface
     # ------------------------------------------------------------------
+    @property
+    def frontend(self):
+        """What brokers talk to: the scheduler when concurrent mode is
+        on (``max_workers=``), otherwise the proxy itself."""
+        return self.scheduler if self.scheduler is not None else self.proxy
+
     @property
     def client(self) -> _ClientFacade:
         """The default client; call it to mint additional clients.
@@ -186,9 +232,11 @@ class XSearchDeployment:
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Tear the deployment down: checkpoint (when sealing is on),
-        drain the engine connection pool and destroy the enclave.
-        Idempotent."""
+        """Tear the deployment down: stop the scheduler (draining its
+        queue), checkpoint (when sealing is on), drain the engine
+        connection pool and destroy the enclave.  Idempotent."""
+        if self.scheduler is not None:
+            self.scheduler.close()
         self.proxy.close()
 
     def __enter__(self) -> "XSearchDeployment":
@@ -214,7 +262,7 @@ class XSearchDeployment:
             stacklevel=2,
         )
         broker = Broker(
-            self.proxy,
+            self.frontend,
             service_public_key=self.attestation_service.public_key,
             expected_measurement=self.proxy.measurement,
             session_id=session_id,

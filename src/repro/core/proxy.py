@@ -53,6 +53,7 @@ import secrets
 import threading
 import urllib.parse
 from collections import deque
+from concurrent.futures import ThreadPoolExecutor
 
 from repro.core.filtering import filter_results
 from repro.core.gateway import (
@@ -134,6 +135,18 @@ class _EngineConnection:
         self.frames = deque()
 
 
+class _InflightQuery:
+    """Rendezvous for the in-enclave single-flight: concurrent identical
+    obfuscated OR-queries share one engine exchange and one cache fill."""
+
+    __slots__ = ("done", "results", "error")
+
+    def __init__(self):
+        self.done = threading.Event()
+        self.results = None
+        self.error = None
+
+
 class XSearchEnclaveCode:
     """The trusted X-Search proxy logic (everything inside the TEE)."""
 
@@ -154,6 +167,10 @@ class XSearchEnclaveCode:
         self._pool_capacity = DEFAULT_POOL_CAPACITY
         self._pool = []
         self._pool_lock = threading.Lock()
+        self._fanout = 1
+        self._fanout_pool = None
+        self._inflight = {}
+        self._inflight_lock = threading.Lock()
         self._cache = None
         self._degraded = None
         self._retry_policy = DEFAULT_ENGINE_RETRY
@@ -167,6 +184,7 @@ class XSearchEnclaveCode:
             "engine_retries": 0,
             "engine_failures": 0,
             "degraded_hits": 0,
+            "singleflight_hits": 0,
         }
 
     def _bump(self, name: str) -> None:
@@ -200,7 +218,8 @@ class XSearchEnclaveCode:
              pool_capacity: int = DEFAULT_POOL_CAPACITY,
              cache_bytes: int = DEFAULT_CACHE_BYTES,
              retry_policy: RetryPolicy = None,
-             degraded_cache_bytes: int = DEFAULT_DEGRADED_CACHE_BYTES) -> None:
+             degraded_cache_bytes: int = DEFAULT_DEGRADED_CACHE_BYTES,
+             fanout: int = 1) -> None:
         """Setup options for X-Search (paper's ``init`` ecall).
 
         When ``engine_ca_key`` (an :class:`~repro.crypto.rsa.RsaPublicKey`)
@@ -220,6 +239,13 @@ class XSearchEnclaveCode:
         served from the degraded cache or failed.
         ``degraded_cache_bytes`` sizes the in-enclave cache of last-known
         filtered results per original query (0 disables degraded mode).
+
+        ``fanout`` caps how many engine legs of one batched ecall run in
+        parallel across pooled connections (1 = strictly serial, the
+        historical behaviour).  Only the engine leg is parallelised:
+        decryption, obfuscation (which shares the enclave RNG and
+        mutates the history) and encryption stay in batch order, so the
+        channel counters and reproducible RNG draws are untouched.
         """
         if self._configured:
             raise EnclaveError("enclave already initialised")
@@ -233,6 +259,8 @@ class XSearchEnclaveCode:
             raise EnclaveError("cache_bytes cannot be negative")
         if degraded_cache_bytes < 0:
             raise EnclaveError("degraded_cache_bytes cannot be negative")
+        if fanout < 1:
+            raise EnclaveError("fanout must be positive")
         self._k = k
         self._max_sessions = max_sessions
         self._history = QueryHistory(history_capacity,
@@ -254,6 +282,14 @@ class XSearchEnclaveCode:
             )
         if retry_policy is not None:
             self._retry_policy = retry_policy
+        self._fanout = fanout
+        if fanout > 1:
+            # Created eagerly (init is single-threaded by construction)
+            # so concurrent batch ecalls never race on the pool.
+            self._fanout_pool = ThreadPoolExecutor(
+                max_workers=fanout,
+                thread_name_prefix="xsearch-enclave-fanout",
+            )
         self._configured = True
 
     # ------------------------------------------------------------------
@@ -322,23 +358,125 @@ class XSearchEnclaveCode:
         record would fail its own ``request`` ecall.
         """
         self._require_configured()
+        batch = list(batch)
+        if self._fanout > 1 and len(batch) > 1:
+            return self._serve_batch_fanned(batch, isolate=False)
         return tuple(
             self._handle_record(session_id, record)
             for session_id, record in batch
         )
 
+    @ecall
+    def request_many(self, batch) -> tuple:
+        """Serve N records in one transition with per-record isolation.
+
+        The request scheduler's coalescer folds *independent* requests —
+        usually from different users' crypto sessions — into one ecall;
+        unlike :meth:`request_batch` (a pre-formed batch that succeeds or
+        fails as a unit), one record's typed failure here must not
+        poison its batch-mates.  Returns one ``("ok", reply)`` or
+        ``("err", error)`` pair per record, in order.
+
+        Channel counters survive isolated failures: a decrypt failure
+        never advances the session's receive counter, and a post-decrypt
+        failure (engine unreachable, protocol error) advances both
+        sides symmetrically — so a victim of a transient fault can
+        simply resubmit on the same session.
+        """
+        self._require_configured()
+        batch = list(batch)
+        if self._fanout > 1 and len(batch) > 1:
+            return self._serve_batch_fanned(batch, isolate=True)
+        entries = []
+        for session_id, record in batch:
+            try:
+                entries.append(("ok", self._handle_record(session_id,
+                                                          record)))
+            except ReproError as exc:
+                entries.append(("err", exc))
+        return tuple(entries)
+
     def _handle_record(self, session_id: str, record: bytes) -> bytes:
+        endpoint, message = self._open_record(session_id, record)
+        return endpoint.encrypt(self._serve_message(message).encode())
+
+    def _open_record(self, session_id: str, record: bytes):
+        """Decrypt and decode one record on its session's channel."""
         endpoint = self._session(session_id)
         plaintext = endpoint.decrypt(record)
-        message = decode_any_request(plaintext)
+        return endpoint, decode_any_request(plaintext)
 
+    def _serve_message(self, message):
         if isinstance(message, IngestRequest):
             self._history.extend(message.queries)
-            return endpoint.encrypt(Ack(len(message.queries)).encode())
+            return Ack(len(message.queries))
         if isinstance(message, SearchRequest):
-            response = self._serve_search(message)
-            return endpoint.encrypt(response.encode())
+            return self._serve_search(message)
         raise ProtocolError("unhandled message type")  # pragma: no cover
+
+    def _serve_batch_fanned(self, batch, *, isolate: bool) -> tuple:
+        """The parallel batch pipeline (``fanout > 1``).
+
+        Every order-sensitive step stays serial and in batch order —
+        channel decrypt/encrypt (counter nonces), history writes and
+        obfuscation (the shared enclave RNG) — and only the engine leg,
+        which is dominated by ocall round-trips, fans out across the
+        pooled connections.
+        """
+        staged = []   # per record: [endpoint, request, obfuscated,
+                      #              error, ready_response]
+        for session_id, record in batch:
+            try:
+                endpoint, message = self._open_record(session_id, record)
+                if isinstance(message, SearchRequest):
+                    staged.append([endpoint, message,
+                                   self._obfuscate(message), None, None])
+                elif isinstance(message, IngestRequest):
+                    self._history.extend(message.queries)
+                    staged.append([endpoint, None, None, None,
+                                   Ack(len(message.queries))])
+                else:
+                    raise ProtocolError(
+                        "unhandled message type"
+                    )  # pragma: no cover
+            except ReproError as exc:
+                if not isolate:
+                    raise
+                staged.append([None, None, None, exc, None])
+        futures = {
+            index: self._fanout_pool.submit(
+                self._complete_search, entry[1], entry[2]
+            )
+            for index, entry in enumerate(staged)
+            if entry[2] is not None
+        }
+        entries = []
+        first_error = None
+        for index, entry in enumerate(staged):
+            endpoint, _request, _obfuscated, error, response = entry
+            future = futures.get(index)
+            if future is not None:
+                try:
+                    response = future.result()
+                    error = None
+                except ReproError as exc:
+                    error = exc
+            if error is not None:
+                if isolate:
+                    entries.append(("err", error))
+                elif first_error is None:
+                    first_error = error
+                continue
+            if first_error is not None:
+                # Whole-batch mode and already failing: skip the encrypt
+                # so no further send counters are consumed for replies
+                # the caller will never see.
+                continue
+            reply = endpoint.encrypt(response.encode())
+            entries.append(("ok", reply) if isolate else reply)
+        if first_error is not None:
+            raise first_error
+        return tuple(entries)
 
     @ecall
     def perf_stats(self) -> dict:
@@ -437,6 +575,9 @@ class XSearchEnclaveCode:
         """
         if not self._configured:
             return 0
+        if self._fanout_pool is not None:
+            self._fanout_pool.shutdown(wait=True)
+            self._fanout_pool = None
         with self._pool_lock:
             connections, self._pool = self._pool, []
         for connection in connections:
@@ -453,13 +594,28 @@ class XSearchEnclaveCode:
     # Trusted request pipeline
     # ------------------------------------------------------------------
     def _serve_search(self, request: SearchRequest) -> SearchResponse:
+        return self._complete_search(request, self._obfuscate(request))
+
+    def _obfuscate(self, request: SearchRequest):
+        """Algorithm 1: plaintext query → k+1 aggregated queries.
+
+        Kept separate from :meth:`_complete_search` so the batched
+        pipeline can run obfuscation serially (it draws from the shared
+        enclave RNG and appends to the history) while fanning the engine
+        legs out in parallel.
+        """
         recorder = self._recorder
         with span(recorder, "enclave.obfuscation",
                   placement=PLACEMENT_ENCLAVE,
                   query=request.query, k=self._k):
-            obfuscated = obfuscate_query(
+            return obfuscate_query(
                 request.query, self._history, self._k, self._rng
             )
+
+    def _complete_search(self, request: SearchRequest,
+                         obfuscated) -> SearchResponse:
+        """The engine + filtering leg of one search (thread-safe)."""
+        recorder = self._recorder
         degraded_key = f"{request.limit}\x00{request.query}"
         try:
             with span(recorder, "enclave.engine",
@@ -509,11 +665,46 @@ class XSearchEnclaveCode:
         fresh fake set.
         """
         cache_key = f"{limit}\x00{or_query}"
-        if self._cache is not None:
-            cached = self._cache.get(cache_key)
-            if cached is not None:
-                event(self._recorder, "cache.hit")
-                return list(cached)
+        if self._cache is None:
+            return self._fetch_results(or_query, limit, cache_key=None)
+        cached = self._cache.get(cache_key)
+        if cached is not None:
+            event(self._recorder, "cache.hit")
+            return list(cached)
+        # Single-flight: when parallel batch-mates miss on the same
+        # obfuscated OR-query, one leader performs the engine exchange
+        # and the cache fill; followers wait and share the result —
+        # same observable state as racing the shared cache, minus the
+        # duplicate ocalls.
+        with self._inflight_lock:
+            flight = self._inflight.get(cache_key)
+            leader = flight is None
+            if leader:
+                flight = _InflightQuery()
+                self._inflight[cache_key] = flight
+        if not leader:
+            flight.done.wait()
+            self._bump("singleflight_hits")
+            event(self._recorder, "cache.coalesced")
+            if flight.error is not None:
+                raise flight.error
+            return list(flight.results)
+        try:
+            flight.results = self._fetch_results(
+                or_query, limit, cache_key=cache_key
+            )
+        except ReproError as exc:
+            flight.error = exc
+            raise
+        finally:
+            with self._inflight_lock:
+                self._inflight.pop(cache_key, None)
+            flight.done.set()
+        return list(flight.results)
+
+    def _fetch_results(self, or_query: str, limit: int, *,
+                       cache_key) -> list:
+        """The actual engine exchange (HTTP over ocalls) + cache fill."""
         encoded = urllib.parse.quote_plus(or_query)
         http_request = (
             f"GET /search?q={encoded}&limit={limit} HTTP/1.1\r\n"
@@ -530,7 +721,7 @@ class XSearchEnclaveCode:
         if status != 200:
             raise NetworkError(f"search engine returned HTTP {status}")
         results = parse_results_body(body)
-        if self._cache is not None:
+        if cache_key is not None:
             self._cache.put(cache_key, tuple(results))
         return results
 
@@ -770,6 +961,7 @@ class XSearchProxyHost:
                  cache_bytes: int = DEFAULT_CACHE_BYTES,
                  retry_policy: RetryPolicy = None,
                  degraded_cache_bytes: int = DEFAULT_DEGRADED_CACHE_BYTES,
+                 fanout: int = 1,
                  fault_plan=None,
                  checkpoint_interval: int = DEFAULT_CHECKPOINT_INTERVAL,
                  recorder=None, registry=None,
@@ -788,7 +980,7 @@ class XSearchProxyHost:
         self._config = (
             f"k={k};x={history_capacity};https={https_flag};"
             f"pool={pool_flag};cache={cache_bytes};"
-            f"dc={degraded_cache_bytes}".encode("ascii")
+            f"dc={degraded_cache_bytes};fo={fanout}".encode("ascii")
         )
         self._fault_plan = fault_plan
         self._cost_model = cost_model
@@ -802,6 +994,7 @@ class XSearchProxyHost:
             pool_connections=pool_connections, cache_bytes=cache_bytes,
             retry_policy=retry_policy,
             degraded_cache_bytes=degraded_cache_bytes,
+            fanout=fanout,
         )
         if checkpoint_interval is not None and checkpoint_interval < 1:
             raise ValueError("checkpoint_interval must be positive or None")
@@ -1038,6 +1231,26 @@ class XSearchProxyHost:
         replies = self._call("request_batch", batch)
         self._after_requests(len(batch))
         return replies
+
+    def request_many(self, batch) -> tuple:
+        """Relay N opaque records in one ecall, isolating failures.
+
+        The scheduler's coalescing path: unlike :meth:`request_batch`,
+        each record resolves independently — the return value is one
+        ``("ok", reply)`` or ``("err", typed_error)`` entry per record,
+        so one user's bad record cannot fail another user's request
+        that merely shared the transition."""
+        batch = list(batch)
+        if not batch:
+            return ()
+        if self._registry is not None:
+            self._registry.counter("proxy.requests").inc(len(batch))
+            self._registry.histogram(
+                "proxy.request.batch_size"
+            ).record(len(batch))
+        entries = self._call("request_many", batch)
+        self._after_requests(len(batch))
+        return entries
 
     def perf_stats(self) -> dict:
         """The enclave's hot-path counters (pool/cache/engine traffic)."""

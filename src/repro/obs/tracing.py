@@ -261,9 +261,14 @@ class TraceRecorder:
     assembled tree is appended to :attr:`traces`.
 
     ``clock`` supplies timestamps (``clock.time()``).  With the default
-    ``clock=None`` timestamps are a per-recorder monotonic sequence
-    counter — deterministic regardless of scheduling, which is what the
-    golden-trace tests rely on.
+    ``clock=None`` timestamps are a *per-thread* monotonic sequence
+    counter: every thread numbers the spans of its own trees 1, 2, 3, …
+    independently, so concurrent request trees (the scheduler's worker
+    threads) get the same timestamps no matter how the OS interleaves
+    them — which is what the golden-trace tests and the
+    :class:`TraceChecker` ordering oracles rely on.  A shared counter
+    would leak cross-thread scheduling into the numbers and make
+    interleaved runs non-deterministic.
     """
 
     enabled = True
@@ -280,7 +285,6 @@ class TraceRecorder:
         self._orphan_events = []
         self._span_ids = itertools.count(1)
         self._trace_ids = itertools.count(1)
-        self._sequence = itertools.count(1)
 
     # ------------------------------------------------------------------
     # Recording
@@ -364,7 +368,11 @@ class TraceRecorder:
     def _now(self) -> float:
         if self._clock is not None:
             return self._clock.time()
-        return float(next(self._sequence))
+        sequence = getattr(self._local, "sequence", None)
+        if sequence is None:
+            sequence = itertools.count(1)
+            self._local.sequence = sequence
+        return float(next(sequence))
 
     def _finish_span(self, span: Span) -> None:
         span.end = self._now()

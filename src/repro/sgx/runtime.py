@@ -114,8 +114,13 @@ class CycleCounter:
     / ``sgx.ocall.<name>`` — while this class keeps the facade the
     benchmarks and experiments have always asserted against
     (``counter.ecalls``, ``counter.ocall_counts``, ``snapshot()``).
-    Callers mutate it only through :meth:`charge`/:meth:`record`, which
-    the enclave serialises under its concurrency lock.
+    Concurrent ecalls (the request scheduler's worker threads) may call
+    :meth:`charge`/:meth:`record` simultaneously, so the per-name caches
+    and the multi-field reads of :meth:`snapshot` are guarded by the
+    counter's own ``_lock`` — the individual :class:`Counter`
+    increments are already atomic, but dict growth racing snapshot
+    iteration, and snapshots tearing between the aggregate and
+    per-name reads, are not.
     """
 
     def __init__(self, registry: MetricsRegistry = None):
@@ -127,6 +132,7 @@ class CycleCounter:
         # registry lock after an instrument exists.
         self._ecall_named = {}
         self._ocall_named = {}
+        self._lock = threading.Lock()
 
     @property
     def cycles(self) -> int:
@@ -142,41 +148,50 @@ class CycleCounter:
 
     @property
     def ecall_counts(self) -> dict:
-        return {name: c.value for name, c in self._ecall_named.items()
-                if c.value}
+        with self._lock:
+            return self._counts_locked(self._ecall_named)
 
     @property
     def ocall_counts(self) -> dict:
-        return {name: c.value for name, c in self._ocall_named.items()
-                if c.value}
+        with self._lock:
+            return self._counts_locked(self._ocall_named)
+
+    def _counts_locked(self, named: dict) -> dict:
+        return {name: c.value for name, c in named.items() if c.value}
 
     def charge(self, cycles: int) -> None:
         self._cycles.inc(cycles)
 
     def record(self, direction: str, name: str, cycles: int) -> None:
         """Charge one boundary crossing and attribute it by name."""
-        self._cycles.inc(cycles)
-        if direction == "ecall":
-            self._ecalls.inc()
-            named, prefix = self._ecall_named, "sgx.ecall."
-        else:
-            self._ocalls.inc()
-            named, prefix = self._ocall_named, "sgx.ocall."
-        counter = named.get(name)
-        if counter is None:
-            counter = self.registry.counter(prefix + name)
-            named[name] = counter
-        counter.inc()
+        with self._lock:
+            self._cycles.inc(cycles)
+            if direction == "ecall":
+                self._ecalls.inc()
+                named, prefix = self._ecall_named, "sgx.ecall."
+            else:
+                self._ocalls.inc()
+                named, prefix = self._ocall_named, "sgx.ocall."
+            counter = named.get(name)
+            if counter is None:
+                counter = self.registry.counter(prefix + name)
+                named[name] = counter
+            counter.inc()
 
     def snapshot(self) -> BoundarySnapshot:
-        """A frozen copy of all counters, safe to keep and subtract."""
-        return BoundarySnapshot(
-            cycles=self.cycles,
-            ecalls=self.ecalls,
-            ocalls=self.ocalls,
-            ecall_counts=self.ecall_counts,
-            ocall_counts=self.ocall_counts,
-        )
+        """A frozen copy of all counters, safe to keep and subtract.
+
+        Taken under the lock so a crossing recorded on another worker
+        thread is either entirely in the snapshot or entirely out —
+        the aggregate totals and per-name attributions never tear."""
+        with self._lock:
+            return BoundarySnapshot(
+                cycles=self._cycles.value,
+                ecalls=self._ecalls.value,
+                ocalls=self._ocalls.value,
+                ecall_counts=self._counts_locked(self._ecall_named),
+                ocall_counts=self._counts_locked(self._ocall_named),
+            )
 
     def seconds(self, clock_hz: float = DEFAULT_CLOCK_HZ) -> float:
         return self.cycles / clock_hz

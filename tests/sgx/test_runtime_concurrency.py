@@ -1,0 +1,78 @@
+"""CycleCounter and boundary snapshots under concurrent ecalls.
+
+The request scheduler drives the enclave from several worker threads
+at once, so `CycleCounter.record` and `Enclave.boundary_snapshot()`
+must neither lose increments nor tear: a snapshot observes each
+crossing entirely or not at all, and the per-name attributions always
+sum to the aggregate totals.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.sgx.runtime import CycleCounter
+
+THREADS = 8
+ROUNDS = 400
+
+
+def test_concurrent_record_loses_nothing():
+    counter = CycleCounter()
+    barrier = threading.Barrier(THREADS)
+
+    def hammer(index):
+        barrier.wait()
+        direction = "ecall" if index % 2 == 0 else "ocall"
+        for round_index in range(ROUNDS):
+            counter.record(direction, f"op_{index}", 3)
+            counter.charge(2)
+
+    threads = [threading.Thread(target=hammer, args=(i,))
+               for i in range(THREADS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    total = THREADS * ROUNDS
+    assert counter.ecalls + counter.ocalls == total
+    assert counter.cycles == total * 5
+    assert sum(counter.ecall_counts.values()) == counter.ecalls
+    assert sum(counter.ocall_counts.values()) == counter.ocalls
+    assert all(count == ROUNDS
+               for count in counter.ecall_counts.values())
+
+
+def test_snapshots_never_tear_under_concurrent_recording():
+    counter = CycleCounter()
+    stop = threading.Event()
+    violations = []
+
+    def writer():
+        while not stop.is_set():
+            counter.record("ecall", "request", 7)
+
+    def reader():
+        while not stop.is_set():
+            snapshot = counter.snapshot()
+            # Atomicity: the named attribution must exactly match the
+            # aggregate ecall count *within one snapshot* — any drift
+            # means the snapshot interleaved with a recording.
+            named = sum(snapshot.ecall_counts.values())
+            if named != snapshot.ecalls:
+                violations.append((named, snapshot.ecalls))
+            if snapshot.cycles != snapshot.ecalls * 7:
+                violations.append(("cycles", snapshot.cycles,
+                                   snapshot.ecalls))
+
+    writers = [threading.Thread(target=writer) for _ in range(4)]
+    readers = [threading.Thread(target=reader) for _ in range(2)]
+    for thread in writers + readers:
+        thread.start()
+    timer = threading.Timer(0.5, stop.set)
+    timer.start()
+    for thread in writers + readers:
+        thread.join()
+    timer.cancel()
+    assert not violations

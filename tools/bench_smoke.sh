@@ -29,6 +29,43 @@ python -m pytest benchmarks/test_fig5_throughput_latency.py -q -s \
     --benchmark-json=BENCH_fig5.json "$@"
 
 echo
+echo "== figure 5 measured: scheduler saturation at 1 and 4 workers =="
+python - <<'PY'
+from repro.experiments import fig5_measured
+from repro.obs import attach_digest
+
+# Open-loop wall-clock sweep against the REAL deployment (paced
+# engines, multi-worker scheduler).  One curve per worker count; the
+# knee ratio and saturated ecalls-per-request are the acceptance
+# numbers for the concurrent scheduler.
+one = fig5_measured.run_wallclock(max_workers=1)
+four = fig5_measured.run_wallclock(max_workers=4)
+print(fig5_measured.format_table(one))
+print()
+print(fig5_measured.format_table(four))
+
+knee_ratio = (four.saturation_rps / one.saturation_rps
+              if one.saturation_rps else float("inf"))
+saturated = four.saturated_points() or four.points[-1:]
+epr = (sum(p.ecalls_per_request for p in saturated) / len(saturated))
+digest = {
+    "workers_1": one.summary(),
+    "workers_4": four.summary(),
+    "knee_ratio": round(knee_ratio, 3),
+    "ecalls_per_request_saturated": round(epr, 4),
+}
+attach_digest("BENCH_fig5.json", digest, key="scheduler")
+print(f"\nscheduler: knee 1w={one.saturation_rps} rps, "
+      f"4w={four.saturation_rps} rps (ratio {knee_ratio:.2f}), "
+      f"saturated ecalls/request {epr:.3f}")
+if knee_ratio < 2.0:
+    raise SystemExit("scheduler scaling regressed: knee ratio < 2.0")
+if epr >= 1.0:
+    raise SystemExit(
+        "coalescing regressed: saturated ecalls/request >= 1.0")
+PY
+
+echo
 echo "== figure 5 companion: availability under injected faults =="
 python -m pytest benchmarks/test_fig5_availability.py -q "$@"
 python - <<'PY'

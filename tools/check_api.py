@@ -46,6 +46,7 @@ EXPECTED_CORE_NAMES = [
     "NO_RETRY",
     "DEFAULT_ENGINE_RETRY",
     "DEFAULT_BROKER_RETRY",
+    "RequestScheduler",
 ]
 
 # method -> keyword-only parameters the uniform surface promises.
@@ -60,12 +61,14 @@ EXPECTED_CALL_SURFACE = {
 EXPECTED_ATTRS = {
     "XSearchDeployment": ["create", "close", "__enter__", "__exit__",
                           "client", "new_broker", "warm_history"],
-    "XSearchProxyHost": ["request", "request_batch", "close",
-                         "checkpoint_now", "seal_history",
+    "XSearchProxyHost": ["request", "request_batch", "request_many",
+                         "close", "checkpoint_now", "seal_history",
                          "restore_history", "attestation_evidence",
                          "perf_stats", "measurement"],
     "Broker": ["connect", "search", "search_batch", "ingest",
                "is_connected", "last_degraded"],
+    "RequestScheduler": ["request", "request_batch", "close",
+                         "__enter__", "__exit__"],
 }
 
 # Names importable from repro.obs, forever.
@@ -194,6 +197,24 @@ def check_registered_checkers(problems: list) -> None:
         )
 
 
+def check_scheduler_surface(problems: list) -> None:
+    """The concurrent-mode contract: the deployment's scheduler
+    keywords and the scheduler's own tunables stay available."""
+    from repro.core import RequestScheduler, XSearchDeployment
+
+    create_params = inspect.signature(XSearchDeployment.create).parameters
+    for keyword in ("max_workers", "coalesce_window", "max_batch"):
+        if keyword not in create_params:
+            problems.append(
+                f"XSearchDeployment.create lost keyword {keyword!r}"
+            )
+    init_params = inspect.signature(RequestScheduler.__init__).parameters
+    for keyword in ("max_workers", "coalesce_window", "max_batch",
+                    "queue_capacity"):
+        if keyword not in init_params:
+            problems.append(f"RequestScheduler lost keyword {keyword!r}")
+
+
 def check_noop_boundary_deltas(problems: list) -> None:
     """The zero-overhead contract: observability must never perturb the
     boundary-crossing counts the benchmarks assert on."""
@@ -310,6 +331,7 @@ def main() -> int:
 
     check_finding_schema(problems)
     check_registered_checkers(problems)
+    check_scheduler_surface(problems)
     check_noop_boundary_deltas(problems)
 
     if problems:
