@@ -23,6 +23,12 @@ from repro.analysis.lint import Checker, register_checker
 
 #: module -> class -> lock attribute -> guarded attributes.
 LOCK_MAP = {
+    "repro.core.cluster": {
+        "SessionRouter": {
+            "_ring_lock": ("_ring", "_pins", "_displaced", "_replicas"),
+            "_health_lock": ("_states", "_losses"),
+        },
+    },
     "repro.core.proxy": {
         "XSearchEnclaveCode": {
             "_session_lock": ("_sessions",),
@@ -81,6 +87,8 @@ LOCK_MAP = {
 #: Sanctioned acquisition order, outermost first.  Acquiring a lock
 #: whose rank is *earlier* than one already held inverts the order.
 LOCK_ORDER = (
+    "_ring_lock",
+    "_health_lock",
     "_queue_lock",
     "_enclave_lock",
     "_checkpoint_lock",

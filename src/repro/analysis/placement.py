@@ -52,6 +52,9 @@ _EXACT = {
     "repro.core": NEUTRAL,                 # package re-exports only
     "repro.core.broker": CLIENT,
     "repro.core.client": CLIENT,
+    "repro.core.cluster": HOST,            # replica router: session ids,
+                                           # ciphertext records and sealed
+                                           # blobs only — never plaintext
     "repro.core.deployment": NEUTRAL,      # composition root (bridge)
     "repro.core.filtering": NEUTRAL,       # Algorithm 2 is a pure function;
                                            # PEAS-style baselines run it
@@ -117,6 +120,7 @@ ENCLAVE_ONLY_NAMES = frozenset({
     "ResultCache",             # in-enclave caches (EPC-metered)
     "snapshot_history",        # plaintext history serialisation
     "restore_history",
+    "decode_snapshot",         # parses the plaintext snapshot format
 })
 
 #: Private attributes of the enclave object; reaching for them from
@@ -156,6 +160,7 @@ FACADE_MODULES = frozenset({
     "repro.core.deployment",
     "repro.core.broker",
     "repro.core.client",
+    "repro.core.cluster",
     "repro.core.proxy",
 })
 

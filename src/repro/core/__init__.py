@@ -10,7 +10,11 @@
 * the attesting client-side broker — :class:`~repro.core.broker.Broker`;
 * the concurrent multi-worker front end —
   :class:`~repro.core.scheduler.RequestScheduler`;
-* one-call wiring — :class:`~repro.core.deployment.XSearchDeployment`;
+* the multi-enclave replica cluster and its consistent-hash session
+  router — :class:`~repro.core.cluster.XSearchCluster` /
+  :class:`~repro.core.cluster.SessionRouter`;
+* one-call wiring — :class:`~repro.core.deployment.XSearchDeployment`
+  configured by :class:`~repro.core.deployment.DeploymentConfig`;
 * retry/backoff policies for the fault-tolerance layer —
   :class:`~repro.core.retry.RetryPolicy` /
   :func:`~repro.core.retry.call_with_retry`.
@@ -18,7 +22,19 @@
 
 from repro.core.broker import Broker
 from repro.core.client import XSearchClient
-from repro.core.deployment import XSearchDeployment
+from repro.core.cluster import (
+    DEFAULT_FAILOVER_THRESHOLD,
+    DEFAULT_VNODES,
+    HashRing,
+    ReplicaHandle,
+    SessionRouter,
+    XSearchCluster,
+)
+from repro.core.deployment import (
+    CONFIG_VERSION,
+    DeploymentConfig,
+    XSearchDeployment,
+)
 from repro.core.filtering import ScoredResult, filter_results, score_result
 from repro.core.gateway import EngineGateway
 from repro.core.history import QueryHistory
@@ -73,6 +89,14 @@ __all__ = [
     "Broker",
     "XSearchClient",
     "XSearchDeployment",
+    "DeploymentConfig",
+    "CONFIG_VERSION",
+    "XSearchCluster",
+    "SessionRouter",
+    "ReplicaHandle",
+    "HashRing",
+    "DEFAULT_VNODES",
+    "DEFAULT_FAILOVER_THRESHOLD",
     "SealedHistoryStore",
     "snapshot_history",
     "restore_history",

@@ -85,12 +85,19 @@ class Broker:
                  retry_policy: RetryPolicy = None,
                  clock=None,
                  recorder=None, registry=None):
-        self._proxy = proxy
         self._recorder = recorder
         self._registry = registry
         self._verifier = RemoteVerifier(service_public_key, expected_measurement)
         self._session_id = (
             session_id if session_id is not None else secrets.token_hex(8)
+        )
+        # Against a cluster router the broker binds a per-session channel:
+        # every call is routed to the replica its session is pinned to
+        # (and, after a failover, to the survivor that inherited it).
+        self._router = proxy if hasattr(proxy, "for_session") else None
+        self._proxy = (
+            self._router.for_session(self._session_id)
+            if self._router is not None else proxy
         )
         self._endpoint = None
         self._retry_policy = (
@@ -156,6 +163,11 @@ class Broker:
         self._endpoint = None
         self.attested = False
         self._session_id = secrets.token_hex(8)
+        if self._router is not None:
+            # Re-route under the new session id: if the old replica was
+            # retired the consistent-hash ring now lands this session on
+            # a survivor (which absorbed the dead replica's checkpoint).
+            self._proxy = self._router.for_session(self._session_id)
         self.reconnects += 1
         event(self._recorder, "retry", attempt=attempt,
               error=type(exc).__name__)

@@ -1,0 +1,685 @@
+"""Multi-enclave replica cluster: scale-out beyond one proxy (extension).
+
+The paper evaluates a single X-Search enclave; its answer to "heavy
+traffic from millions of users" is horizontal — CYCLOSA distributes the
+same SGX proxy design across many enclave nodes.  This module is that
+rung: an :class:`XSearchCluster` runs N *independent* replicas (each its
+own :class:`~repro.core.proxy.XSearchProxyHost`, optional
+:class:`~repro.core.scheduler.RequestScheduler` and sealed history),
+fronted by a :class:`SessionRouter` that consistent-hash-pins every
+broker session to one replica.
+
+Pinning is the privacy-preserving choice, not just the cheap one: a
+session's past queries live in exactly one enclave's history, so the
+fake-query quality and cache hits a user earns stay with them, and no
+replica ever learns another replica's plaintext (each history is sealed
+to the shared measurement, and checkpoints only cross *inside* sealed
+blobs during failover).
+
+Replica lifecycle: every replica attests with the same measurement (the
+code and attested configuration are identical); the router feeds its
+health view from the fault plane's typed errors —
+:class:`~repro.errors.EnclaveLostError` from a replica counts against
+it, and at ``failover_threshold`` consecutive losses the replica is
+retired: pulled off the hash ring, its pinned sessions re-routed to
+survivors, and its last sealed checkpoint replayed (merged) into them
+so inherited users keep warm obfuscation histories.  Brokers recover
+through their normal heal path: calls against a retired replica surface
+as ``EnclaveLostError``, the broker re-attests, and the new session
+lands on a survivor.
+
+The host-side router sees only what any untrusted cloud front end sees:
+session ids, record sizes and timing (see ``docs/THREAT_MODEL.md`` on
+routing metadata).  It never touches plaintext or channel keys — which
+is also why live sessions cannot *migrate*: their tunnel endpoint is
+inside one replica's enclave, so ring rebalance on add/remove only
+affects sessions not yet pinned.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import threading
+
+from repro.errors import EnclaveError, EnclaveLostError, ReproError
+from repro.obs.tracing import PLACEMENT_HOST, event, span
+
+#: Virtual nodes per replica on the hash ring: enough that adding a
+#: replica steals a near-uniform 1/N share of the keyspace.
+DEFAULT_VNODES = 64
+#: Consecutive typed losses before the router retires a replica.  The
+#: proxy host self-heals one-off enclave crashes (respawn + checkpoint
+#: restore), so a single loss is not yet evidence the *node* is gone.
+DEFAULT_FAILOVER_THRESHOLD = 2
+
+STATE_HEALTHY = "healthy"
+STATE_DEAD = "dead"
+
+#: Connection-establishment ops: allowed (and, for the handshake,
+#: expected) on a session displaced by failover — they are exactly how
+#: the broker re-attests its new replica.
+_CONNECT_OPS = frozenset({
+    "attestation_evidence", "channel_public", "begin_session",
+})
+
+
+def _ring_point(value: str) -> int:
+    """A deterministic 64-bit ring coordinate (sha256, not Python's
+    salted ``hash``: the session→replica map must be stable across
+    processes and seeds)."""
+    digest = hashlib.sha256(value.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """A consistent-hash ring over replica ids.
+
+    Pure function of its member set: the same members always produce
+    the same ring, and removing one member only re-routes the keys that
+    member owned (adding one steals ~1/N of the keyspace).  Not
+    thread-safe on its own — the :class:`SessionRouter` guards it with
+    its ring lock.
+    """
+
+    def __init__(self, members=(), *, vnodes: int = DEFAULT_VNODES):
+        if vnodes < 1:
+            raise ValueError("a hash ring needs at least one vnode")
+        self._vnodes = vnodes
+        self._points = []  # sorted [(point, member)]
+        self._members = set()
+        for member in members:
+            self.add(member)
+
+    @property
+    def vnodes(self) -> int:
+        return self._vnodes
+
+    def members(self) -> tuple:
+        return tuple(sorted(self._members))
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, member) -> bool:
+        return member in self._members
+
+    def add(self, member: str) -> None:
+        if member in self._members:
+            raise ValueError(f"replica {member!r} is already on the ring")
+        self._members.add(member)
+        for vnode in range(self._vnodes):
+            point = _ring_point(f"{member}#{vnode}")
+            bisect.insort(self._points, (point, member))
+
+    def remove(self, member: str) -> None:
+        if member not in self._members:
+            raise ValueError(f"replica {member!r} is not on the ring")
+        self._members.discard(member)
+        self._points = [
+            entry for entry in self._points if entry[1] != member
+        ]
+
+    def route(self, key: str) -> str:
+        """The member owning ``key``: first ring point at or after the
+        key's coordinate, wrapping at the top."""
+        if not self._points:
+            raise EnclaveError(
+                "hash ring is empty: the cluster has no healthy replicas"
+            )
+        index = bisect.bisect_left(self._points, (_ring_point(key),))
+        if index == len(self._points):
+            index = 0
+        return self._points[index][1]
+
+
+class ReplicaHandle:
+    """One enclave replica: its proxy host and (optional) scheduler.
+
+    Deliberately dumb — health state lives in the router, under the
+    router's locks.  ``frontend`` is what traffic is dispatched to: the
+    replica's scheduler in concurrent mode, else the proxy itself.
+    """
+
+    __slots__ = ("replica_id", "index", "proxy", "scheduler")
+
+    def __init__(self, replica_id: str, index: int, proxy,
+                 scheduler=None):
+        self.replica_id = replica_id
+        self.index = index
+        self.proxy = proxy
+        self.scheduler = scheduler
+
+    @property
+    def frontend(self):
+        return self.scheduler if self.scheduler is not None else self.proxy
+
+    @property
+    def measurement(self):
+        return self.proxy.measurement
+
+    def close(self) -> None:
+        """Stop the scheduler (draining), then the proxy (final
+        checkpoint when sealing is on).  Idempotent."""
+        if self.scheduler is not None:
+            self.scheduler.close()
+        self.proxy.close()
+
+    def __repr__(self) -> str:
+        mode = "scheduled" if self.scheduler is not None else "direct"
+        return f"<replica {self.replica_id} ({mode})>"
+
+
+class _SessionChannel:
+    """A broker's handle on the cluster: one session's routed frontend.
+
+    Quacks like the single-proxy surface the broker already speaks
+    (``attestation_evidence`` / ``channel_public`` / ``begin_session`` /
+    ``request`` / ``request_batch``), resolving the session's current
+    pin on every call.  After a failover the pin points at a survivor,
+    so the broker's ordinary heal — re-attest, new session, new keys —
+    lands it on the replica that inherited its history.
+    """
+
+    __slots__ = ("_router", "_session_id")
+
+    def __init__(self, router: "SessionRouter", session_id: str):
+        self._router = router
+        self._session_id = session_id
+
+    @property
+    def session_id(self) -> str:
+        return self._session_id
+
+    @property
+    def replica_id(self):
+        return self._router.pinned(self._session_id)
+
+    @property
+    def measurement(self):
+        return self._router.measurement
+
+    def attestation_evidence(self):
+        return self._router._dispatch(self._session_id,
+                                      "attestation_evidence")
+
+    def channel_public(self) -> bytes:
+        return self._router._dispatch(self._session_id, "channel_public")
+
+    def begin_session(self, session_id: str, client_hello: bytes) -> None:
+        return self._router._dispatch(self._session_id, "begin_session",
+                                      session_id, client_hello)
+
+    def request(self, session_id: str, record: bytes) -> bytes:
+        return self._router._dispatch(self._session_id, "request",
+                                      session_id, record)
+
+    def request_batch(self, batch) -> tuple:
+        return self._router._dispatch(self._session_id, "request_batch",
+                                      batch)
+
+    def request_many(self, batch) -> tuple:
+        return self._router._dispatch(self._session_id, "request_many",
+                                      batch)
+
+    def __getattr__(self, name):
+        # Read-only passthrough (perf_stats, history_checkpoint, …) to
+        # the pinned replica's frontend.
+        router = self._router
+        replica = router.replica_for(self._session_id)
+        return getattr(replica.frontend, name)
+
+    def __repr__(self) -> str:
+        return (f"<session channel {self._session_id!r} "
+                f"→ {self.replica_id!r}>")
+
+
+class SessionRouter:
+    """Consistent-hash session routing plus replica health tracking.
+
+    Two locks, acquired ring-before-health everywhere (and registered
+    with xlint's ``LOCK_ORDER``): ``_ring_lock`` guards membership, the
+    ring and the session pins; ``_health_lock`` guards the health
+    states and consecutive-loss counters.  Dispatch itself runs
+    lock-free — the router resolves the pin, releases, then calls the
+    replica, so one slow replica cannot serialise the cluster.
+    """
+
+    def __init__(self, replicas, *, vnodes: int = DEFAULT_VNODES,
+                 failover_threshold: int = DEFAULT_FAILOVER_THRESHOLD,
+                 recorder=None, registry=None):
+        replicas = list(replicas)
+        if not replicas:
+            raise ValueError("a cluster needs at least one replica")
+        if failover_threshold < 1:
+            raise ValueError("failover_threshold must be >= 1")
+        self._recorder = recorder
+        self._registry = registry
+        self._failover_threshold = failover_threshold
+        self._ring_lock = threading.RLock()
+        self._health_lock = threading.Lock()
+        self._ring = HashRing(vnodes=vnodes)
+        self._replicas = {}   # replica_id -> ReplicaHandle (dead kept)
+        self._pins = {}       # session_id -> replica_id
+        self._displaced = set()  # sessions re-pinned by a failover
+        self._states = {}     # replica_id -> STATE_*
+        self._losses = {}     # replica_id -> consecutive typed losses
+        self.failovers = 0
+        for handle in replicas:
+            self.admit(handle)
+        if registry is not None:
+            registry.gauge("cluster.ring_size").set_function(
+                lambda: self.ring_size)
+            registry.gauge("cluster.replicas_healthy").set_function(
+                lambda: len(self.healthy_ids()))
+            registry.gauge("cluster.sessions_pinned").set_function(
+                lambda: self.session_count)
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def admit(self, handle: ReplicaHandle) -> None:
+        """Add a replica to the ring.  Rebalance only affects sessions
+        not yet pinned: a live session's channel keys are inside its
+        replica's enclave, so it cannot migrate."""
+        with self._ring_lock:
+            if handle.replica_id in self._replicas:
+                raise ValueError(
+                    f"replica {handle.replica_id!r} is already admitted"
+                )
+            self._replicas[handle.replica_id] = handle
+            self._ring.add(handle.replica_id)
+            with self._health_lock:
+                self._states[handle.replica_id] = STATE_HEALTHY
+                self._losses[handle.replica_id] = 0
+        event(self._recorder, "cluster.admit", replica=handle.replica_id)
+
+    def replica(self, replica_id: str) -> ReplicaHandle:
+        with self._ring_lock:
+            handle = self._replicas.get(replica_id)
+        if handle is None:
+            raise ValueError(f"unknown replica {replica_id!r}")
+        return handle
+
+    def replicas(self) -> tuple:
+        """Every admitted replica (dead ones included), spawn order."""
+        with self._ring_lock:
+            handles = list(self._replicas.values())
+        return tuple(sorted(handles, key=lambda handle: handle.index))
+
+    @property
+    def replica_count(self) -> int:
+        with self._ring_lock:
+            return len(self._replicas)
+
+    @property
+    def ring_size(self) -> int:
+        with self._ring_lock:
+            return len(self._ring)
+
+    @property
+    def session_count(self) -> int:
+        with self._ring_lock:
+            return len(self._pins)
+
+    def healthy_ids(self) -> tuple:
+        with self._health_lock:
+            healthy = [replica_id for replica_id, state
+                       in self._states.items() if state == STATE_HEALTHY]
+        return tuple(sorted(healthy))
+
+    def healthy_replicas(self) -> tuple:
+        healthy = set(self.healthy_ids())
+        return tuple(handle for handle in self.replicas()
+                     if handle.replica_id in healthy)
+
+    def state_of(self, replica_id: str) -> str:
+        with self._health_lock:
+            return self._states.get(replica_id, STATE_DEAD)
+
+    @property
+    def primary(self) -> ReplicaHandle:
+        """The lowest-index healthy replica (all replicas share one
+        measurement, so any healthy one can serve attestation)."""
+        healthy = self.healthy_replicas()
+        if healthy:
+            return healthy[0]
+        replicas = self.replicas()
+        if not replicas:
+            raise EnclaveError("cluster has no replicas")
+        return replicas[0]
+
+    @property
+    def measurement(self):
+        return self.primary.measurement
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def for_session(self, session_id: str) -> _SessionChannel:
+        """A per-session frontend, pinned now so the map is stable."""
+        with self._ring_lock:
+            self._resolve_locked(session_id)
+        return _SessionChannel(self, session_id)
+
+    def replica_for(self, session_id: str) -> ReplicaHandle:
+        """Resolve (and pin) the replica serving a session."""
+        with self._ring_lock:
+            return self._resolve_locked(session_id)
+
+    def pinned(self, session_id: str):
+        """The session's current pin, or ``None`` if never routed."""
+        with self._ring_lock:
+            return self._pins.get(session_id)
+
+    def sessions_on(self, replica_id: str) -> tuple:
+        with self._ring_lock:
+            pinned = [session_id for session_id, owner
+                      in self._pins.items() if owner == replica_id]
+        return tuple(sorted(pinned))
+
+    def ring_map(self, session_ids) -> dict:
+        """Pure preview: where the current ring would place each id
+        (no pinning) — the stability/rebalance tests key on this."""
+        with self._ring_lock:
+            return {session_id: self._ring.route(session_id)
+                    for session_id in session_ids}
+
+    def _resolve_locked(self, session_id: str) -> ReplicaHandle:
+        """Pin (or re-pin off a dead replica); caller holds the ring
+        lock."""
+        owner = self._pins.get(session_id)
+        if owner is not None and self.state_of(owner) == STATE_HEALTHY:
+            return self._replicas[owner]
+        target = self._ring.route(session_id)
+        self._pins[session_id] = target
+        return self._replicas[target]
+
+    # ------------------------------------------------------------------
+    # Dispatch with health accounting
+    # ------------------------------------------------------------------
+    def _resolve_for_dispatch(self, session_id: str,
+                              name: str) -> ReplicaHandle:
+        """Pin resolution plus the displaced-session protocol: a session
+        whose replica died was re-pinned to a survivor that has never
+        seen its handshake, so data-path calls surface as
+        ``EnclaveLostError`` (driving the broker's ordinary heal) while
+        the re-attestation ops are let through — completing the
+        handshake clears the displacement."""
+        with self._ring_lock:
+            replica = self._resolve_locked(session_id)
+            if session_id in self._displaced:
+                if name == "begin_session":
+                    self._displaced.discard(session_id)
+                elif name not in _CONNECT_OPS:
+                    raise EnclaveLostError(
+                        f"session {session_id!r} was re-pinned after a "
+                        f"replica failover; reconnect to attest "
+                        f"{replica.replica_id}"
+                    )
+        return replica
+
+    def _dispatch(self, session_id: str, name: str, *args, **kwargs):
+        replica = self._resolve_for_dispatch(session_id, name)
+        return self._dispatch_replica(replica, name, *args, **kwargs)
+
+    def _dispatch_replica(self, replica: ReplicaHandle, name: str,
+                          *args, **kwargs):
+        replica_id = replica.replica_id
+        with span(self._recorder, f"cluster.{name}",
+                  placement=PLACEMENT_HOST, replica=replica_id):
+            try:
+                result = getattr(replica.frontend, name)(*args, **kwargs)
+            except EnclaveLostError:
+                self._note_loss(replica_id)
+                raise
+            except EnclaveError as exc:
+                if self.state_of(replica_id) == STATE_DEAD:
+                    # A retired replica's "host is closed" must read as
+                    # a loss: the broker heals, the new session routes
+                    # to the survivor that inherited this user.
+                    raise EnclaveLostError(
+                        f"replica {replica_id} is retired; reconnect to "
+                        f"be re-routed to a survivor"
+                    ) from exc
+                raise
+            self._note_ok(replica_id)
+            return result
+
+    def attestation_evidence(self):
+        """Session-less attestation (e.g. monitoring): any healthy
+        replica serves it — they all share one measurement."""
+        return self._dispatch_replica(self.primary, "attestation_evidence")
+
+    def request(self, session_id: str, record: bytes) -> bytes:
+        return self._dispatch(session_id, "request", session_id, record)
+
+    def begin_session(self, session_id: str, client_hello: bytes) -> None:
+        return self._dispatch(session_id, "begin_session",
+                              session_id, client_hello)
+
+    def request_batch(self, batch) -> tuple:
+        """Relay a mixed-session batch, split by pinned replica; the
+        reply order matches the submission order."""
+        batch = list(batch)
+        if not batch:
+            return ()
+        groups = self._group_by_replica(batch)
+        replies = [None] * len(batch)
+        for replica_id in sorted(groups):
+            positions = groups[replica_id]
+            sub = self._dispatch_replica(
+                self.replica(replica_id), "request_batch",
+                [batch[position] for position in positions],
+            )
+            for position, reply in zip(positions, sub):
+                replies[position] = reply
+        return tuple(replies)
+
+    def request_many(self, batch) -> tuple:
+        """Like :meth:`request_batch` but with per-record isolation:
+        a replica lost mid-call fails only its own group's records."""
+        batch = list(batch)
+        if not batch:
+            return ()
+        groups = self._group_by_replica(batch)
+        entries = [None] * len(batch)
+        for replica_id in sorted(groups):
+            positions = groups[replica_id]
+            try:
+                sub = self._dispatch_replica(
+                    self.replica(replica_id), "request_many",
+                    [batch[position] for position in positions],
+                )
+            except EnclaveLostError as exc:
+                sub = [("err", exc) for _ in positions]
+            for position, entry in zip(positions, sub):
+                entries[position] = entry
+        return tuple(entries)
+
+    def _group_by_replica(self, batch) -> dict:
+        groups = {}
+        for position, (session_id, _record) in enumerate(batch):
+            replica = self._resolve_for_dispatch(session_id, "request")
+            groups.setdefault(replica.replica_id, []).append(position)
+        return groups
+
+    # ------------------------------------------------------------------
+    # Health and failover
+    # ------------------------------------------------------------------
+    def _note_loss(self, replica_id: str) -> None:
+        with self._health_lock:
+            if self._states.get(replica_id) != STATE_HEALTHY:
+                return
+            self._losses[replica_id] = self._losses.get(replica_id, 0) + 1
+            losses = self._losses[replica_id]
+        event(self._recorder, "cluster.replica_loss",
+              replica=replica_id, consecutive=losses)
+        if self._registry is not None:
+            self._registry.counter("cluster.replica_losses").inc()
+        if losses >= self._failover_threshold:
+            self.failover(replica_id)
+
+    def _note_ok(self, replica_id: str) -> None:
+        with self._health_lock:
+            if self._losses.get(replica_id):
+                self._losses[replica_id] = 0
+
+    def failover(self, replica_id: str) -> int:
+        """Retire a replica: mark it dead, pull it off the ring, re-pin
+        its sessions to survivors and replay its last sealed checkpoint
+        into them.  Idempotent; returns the number of sessions moved."""
+        with self._ring_lock:
+            handle = self._replicas.get(replica_id)
+            if handle is None:
+                raise ValueError(f"unknown replica {replica_id!r}")
+            with self._health_lock:
+                if self._states.get(replica_id) == STATE_DEAD:
+                    return 0
+                self._states[replica_id] = STATE_DEAD
+            if replica_id in self._ring:
+                self._ring.remove(replica_id)
+            moved = self._repin_locked(replica_id)
+            survivors = len(self._ring)
+        self.failovers += 1
+        event(self._recorder, "cluster.failover", replica=replica_id,
+              sessions_moved=moved, survivors=survivors)
+        if self._registry is not None:
+            self._registry.counter("cluster.failovers").inc()
+            if moved:
+                self._registry.counter("cluster.repins").inc(moved)
+        self._replay_checkpoint(handle)
+        return moved
+
+    def _repin_locked(self, replica_id: str) -> int:
+        """Re-route the dead replica's sessions; caller holds the ring
+        lock.  With the ring empty the pins are dropped — the next call
+        raises "no healthy replicas" instead of routing into a void."""
+        moved = 0
+        for session_id, owner in sorted(self._pins.items()):
+            if owner != replica_id:
+                continue
+            if len(self._ring) == 0:
+                del self._pins[session_id]
+                self._displaced.discard(session_id)
+            else:
+                self._pins[session_id] = self._ring.route(session_id)
+                self._displaced.add(session_id)
+            moved += 1
+        return moved
+
+    def _replay_checkpoint(self, handle: ReplicaHandle) -> None:
+        """Merge the dead replica's last sealed checkpoint into every
+        survivor (its sessions were spread across all of them).  The
+        blob is opaque to this host-side code: only an enclave with the
+        shared measurement on the shared platform can open it."""
+        blob = handle.proxy.history_checkpoint
+        if blob is None:
+            return
+        for survivor in self.healthy_replicas():
+            try:
+                entries = survivor.proxy.absorb_history(blob)
+            except ReproError:
+                continue  # best-effort warm-up; the survivor serves cold
+            event(self._recorder, "cluster.checkpoint_replay",
+                  source=handle.replica_id,
+                  replica=survivor.replica_id, entries=entries)
+
+
+class XSearchCluster:
+    """N independent enclave replicas behind one consistent-hash router.
+
+    Build it through :meth:`repro.core.deployment.XSearchDeployment.create`
+    (``DeploymentConfig(replicas=N)``), which wires shared attestation,
+    a shared sealing platform and per-replica fault plans; or construct
+    it directly from pre-built :class:`ReplicaHandle`\\ s in tests.
+    """
+
+    def __init__(self, replicas, *, vnodes: int = DEFAULT_VNODES,
+                 failover_threshold: int = DEFAULT_FAILOVER_THRESHOLD,
+                 replica_factory=None, recorder=None, registry=None):
+        replicas = list(replicas)
+        self.router = SessionRouter(
+            replicas, vnodes=vnodes,
+            failover_threshold=failover_threshold,
+            recorder=recorder, registry=registry,
+        )
+        self._recorder = recorder
+        self._replica_factory = replica_factory
+        self._next_index = max(handle.index for handle in replicas) + 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def frontend(self) -> SessionRouter:
+        return self.router
+
+    @property
+    def replicas(self) -> tuple:
+        return self.router.replicas()
+
+    @property
+    def size(self) -> int:
+        return self.router.replica_count
+
+    @property
+    def measurement(self):
+        return self.router.measurement
+
+    def replica(self, replica_id: str) -> ReplicaHandle:
+        return self.router.replica(replica_id)
+
+    def healthy_replicas(self) -> tuple:
+        return self.router.healthy_replicas()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def kill_replica(self, replica_id: str) -> int:
+        """The experiments' deterministic kill switch: close the
+        replica's host (taking its final checkpoint when sealing is on)
+        and fail it over.  Returns the number of sessions re-pinned."""
+        handle = self.router.replica(replica_id)
+        handle.close()
+        moved = self.router.failover(replica_id)
+        event(self._recorder, "cluster.kill", replica=replica_id,
+              sessions_moved=moved)
+        return moved
+
+    def add_replica(self) -> ReplicaHandle:
+        """Grow the cluster by one replica (hash-ring rebalance; only
+        future sessions land on it — live pins are sticky)."""
+        if self._replica_factory is None:
+            raise EnclaveError(
+                "this cluster was built without a replica factory; "
+                "create it via XSearchDeployment to grow it at runtime"
+            )
+        index = self._next_index
+        self._next_index += 1
+        handle = self._replica_factory(index)
+        self.router.admit(handle)
+        return handle
+
+    def remove_replica(self, replica_id: str) -> int:
+        """Graceful drain: checkpoint, retire (re-pinning its sessions
+        and replaying the fresh checkpoint into survivors), close."""
+        handle = self.router.replica(replica_id)
+        try:
+            handle.proxy.checkpoint_now()
+        except ReproError:
+            pass  # no sealing configured: survivors inherit cold
+        moved = self.router.failover(replica_id)
+        handle.close()
+        return moved
+
+    def close(self) -> None:
+        """Tear every replica down.  Idempotent."""
+        for handle in self.replicas:
+            handle.close()
+
+    def __enter__(self) -> "XSearchCluster":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

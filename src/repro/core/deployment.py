@@ -3,22 +3,40 @@
 Builds every premise of the adversary model: the trusted client domain
 (client + broker), the untrusted cloud node (proxy host + enclave +
 quoting enclave), the attestation service and the honest-but-curious
-search engine — and connects them exactly the way the protocol prescribes.
+search engine — and connects them exactly the way the protocol
+prescribes.  With ``DeploymentConfig(replicas=N)`` the cloud node
+becomes an :class:`~repro.core.cluster.XSearchCluster`: N independent
+enclave replicas behind a consistent-hash
+:class:`~repro.core.cluster.SessionRouter`.
 
 The deployment is also the recommended API surface: it is a context
 manager (``with XSearchDeployment.create(...) as deployment:``) whose
-exit tears the proxy down cleanly, and ``deployment.client`` doubles as
-the default client *and* a factory — ``deployment.client(user_id="bob")``
-mints an additional attested client with its own broker session.
+exit tears the proxy (or the whole cluster) down cleanly, and
+``deployment.client`` doubles as the default client *and* a factory —
+``deployment.client(user_id="bob")`` mints an additional attested
+client with its own broker session.
+
+Configuration is a value, not a pile of keywords: build a frozen
+:class:`DeploymentConfig` and pass ``create(config=...)``.  The classic
+keyword spellings (``k=``, ``seed=``, ``max_workers=``, proxy
+passthroughs, …) keep working but emit :class:`DeprecationWarning` and
+fold into a config, so both paths build byte-identical systems.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import warnings
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.broker import Broker
 from repro.core.client import XSearchClient
+from repro.core.cluster import (
+    DEFAULT_FAILOVER_THRESHOLD,
+    DEFAULT_VNODES,
+    ReplicaHandle,
+    XSearchCluster,
+)
 from repro.core.proxy import (
     DEFAULT_HISTORY_CAPACITY,
     DEFAULT_K,
@@ -33,11 +51,85 @@ from repro.core.scheduler import (
 from repro.search.engine import SearchEngine
 from repro.search.tracking import TrackingSearchEngine
 from repro.sgx.attestation import AttestationService, QuotingEnclave
+from repro.sgx.sealing import SealingPlatform
 
 # 1024-bit RSA keeps simulated attestation fast; the key size is a
 # deployment knob, not a protocol property (pass key_bits=2048 for the
 # full-strength setup).
 DEFAULT_ATTESTATION_KEY_BITS = 1024
+
+#: Version stamp of the :class:`DeploymentConfig` schema.
+CONFIG_VERSION = 1
+
+#: Sentinel distinguishing "not passed" from an explicit ``None``.
+_UNSET = object()
+
+
+@dataclass(frozen=True)
+class DeploymentConfig:
+    """Everything :meth:`XSearchDeployment.create` needs, as one frozen
+    value.
+
+    ``proxy_options`` carries the :class:`XSearchProxyHost` passthroughs
+    (``epc``, ``sealing_platform``, ``fault_plan``, ``cache_bytes``,
+    ``pool_connections``, …); ``replica_fault_plans`` maps a replica
+    *index* to its own :class:`~repro.faults.plan.FaultPlan`, so one
+    replica can be killed deterministically while the others serve.
+    ``fanout=None`` resolves to the concurrent default (two engine
+    connections per worker) when ``max_workers`` is set.
+    """
+
+    version: int = CONFIG_VERSION
+    k: int = DEFAULT_K
+    history_capacity: int = DEFAULT_HISTORY_CAPACITY
+    seed: int = 0
+    key_bits: int = DEFAULT_ATTESTATION_KEY_BITS
+    connect: bool = True
+    retry_policy: RetryPolicy = None
+    max_workers: int = None
+    coalesce_window: float = DEFAULT_COALESCE_WINDOW
+    max_batch: int = DEFAULT_MAX_BATCH
+    fanout: int = None
+    replicas: int = 1
+    vnodes: int = DEFAULT_VNODES
+    failover_threshold: int = DEFAULT_FAILOVER_THRESHOLD
+    replica_fault_plans: dict = None
+    proxy_options: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.version != CONFIG_VERSION:
+            raise ValueError(
+                f"unsupported DeploymentConfig version {self.version!r} "
+                f"(this build speaks version {CONFIG_VERSION})"
+            )
+        if self.k < 1:
+            raise ValueError("k must be >= 1")
+        if self.history_capacity < 1:
+            raise ValueError("history_capacity must be >= 1")
+        if self.replicas < 1:
+            raise ValueError("a deployment needs at least one replica")
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ValueError("max_workers must be positive (or None)")
+        if self.vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        if self.failover_threshold < 1:
+            raise ValueError("failover_threshold must be >= 1")
+        # Freeze owned copies so a caller mutating their dict afterwards
+        # cannot change an already-built deployment's meaning.
+        object.__setattr__(self, "proxy_options", dict(self.proxy_options))
+        if self.replica_fault_plans is not None:
+            object.__setattr__(
+                self, "replica_fault_plans", dict(self.replica_fault_plans)
+            )
+
+    @property
+    def concurrent(self) -> bool:
+        """Whether a :class:`RequestScheduler` fronts each replica."""
+        return self.max_workers is not None
+
+    def replace(self, **changes) -> "DeploymentConfig":
+        """A copy with ``changes`` applied (the config is frozen)."""
+        return dataclasses.replace(self, **changes)
 
 
 class _ClientFacade:
@@ -46,8 +138,9 @@ class _ClientFacade:
     Attribute access (``deployment.client.search(...)``) goes to the
     deployment's default client, so every pre-existing call site keeps
     working; *calling* it (``deployment.client(user_id="bob")``) mints a
-    new attested client with its own broker session against the same
-    proxy.
+    new attested client with its own broker session.  Minted clients go
+    through ``deployment.frontend`` — the same scheduler (or cluster
+    router) the default client uses — never straight at a proxy.
     """
 
     __slots__ = ("_deployment",)
@@ -88,7 +181,7 @@ class _ClientFacade:
 
 @dataclass
 class XSearchDeployment:
-    """A fully wired system: client ↔ broker ↔ enclave ↔ engine."""
+    """A fully wired system: client ↔ broker ↔ enclave(s) ↔ engine."""
 
     engine: SearchEngine
     tracking: TrackingSearchEngine
@@ -100,121 +193,195 @@ class XSearchDeployment:
     recorder: object = None
     registry: object = None
     scheduler: RequestScheduler = None
+    cluster: XSearchCluster = None
+    config: DeploymentConfig = None
+
+    #: The keyword spellings predating :class:`DeploymentConfig`; all
+    #: still accepted by :meth:`create`, with a DeprecationWarning.
+    _LEGACY_CREATE_KWARGS = (
+        "k", "history_capacity", "seed", "key_bits", "connect",
+        "max_workers", "coalesce_window", "max_batch", "retry_policy",
+        "fanout", "replicas",
+    )
 
     @classmethod
-    def create(cls, *, k: int = DEFAULT_K,
-               history_capacity: int = DEFAULT_HISTORY_CAPACITY,
-               seed: int = 0,
+    def create(cls, *, config: DeploymentConfig = None,
                engine: SearchEngine = None,
-               key_bits: int = DEFAULT_ATTESTATION_KEY_BITS,
-               connect: bool = True,
                recorder=None, registry=None,
-               max_workers: int = None,
-               coalesce_window: float = DEFAULT_COALESCE_WINDOW,
-               max_batch: int = DEFAULT_MAX_BATCH,
+               k=_UNSET, history_capacity=_UNSET, seed=_UNSET,
+               key_bits=_UNSET, connect=_UNSET,
+               max_workers=_UNSET, coalesce_window=_UNSET,
+               max_batch=_UNSET, retry_policy=_UNSET, fanout=_UNSET,
+               replicas=_UNSET,
                **proxy_options) -> "XSearchDeployment":
-        """Stand up a complete deployment.
+        """Stand up a complete deployment from a :class:`DeploymentConfig`.
 
-        ``seed`` drives the synthetic corpus and the enclave's obfuscation
-        RNG, making end-to-end runs reproducible.  With ``connect=True``
-        (default) the broker performs attestation and the handshake
-        immediately.  Extra keyword arguments (``pool_connections``,
-        ``cache_bytes``, ``epc``, ``fault_plan``, ``sealing_platform``,
-        ``checkpoint_interval``, ``retry_policy``, …) pass through to
-        :class:`XSearchProxyHost` for performance and fault-tolerance
-        experiments.
+        ``engine``, ``recorder`` and ``registry`` stay call arguments —
+        they are live objects, not configuration data.  When neither
+        recorder nor registry is passed the process defaults from
+        :func:`repro.obs.install` are used; ``config.seed`` drives the
+        synthetic corpus and each replica's obfuscation RNG (replica
+        ``i`` derives ``seed + i`` so fake-query streams are independent
+        but reproducible).
 
-        ``max_workers`` switches the deployment to concurrent mode: a
-        :class:`~repro.core.scheduler.RequestScheduler` with that many
-        worker threads fronts the proxy, adaptively coalescing queued
-        requests into batched ecalls (``coalesce_window`` seconds of
-        linger under backlog, at most ``max_batch`` records per ecall)
-        and fanning each batch's obfuscated queries out in parallel
-        across pooled engine connections.  Brokers minted by the
-        deployment then submit through the scheduler; the synchronous
-        client facade is unchanged.  With ``max_workers=None`` (default)
-        no scheduler is built and the pipeline is byte-identical to
-        previous releases.
+        With ``config.replicas > 1`` the deployment runs a replica
+        cluster: ``deployment.cluster`` holds it, ``deployment.frontend``
+        is its session router, and ``deployment.proxy`` /
+        ``deployment.scheduler`` keep pointing at replica 0 so existing
+        single-node tooling still works.
 
-        ``recorder`` / ``registry`` attach the observability plane
-        (:mod:`repro.obs`) to every layer — broker root spans, ecall and
-        ocall boundary spans, enclave pipeline spans, supervisor events
-        and the metrics behind the boundary accounting.  When neither is
-        passed the process defaults from :func:`repro.obs.install` are
-        used (``ProfileSession`` installs them); pass
-        ``recorder=NullRecorder()`` to opt out explicitly.
+        Every pre-config keyword (``k=``, ``seed=``, ``max_workers=``,
+        proxy passthroughs such as ``fault_plan=`` or ``epc=``, …) still
+        resolves: it emits a :class:`DeprecationWarning` and folds into
+        the config, overriding the corresponding field.
         """
+        overrides = {}
+        for name, value in (
+            ("k", k), ("history_capacity", history_capacity),
+            ("seed", seed), ("key_bits", key_bits),
+            ("connect", connect), ("max_workers", max_workers),
+            ("coalesce_window", coalesce_window),
+            ("max_batch", max_batch), ("retry_policy", retry_policy),
+            ("fanout", fanout), ("replicas", replicas),
+        ):
+            if value is not _UNSET:
+                overrides[name] = value
+        if config is None:
+            config = DeploymentConfig()
+        folded = sorted(overrides) + sorted(proxy_options)
+        if folded:
+            warnings.warn(
+                "passing " + ", ".join(folded) + " directly to "
+                "XSearchDeployment.create() is deprecated; build a "
+                "DeploymentConfig(...) and pass create(config=...) "
+                "(proxy passthroughs go in DeploymentConfig.proxy_options)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if proxy_options:
+                merged = dict(config.proxy_options)
+                merged.update(proxy_options)
+                overrides["proxy_options"] = merged
+            config = config.replace(**overrides)
+        return cls._build(config, engine=engine,
+                          recorder=recorder, registry=registry)
+
+    @classmethod
+    def _build(cls, config: DeploymentConfig, *, engine,
+               recorder, registry) -> "XSearchDeployment":
         if recorder is None and registry is None:
             from repro import obs
 
             recorder, registry = obs.installed()
         if engine is None:
-            engine = SearchEngine.with_synthetic_corpus(seed=seed)
+            engine = SearchEngine.with_synthetic_corpus(seed=config.seed)
         tracking = TrackingSearchEngine(engine)
 
-        attestation_service = AttestationService(key_bits)
-        quoting_enclave = QuotingEnclave(key_bits)
+        attestation_service = AttestationService(config.key_bits)
+        quoting_enclave = QuotingEnclave(config.key_bits)
         attestation_service.provision_platform(quoting_enclave)
 
-        if max_workers is not None:
+        shared_options = dict(config.proxy_options)
+        if config.retry_policy is not None:
+            shared_options.setdefault("retry_policy", config.retry_policy)
+        if config.fanout is not None:
+            shared_options["fanout"] = config.fanout
+        elif config.max_workers is not None:
             # Concurrent mode: let the enclave fan engine queries out in
             # parallel unless the caller pinned fanout.  The pool is a
             # per-worker resource (two parallel engine connections per
-            # worker, like cores × connections in a real deployment)
-            # shared by every in-flight batch, so adding workers adds
-            # both compute concurrency and engine bandwidth.
-            proxy_options.setdefault("fanout", 2 * max_workers)
-        proxy = XSearchProxyHost(
-            tracking,
-            k=k,
-            history_capacity=history_capacity,
-            quoting_enclave=quoting_enclave,
-            attestation_service=attestation_service,
-            rng_seed=seed,
-            recorder=recorder,
-            registry=registry,
-            **proxy_options,
-        )
-        scheduler = None
-        if max_workers is not None:
-            scheduler = RequestScheduler(
-                proxy,
-                max_workers=max_workers,
-                coalesce_window=coalesce_window,
-                max_batch=max_batch,
+            # worker, like cores × connections in a real deployment).
+            shared_options.setdefault("fanout", 2 * config.max_workers)
+        if config.replicas > 1:
+            # Failover replays sealed checkpoints between replicas, so a
+            # cluster runs on one shared sealing platform by default
+            # (same simulated CPU: a real multi-machine fleet would
+            # provision a shared sealing root the same way).
+            shared_options.setdefault("sealing_platform", SealingPlatform())
+        base_source = shared_options.pop("source", "xsearch-proxy.cloud")
+        fault_plans = config.replica_fault_plans or {}
+
+        def build_replica(index: int) -> ReplicaHandle:
+            options = dict(shared_options)
+            if index in fault_plans:
+                options["fault_plan"] = fault_plans[index]
+            proxy = XSearchProxyHost(
+                tracking,
+                k=config.k,
+                history_capacity=config.history_capacity,
+                quoting_enclave=quoting_enclave,
+                attestation_service=attestation_service,
+                rng_seed=(None if config.seed is None
+                          else config.seed + index),
                 recorder=recorder,
                 registry=registry,
+                source=(base_source if index == 0
+                        else f"{base_source}.r{index}"),
+                **options,
             )
-        broker = Broker(
-            scheduler if scheduler is not None else proxy,
-            service_public_key=attestation_service.public_key,
-            expected_measurement=proxy.measurement,
+            scheduler = None
+            if config.max_workers is not None:
+                scheduler = RequestScheduler(
+                    proxy,
+                    max_workers=config.max_workers,
+                    coalesce_window=config.coalesce_window,
+                    max_batch=config.max_batch,
+                    recorder=recorder,
+                    registry=registry,
+                )
+            return ReplicaHandle(f"replica-{index}", index, proxy,
+                                 scheduler)
+
+        handles = [build_replica(index)
+                   for index in range(config.replicas)]
+        cluster = XSearchCluster(
+            handles,
+            vnodes=config.vnodes,
+            failover_threshold=config.failover_threshold,
+            replica_factory=build_replica,
             recorder=recorder,
             registry=registry,
         )
-        client = XSearchClient(broker)
-        if connect:
-            broker.connect()
-        return cls(
+        primary = handles[0]
+        deployment = cls(
             engine=engine,
             tracking=tracking,
             attestation_service=attestation_service,
             quoting_enclave=quoting_enclave,
-            proxy=proxy,
-            broker=broker,
-            default_client=client,
+            proxy=primary.proxy,
+            broker=None,
+            default_client=None,
             recorder=recorder,
             registry=registry,
-            scheduler=scheduler,
+            scheduler=primary.scheduler,
+            cluster=cluster,
+            config=config,
         )
+        broker = Broker(
+            deployment.frontend,
+            service_public_key=attestation_service.public_key,
+            expected_measurement=primary.proxy.measurement,
+            recorder=recorder,
+            registry=registry,
+        )
+        deployment.broker = broker
+        deployment.default_client = XSearchClient(broker)
+        if config.connect:
+            broker.connect()
+        return deployment
 
     # ------------------------------------------------------------------
     # The client surface
     # ------------------------------------------------------------------
     @property
     def frontend(self):
-        """What brokers talk to: the scheduler when concurrent mode is
-        on (``max_workers=``), otherwise the proxy itself."""
+        """What brokers talk to: the cluster's session router when more
+        than one replica is deployed, otherwise the scheduler when
+        concurrent mode is on (``max_workers=``), otherwise the proxy
+        itself — so a single-replica deployment is byte-identical to
+        previous releases."""
+        if self.cluster is not None and self.cluster.size > 1:
+            return self.cluster.router
         return self.scheduler if self.scheduler is not None else self.proxy
 
     @property
@@ -224,7 +391,7 @@ class XSearchDeployment:
         ``deployment.client.search("query")`` uses the default attested
         session; ``deployment.client(user_id="bob")`` builds a new
         :class:`XSearchClient` with its own broker (fresh attestation and
-        channel keys) against the same proxy.
+        channel keys) against the same frontend.
         """
         return _ClientFacade(self)
 
@@ -232,9 +399,12 @@ class XSearchDeployment:
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Tear the deployment down: stop the scheduler (draining its
+        """Tear the deployment down: stop every scheduler (draining its
         queue), checkpoint (when sealing is on), drain the engine
-        connection pool and destroy the enclave.  Idempotent."""
+        connection pools and destroy the enclaves.  Idempotent."""
+        if self.cluster is not None:
+            self.cluster.close()
+            return
         if self.scheduler is not None:
             self.scheduler.close()
         self.proxy.close()
@@ -252,7 +422,7 @@ class XSearchDeployment:
         """Deprecated: use ``deployment.client(user_id=...)`` instead.
 
         Kept for compatibility; returns an additional attested broker
-        session against the same proxy.
+        session against the same frontend.
         """
         warnings.warn(
             "XSearchDeployment.new_broker() is deprecated; use "

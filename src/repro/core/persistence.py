@@ -41,8 +41,11 @@ def snapshot_history(history: QueryHistory) -> bytes:
     ).encode("utf-8")
 
 
-def restore_history(blob: bytes, *, enclave_memory=None) -> QueryHistory:
-    """Rebuild a history table from a snapshot (inside the enclave)."""
+def decode_snapshot(blob: bytes) -> tuple:
+    """Parse a snapshot into ``(capacity, entries)`` without building a
+    table.  The cluster's failover path uses this to *merge* a failed
+    replica's entries into a survivor's live history instead of
+    replacing it."""
     try:
         doc = json.loads(blob.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -55,6 +58,12 @@ def restore_history(blob: bytes, *, enclave_memory=None) -> QueryHistory:
     entries = doc.get("entries")
     if not isinstance(capacity, int) or not isinstance(entries, list):
         raise SealingError("history snapshot is structurally invalid")
+    return capacity, entries
+
+
+def restore_history(blob: bytes, *, enclave_memory=None) -> QueryHistory:
+    """Rebuild a history table from a snapshot (inside the enclave)."""
+    capacity, entries = decode_snapshot(blob)
     history = QueryHistory(capacity, enclave_memory=enclave_memory)
     history.extend(entries)
     return history

@@ -547,6 +547,36 @@ class XSearchEnclaveCode:
         return len(restored)
 
     @ecall
+    def absorb_sealed_history(self, blob: bytes) -> int:
+        """Merge a *peer replica's* sealed snapshot into the live table.
+
+        The cluster's failover path replays a dead replica's last
+        checkpoint into the survivors that inherit its sessions.  Unlike
+        :meth:`restore_sealed_history` this does not replace local
+        state: the peer's entries are appended to this enclave's own
+        history (the window evicts the oldest as usual).  Unsealing
+        still requires the same measurement on the same platform, so a
+        replica of a *different* build cannot feed us history; the
+        snapshot's window size must match the attested configuration.
+        Returns the number of entries merged.
+        """
+        self._require_configured()
+        self._require_sealer()
+        from repro.core.persistence import decode_snapshot
+
+        plaintext = self._sealer.unseal(
+            blob, aad=b"repro.core.history-snapshot.v1"
+        )
+        capacity, entries = decode_snapshot(plaintext)
+        if capacity != self._history.capacity:
+            raise EnclaveError(
+                "peer snapshot was taken with a different history "
+                "capacity than this enclave's attested configuration"
+            )
+        self._history.extend(entries)
+        return len(entries)
+
+    @ecall
     def checkpoint_history(self) -> tuple:
         """Seal the history and report its size in one transition.
 
@@ -1264,6 +1294,11 @@ class XSearchProxyHost:
 
     def restore_history(self, blob: bytes) -> int:
         return self._call("restore_sealed_history", blob)
+
+    def absorb_history(self, blob: bytes) -> int:
+        """Merge a peer replica's sealed checkpoint into the live
+        history (cluster failover; the blob stays opaque to the host)."""
+        return self._call("absorb_sealed_history", blob)
 
     # -- context manager -------------------------------------------------
     def __enter__(self) -> "XSearchProxyHost":

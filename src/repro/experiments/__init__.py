@@ -10,6 +10,9 @@
   sweeps (X-Search, PEAS, Tor);
 * :mod:`~repro.experiments.fig5_availability` — availability under a
   seeded fault schedule (enclave kill + engine outages, ``fig5a``);
+* :mod:`~repro.experiments.fig5_cluster` — replica scale-out: the
+  saturation sweep at 1/2/4 enclave replicas behind the session
+  router, plus availability through a deterministic replica kill;
 * :mod:`~repro.experiments.fig6_memory` — enclave memory vs stored
   queries against the EPC limit;
 * :mod:`~repro.experiments.fig7_round_trip` — end-to-end RTT CDFs

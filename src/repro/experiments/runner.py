@@ -26,6 +26,7 @@ from repro.experiments import (
     fig3_reidentification,
     fig4_accuracy,
     fig5_availability,
+    fig5_cluster,
     fig5_throughput_latency,
     fig6_memory,
     fig7_round_trip,
@@ -38,6 +39,7 @@ EXPERIMENTS = {
     "fig4": fig4_accuracy,
     "fig5": fig5_throughput_latency,
     "fig5a": fig5_availability,
+    "fig5c": fig5_cluster,
     "fig6": fig6_memory,
     "fig7": fig7_round_trip,
 }

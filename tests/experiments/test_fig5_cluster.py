@@ -1,0 +1,57 @@
+"""The Figure 5 cluster harness: availability determinism + sweep shape."""
+
+from __future__ import annotations
+
+from repro.experiments import fig5_cluster
+
+
+def test_availability_run_is_deterministic_and_survives_the_kill():
+    result = fig5_cluster.run_availability(
+        replicas=2, clients=4, total_requests=20, seed=0,
+    )
+    again = fig5_cluster.run_availability(
+        replicas=2, clients=4, total_requests=20, seed=0,
+    )
+    assert result.summary() == again.summary()
+    assert result.availability == 1.0
+    assert result.meets_target(0.9)
+    assert result.killed_replica is not None
+    assert len(result.survivors) == 1
+    assert result.reconnects == result.moved_sessions >= 1
+    assert "killed" in fig5_cluster.format_availability(result)
+
+
+def test_balanced_session_ids_spread_lanes_evenly():
+    for replicas in (1, 2, 4):
+        ids = fig5_cluster._balanced_session_ids(replicas, 16)
+        assert len(ids) == len(set(ids)) == 16
+        from repro.core.cluster import HashRing
+
+        ring = HashRing([f"replica-{i}" for i in range(replicas)],
+                        vnodes=64)
+        counts = {}
+        for session_id in ids:
+            owner = ring.route(session_id)
+            counts[owner] = counts.get(owner, 0) + 1
+        assert set(counts.values()) == {16 // replicas}
+
+
+def test_scaling_sweep_reports_per_replica_shape():
+    # A deliberately tiny wall-clock run: one rate, short window — this
+    # asserts the harness's bookkeeping, not the performance numbers
+    # (tools/bench_smoke.sh gates those).
+    result = fig5_cluster.run_scaling(
+        replica_counts=(1, 2), rates=(30,), duration_seconds=0.1,
+        lanes=4,
+    )
+    assert [sweep.replicas for sweep in result.sweeps] == [1, 2]
+    for sweep in result.sweeps:
+        assert sum(sweep.sessions_per_replica.values()) == 4
+        assert len(sweep.points) == 1
+        assert sweep.points[0].requests > 0
+        assert sweep.peak_rps > 0
+    summary = result.summary()
+    assert set(summary["sweeps"]) == {"replicas_1", "replicas_2"}
+    assert "scaling_ratio" in summary
+    assert result.sweep(2).replicas == 2
+    assert "cluster mode" in fig5_cluster.format_table(result)

@@ -66,6 +66,37 @@ if epr >= 1.0:
 PY
 
 echo
+echo "== figure 5 cluster: replica scale-out and kill-one availability =="
+python - <<'PY'
+from repro.experiments import fig5_cluster
+from repro.obs import attach_digest
+
+# Replica scale-out: the wall-clock sweep repeated at 1/2/4 enclave
+# replicas behind the consistent-hash session router, plus the
+# deterministic kill-one availability run.  The acceptance numbers for
+# the cluster are the 4-replica steady-state throughput against the
+# 1-replica knee and the availability through the kill.
+scaling = fig5_cluster.run_scaling()
+availability = fig5_cluster.run_availability()
+print(fig5_cluster.format_table(scaling))
+print(fig5_cluster.format_availability(availability))
+
+digest = {
+    "scaling": scaling.summary(),
+    "availability": availability.summary(),
+}
+attach_digest("BENCH_fig5.json", digest, key="cluster")
+if not scaling.meets_target(3.0):
+    raise SystemExit(
+        f"cluster scaling regressed: 4-replica steady-state is only "
+        f"{scaling.scaling_ratio():.2f}x the 1-replica knee (< 3.0x)")
+if not availability.meets_target(0.9):
+    raise SystemExit(
+        f"cluster availability regressed: "
+        f"{availability.availability:.1%} < 90% through a replica kill")
+PY
+
+echo
 echo "== figure 5 companion: availability under injected faults =="
 python -m pytest benchmarks/test_fig5_availability.py -q "$@"
 python - <<'PY'

@@ -47,6 +47,14 @@ EXPECTED_CORE_NAMES = [
     "DEFAULT_ENGINE_RETRY",
     "DEFAULT_BROKER_RETRY",
     "RequestScheduler",
+    "DeploymentConfig",
+    "CONFIG_VERSION",
+    "XSearchCluster",
+    "SessionRouter",
+    "ReplicaHandle",
+    "HashRing",
+    "DEFAULT_VNODES",
+    "DEFAULT_FAILOVER_THRESHOLD",
 ]
 
 # method -> keyword-only parameters the uniform surface promises.
@@ -69,6 +77,17 @@ EXPECTED_ATTRS = {
                "is_connected", "last_degraded"],
     "RequestScheduler": ["request", "request_batch", "close",
                          "__enter__", "__exit__"],
+    "DeploymentConfig": ["replace", "concurrent"],
+    "XSearchCluster": ["frontend", "replicas", "size", "measurement",
+                       "replica", "healthy_replicas", "kill_replica",
+                       "add_replica", "remove_replica", "close",
+                       "__enter__", "__exit__"],
+    "SessionRouter": ["for_session", "replica_for", "pinned",
+                      "sessions_on", "ring_map", "healthy_ids",
+                      "state_of", "failover", "request",
+                      "request_batch", "request_many", "begin_session",
+                      "attestation_evidence", "measurement"],
+    "HashRing": ["add", "remove", "route", "members"],
 }
 
 # Names importable from repro.obs, forever.
@@ -215,6 +234,82 @@ def check_scheduler_surface(problems: list) -> None:
             problems.append(f"RequestScheduler lost keyword {keyword!r}")
 
 
+def check_deployment_config_surface(problems: list) -> None:
+    """The config-facade contract: ``create`` accepts a frozen
+    :class:`DeploymentConfig`, every deprecated kwarg spelling still
+    works (with a ``DeprecationWarning``) and folds into an equivalent
+    config, and the cluster surface is uniform (``deployment.cluster``
+    exists even at one replica; ``deployment.frontend`` is the session
+    router exactly when there is more than one)."""
+    import warnings
+
+    from repro.core import DeploymentConfig, XSearchDeployment
+
+    # Deprecated kwargs: must warn, must fold into the config.
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        with XSearchDeployment.create(seed=11, k=2, history_capacity=64,
+                                      max_workers=2,
+                                      connect=False) as deployment:
+            config = deployment.config
+            if (config is None or config.seed != 11 or config.k != 2
+                    or config.history_capacity != 64
+                    or config.max_workers != 2):
+                problems.append(
+                    "legacy create() kwargs no longer fold into "
+                    f"DeploymentConfig (got {config!r})"
+                )
+            if deployment.cluster is None or deployment.cluster.size != 1:
+                problems.append(
+                    "deployment.cluster is not uniform at replicas=1"
+                )
+            if deployment.frontend is not deployment.scheduler:
+                problems.append(
+                    "single-replica concurrent frontend is no longer "
+                    "the scheduler"
+                )
+    if not any(issubclass(w.category, DeprecationWarning)
+               for w in caught):
+        problems.append(
+            "deprecated create() kwargs no longer emit "
+            "DeprecationWarning"
+        )
+
+    # The config path: same deployment, no warning.
+    config = DeploymentConfig(seed=11, k=2, history_capacity=64,
+                              max_workers=2, connect=False)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        with XSearchDeployment.create(config=config) as deployment:
+            if deployment.config != config:
+                problems.append(
+                    "create(config=...) does not preserve the config: "
+                    f"{deployment.config!r} != {config!r}"
+                )
+    if any(issubclass(w.category, DeprecationWarning) for w in caught):
+        problems.append("create(config=...) spuriously warns")
+
+    # Multi-replica: the frontend becomes the session router and the
+    # minted clients keep working through it.
+    cluster_config = DeploymentConfig(seed=11, k=2, replicas=2)
+    with XSearchDeployment.create(config=cluster_config) as deployment:
+        if deployment.frontend is not deployment.cluster.router:
+            problems.append(
+                "multi-replica frontend is not the session router"
+            )
+        if len(deployment.cluster.replicas) != 2:
+            problems.append("DeploymentConfig(replicas=2) built "
+                            f"{len(deployment.cluster.replicas)} replicas")
+        minted = deployment.client(user_id="api-guard")
+        if minted._broker._proxy.__class__.__name__ != "_SessionChannel":
+            problems.append(
+                "minted clients bypass the session router in cluster "
+                "mode"
+            )
+        if not isinstance(minted.search("probe query", limit=2), list):
+            problems.append("cluster-mode search no longer returns a list")
+
+
 def check_noop_boundary_deltas(problems: list) -> None:
     """The zero-overhead contract: observability must never perturb the
     boundary-crossing counts the benchmarks assert on."""
@@ -332,6 +427,7 @@ def main() -> int:
     check_finding_schema(problems)
     check_registered_checkers(problems)
     check_scheduler_surface(problems)
+    check_deployment_config_surface(problems)
     check_noop_boundary_deltas(problems)
 
     if problems:
@@ -346,6 +442,7 @@ def main() -> int:
         f"{len(EXPECTED_CALL_SURFACE)} call signatures, "
         f"{sum(len(a) for a in EXPECTED_ATTRS.values()) + sum(len(a) for a in EXPECTED_OBS_ATTRS.values()) + sum(len(a) for a in EXPECTED_ANALYSIS_ATTRS.values())} attributes, "
         f"finding schema v1, "
+        f"config facade + deprecated-kwarg shims intact, "
         f"boundary deltas invariant under instrumentation"
     )
     return 0
