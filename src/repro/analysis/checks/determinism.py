@@ -51,7 +51,11 @@ class DeterminismChecker(Checker):
     }
 
     def check(self, module, context):
-        if not P.in_deterministic_scope(module.name):
+        # Test modules get the wall-clock rules only (XD001/XD002): the
+        # suite must be virtual-time deterministic, but tests may draw
+        # entropy or global randomness for throwaway fixtures.
+        test_scope = P.in_test_scope(module.name)
+        if not test_scope and not P.in_deterministic_scope(module.name):
             return
         aliases = self._alias_map(module)
         clock_custodian = module.name in P.WALL_CLOCK_CUSTODIANS
@@ -81,6 +85,8 @@ class DeterminismChecker(Checker):
                              "the injectable clock",
                     )
             elif source_module == "random":
+                if test_scope:
+                    continue
                 if func == "Random":
                     if not node.args and not node.keywords:
                         yield self.finding(
@@ -97,7 +103,7 @@ class DeterminismChecker(Checker):
                              "passed in by the caller",
                     )
             elif source_module in ("secrets", "os.urandom"):
-                if not entropy_ok:
+                if not entropy_ok and not test_scope:
                     where = ("os.urandom" if source_module == "os.urandom"
                              else f"secrets.{func}")
                     yield self.finding(

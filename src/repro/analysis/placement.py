@@ -97,6 +97,8 @@ _PREFIXES = {
     "repro.obs": NEUTRAL,          # the tracing/metrics plane
     "repro.pir": CLIENT,           # PIR baseline (client-driven protocol)
     "repro.search": HOST,          # the search-engine substrate
+    "repro.sim": NEUTRAL,          # DST harness: orchestrates all parties
+                                   # from outside the trust boundary
 }
 
 #: Modules that implement the ecall/ocall boundary: the only sanctioned
@@ -151,7 +153,14 @@ ENTROPY_ALLOWLIST = (
 DETERMINISTIC_PREFIXES = (
     "repro.faults",
     "repro.experiments",
+    "repro.sim",               # replayable by definition: any entropy or
+                               # wall-clock read breaks seed reproduction
 )
+
+#: Module-name prefixes that place a module in the *test* scope: tests
+#: must be virtual-time deterministic (wall-clock rules only — tests may
+#: draw entropy, e.g. to generate throwaway keys).
+TEST_SCOPE_PREFIXES = ("tests",)
 
 #: The modules whose raises define the facade error contract: everything
 #: crossing XSearchDeployment / Broker / the proxy surface must be a
@@ -188,6 +197,14 @@ def in_deterministic_scope(module_name: str) -> bool:
     return any(
         module_name == prefix or module_name.startswith(prefix + ".")
         for prefix in DETERMINISTIC_PREFIXES
+    )
+
+
+def in_test_scope(module_name: str) -> bool:
+    """Whether the module is test code (wall-clock discipline only)."""
+    return any(
+        module_name == prefix or module_name.startswith(prefix + ".")
+        for prefix in TEST_SCOPE_PREFIXES
     )
 
 

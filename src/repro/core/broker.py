@@ -44,6 +44,7 @@ from repro.errors import (
     TransientError,
 )
 from repro.obs.tracing import PLACEMENT_CLIENT, event, span
+from repro.sim import hooks
 from repro.sgx.attestation import RemoteVerifier, report_data_for_key
 from repro.sgx.measurement import Measurement
 
@@ -72,7 +73,11 @@ class Broker:
 
     ``retry_policy`` is the default recovery policy for the query path
     (enclave-loss heal-and-retry); individual calls may override it.
-    ``clock`` is injectable so tests drive backoff on a virtual clock.
+    ``clock`` is injectable so tests drive backoff on a virtual clock,
+    and ``session_ids`` is an injectable id factory (used for the
+    initial session and every heal) so deterministic simulations can
+    pin the whole session-id stream; production brokers keep the
+    cryptographically random default.
     """
 
     #: Whether the most recent response was served in degraded mode.
@@ -83,13 +88,15 @@ class Broker:
                  expected_measurement: Measurement,
                  session_id: str = None,
                  retry_policy: RetryPolicy = None,
-                 clock=None,
+                 clock=None, session_ids=None,
                  recorder=None, registry=None):
         self._recorder = recorder
         self._registry = registry
         self._verifier = RemoteVerifier(service_public_key, expected_measurement)
+        self._session_ids = session_ids
         self._session_id = (
-            session_id if session_id is not None else secrets.token_hex(8)
+            session_id if session_id is not None
+            else self._mint_session_id()
         )
         # Against a cluster router the broker binds a per-session channel:
         # every call is routed to the replica its session is pinned to
@@ -143,13 +150,53 @@ class Broker:
         self.attested = True
 
         initiator = HandshakeInitiator()
-        self._proxy.begin_session(self._session_id, initiator.hello())
-        self._endpoint = initiator.finish(enclave_public)
+        confirmation = self._proxy.begin_session(
+            self._session_id, initiator.hello()
+        )
+        endpoint = initiator.finish(enclave_public)
+        # Key confirmation closes the handshake's splice window: if the
+        # enclave that accepted the session is not the one whose public
+        # value we keyed against (it crashed, respawned or failed over
+        # between the two calls), the tags disagree and we restart the
+        # handshake cleanly instead of wedging the session with
+        # mismatched keys on its first record.
+        if not endpoint.matches_confirmation(
+            confirmation, self._session_id.encode("utf-8")
+        ):
+            self.attested = False
+            raise EnclaveLostError(
+                "handshake was spliced across enclave generations "
+                "(key confirmation failed); restarting attestation"
+            )
+        self._endpoint = endpoint
         event(self._recorder, "broker.attested")
 
     def _on_connect_retry(self, attempt: int, exc: Exception) -> None:
         event(self._recorder, "retry", attempt=attempt,
               error=type(exc).__name__)
+        self._reset_session_for_retry(exc)
+
+    def _on_heal_connect_retry(self, attempt: int, exc: Exception) -> None:
+        # The heal's inner connect loop is a *nested* retry with its own
+        # policy; its events are named "connect.retry" so a trace's
+        # "retry" events stay countable against the root span's budget.
+        event(self._recorder, "connect.retry", attempt=attempt,
+              error=type(exc).__name__)
+        self._reset_session_for_retry(exc)
+
+    def _reset_session_for_retry(self, exc: Exception) -> None:
+        if isinstance(exc, EnclaveLostError):
+            # The session id may be half-established on some enclave (or
+            # pinned to a dead replica); restart under a fresh id so the
+            # retried handshake starts from a clean slate.
+            self._session_id = self._mint_session_id()
+            if self._router is not None:
+                self._proxy = self._router.for_session(self._session_id)
+
+    def _mint_session_id(self) -> str:
+        if self._session_ids is not None:
+            return self._session_ids()
+        return secrets.token_hex(8)
 
     def _heal(self, attempt: int, exc: Exception) -> None:
         """Recover from an enclave loss between retry attempts.
@@ -160,9 +207,10 @@ class Broker:
         under the connect-time retry policy so an attestation transient
         during recovery does not kill the heal.
         """
+        hooks.step("broker.heal", attempt=attempt)
         self._endpoint = None
         self.attested = False
-        self._session_id = secrets.token_hex(8)
+        self._session_id = self._mint_session_id()
         if self._router is not None:
             # Re-route under the new session id: if the old replica was
             # retired the consistent-hash ring now lands this session on
@@ -179,6 +227,7 @@ class Broker:
             policy=self._retry_policy,
             clock=self._clock,
             retry_on=(TransientError,),
+            on_retry=self._on_heal_connect_retry,
         )
 
     @property

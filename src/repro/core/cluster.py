@@ -44,6 +44,7 @@ import threading
 
 from repro.errors import EnclaveError, EnclaveLostError, ReproError
 from repro.obs.tracing import PLACEMENT_HOST, event, span
+from repro.sim import hooks
 
 #: Virtual nodes per replica on the hash ring: enough that adding a
 #: replica steals a near-uniform 1/N share of the keyspace.
@@ -426,6 +427,10 @@ class SessionRouter:
     def _dispatch_replica(self, replica: ReplicaHandle, name: str,
                           *args, **kwargs):
         replica_id = replica.replica_id
+        # Interleaving point before the replica call, outside every
+        # router lock: the simulation reorders dispatches against
+        # failovers and checkpoint replays here.
+        hooks.step("cluster.dispatch", op=name, replica=replica_id)
         with span(self._recorder, f"cluster.{name}",
                   placement=PLACEMENT_HOST, replica=replica_id):
             try:
@@ -529,6 +534,7 @@ class SessionRouter:
         """Retire a replica: mark it dead, pull it off the ring, re-pin
         its sessions to survivors and replay its last sealed checkpoint
         into them.  Idempotent; returns the number of sessions moved."""
+        hooks.step("cluster.failover", replica=replica_id)
         with self._ring_lock:
             handle = self._replicas.get(replica_id)
             if handle is None:
@@ -581,6 +587,10 @@ class SessionRouter:
                 entries = survivor.proxy.absorb_history(blob)
             except ReproError:
                 continue  # best-effort warm-up; the survivor serves cold
+            # The sealed-convergence oracle keys on these step events:
+            # every survivor recorded at kill time must absorb.
+            hooks.step("cluster.absorb", replica=survivor.replica_id,
+                       entries=entries)
             event(self._recorder, "cluster.checkpoint_replay",
                   source=handle.replica_id,
                   replica=survivor.replica_id, entries=entries)

@@ -151,6 +151,7 @@ class _ClientFacade:
     def __call__(self, *, user_id: str = "local-user",
                  session_id: str = None,
                  retry_policy: RetryPolicy = None,
+                 clock=None, session_ids=None,
                  connect: bool = True) -> XSearchClient:
         deployment = object.__getattribute__(self, "_deployment")
         broker = Broker(
@@ -159,6 +160,8 @@ class _ClientFacade:
             expected_measurement=deployment.proxy.measurement,
             session_id=session_id,
             retry_policy=retry_policy,
+            clock=clock,
+            session_ids=session_ids,
             recorder=deployment.recorder,
             registry=deployment.registry,
         )
@@ -207,7 +210,7 @@ class XSearchDeployment:
     @classmethod
     def create(cls, *, config: DeploymentConfig = None,
                engine: SearchEngine = None,
-               recorder=None, registry=None,
+               recorder=None, registry=None, attestation=None,
                k=_UNSET, history_capacity=_UNSET, seed=_UNSET,
                key_bits=_UNSET, connect=_UNSET,
                max_workers=_UNSET, coalesce_window=_UNSET,
@@ -216,8 +219,13 @@ class XSearchDeployment:
                **proxy_options) -> "XSearchDeployment":
         """Stand up a complete deployment from a :class:`DeploymentConfig`.
 
-        ``engine``, ``recorder`` and ``registry`` stay call arguments —
-        they are live objects, not configuration data.  When neither
+        ``engine``, ``recorder``, ``registry`` and ``attestation`` stay
+        call arguments — they are live objects, not configuration data.
+        ``attestation`` is an ``(attestation_service, quoting_enclave)``
+        pair, already provisioned for each other: the simulation
+        harness shares one across hundreds of deployments so each run
+        skips the RSA keygen (``config.key_bits`` is ignored when it is
+        given).  When neither
         recorder nor registry is passed the process defaults from
         :func:`repro.obs.install` are used; ``config.seed`` drives the
         synthetic corpus and each replica's obfuscation RNG (replica
@@ -264,11 +272,13 @@ class XSearchDeployment:
                 overrides["proxy_options"] = merged
             config = config.replace(**overrides)
         return cls._build(config, engine=engine,
-                          recorder=recorder, registry=registry)
+                          recorder=recorder, registry=registry,
+                          attestation=attestation)
 
     @classmethod
     def _build(cls, config: DeploymentConfig, *, engine,
-               recorder, registry) -> "XSearchDeployment":
+               recorder, registry,
+               attestation=None) -> "XSearchDeployment":
         if recorder is None and registry is None:
             from repro import obs
 
@@ -277,9 +287,12 @@ class XSearchDeployment:
             engine = SearchEngine.with_synthetic_corpus(seed=config.seed)
         tracking = TrackingSearchEngine(engine)
 
-        attestation_service = AttestationService(config.key_bits)
-        quoting_enclave = QuotingEnclave(config.key_bits)
-        attestation_service.provision_platform(quoting_enclave)
+        if attestation is not None:
+            attestation_service, quoting_enclave = attestation
+        else:
+            attestation_service = AttestationService(config.key_bits)
+            quoting_enclave = QuotingEnclave(config.key_bits)
+            attestation_service.provision_platform(quoting_enclave)
 
         shared_options = dict(config.proxy_options)
         if config.retry_policy is not None:

@@ -22,10 +22,10 @@ as SGX's second bottleneck.
 from __future__ import annotations
 
 import random
-import threading
 from collections import deque
 
 from repro.errors import EnclaveError
+from repro.sim import hooks
 
 # Conservative per-entry overhead: Python string header + deque slot.
 # What matters for Figure 6 is that the accounting is consistent and
@@ -54,7 +54,10 @@ class QueryHistory:
         self._namespace = memory_namespace
         self._entries = deque()
         self._bytes = 0
-        self._lock = threading.Lock()
+        # Sim-aware: the critical sections below contain cooperative
+        # step points, so under simulation a blocked acquirer must yield
+        # to the scheduler instead of wedging the run token.
+        self._lock = hooks.SimAwareLock("history")
         self._memory = enclave_memory
         # Absolute entry counters: segment of absolute index a is
         # a // SEGMENT_ENTRIES.
@@ -73,7 +76,15 @@ class QueryHistory:
         with self._lock:
             size = self._entry_size(query_text)
             self._entries.append(query_text)
-            self._bytes += size
+            # Read-then-publish byte accounting with a step point in
+            # between: under the simulation the scheduler may hand
+            # control to another appender exactly here, which is what
+            # lets the mutation gate prove a dropped lock tears the
+            # accounting.
+            new_bytes = self._bytes + size
+            hooks.step("history.append", bytes=new_bytes,
+                       entries=len(self._entries))
+            self._bytes = new_bytes
             self._charge_segment_locked(self._total_added, size)
             self._total_added += 1
             while len(self._entries) > self.capacity:
@@ -132,6 +143,35 @@ class QueryHistory:
         nothing outside the enclave may call this in a deployment)."""
         with self._lock:
             return list(self._entries)
+
+    def integrity_report(self) -> dict:
+        """Audit the byte/counter accounting against the entries.
+
+        Recomputes the footprint from first principles and compares it
+        with the incrementally-maintained counters; the simulation's
+        history-integrity oracle calls this (through an ecall) after
+        every run — torn updates from a racing appender show up as an
+        inconsistent report.  Sizes and counts only: no entry text.
+        """
+        with self._lock:
+            recomputed = sum(self._entry_size(text)
+                             for text in self._entries)
+            segment_total = sum(self._segment_bytes.values())
+            live = self._total_added - self._total_evicted
+            return {
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+                "recomputed_bytes": recomputed,
+                "segment_bytes": segment_total,
+                "total_added": self._total_added,
+                "total_evicted": self._total_evicted,
+                "consistent": (
+                    self._bytes == recomputed
+                    and segment_total == recomputed
+                    and live == len(self._entries)
+                    and len(self._entries) <= self.capacity
+                ),
+            }
 
     # ------------------------------------------------------------------
     # Internals

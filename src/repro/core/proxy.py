@@ -91,6 +91,7 @@ from repro.errors import (
 )
 from repro.faults.plan import KIND_TRANSIENT, SITE_ATTESTATION
 from repro.obs.tracing import PLACEMENT_ENCLAVE, event, span
+from repro.sim import hooks
 from repro.sgx.attestation import (
     AttestationService,
     AttestationVerdict,
@@ -313,8 +314,15 @@ class XSearchEnclaveCode:
         return report_data_for_key(self._responder.public_bytes())
 
     @ecall
-    def accept_session(self, session_id: str, client_hello: bytes) -> None:
+    def accept_session(self, session_id: str, client_hello: bytes) -> bytes:
         """Finish the key exchange for one client session.
+
+        Returns a key-confirmation tag over the freshly derived channel
+        keys: the client verifies it before trusting the session, so a
+        handshake spliced across two enclaves (fetching one enclave's
+        public value, completing the session on its respawned or
+        failed-over successor) is detected at connect time instead of
+        wedging the session with mismatched keys on its first record.
 
         The session table lives in EPC, so it is bounded: past
         ``max_sessions`` the oldest sessions are evicted (their clients
@@ -335,6 +343,7 @@ class XSearchEnclaveCode:
                 None,
                 nbytes=_SESSION_BYTES * len(self._sessions),
             )
+        return endpoint.confirmation(session_id.encode("utf-8"))
 
     # ------------------------------------------------------------------
     # ecall: request(sock, buff, len)
@@ -356,14 +365,29 @@ class XSearchEnclaveCode:
         transitions as SGX bottleneck #1).  Replies are returned in order.
         A malformed record fails the whole batch, exactly as the same
         record would fail its own ``request`` ecall.
+
+        Unit failure is *counter-transactional*: every record is
+        decrypted up front (receive counters advance past the whole
+        batch, matching the client that encrypted it all), and replies
+        are encrypted only once every record has been served (a failed
+        batch consumes no send counters).  Either way both sides of
+        each session agree on the counters afterwards, so the session
+        survives a failed batch.
         """
         self._require_configured()
         batch = list(batch)
         if self._fanout > 1 and len(batch) > 1:
             return self._serve_batch_fanned(batch, isolate=False)
-        return tuple(
-            self._handle_record(session_id, record)
+        opened = [
+            self._open_record(session_id, record)
             for session_id, record in batch
+        ]
+        responses = [
+            self._serve_message(message) for _endpoint, message in opened
+        ]
+        return tuple(
+            endpoint.encrypt(response.encode())
+            for (endpoint, _message), response in zip(opened, responses)
         )
 
     @ecall
@@ -450,7 +474,7 @@ class XSearchEnclaveCode:
             for index, entry in enumerate(staged)
             if entry[2] is not None
         }
-        entries = []
+        resolved = []
         first_error = None
         for index, entry in enumerate(staged):
             endpoint, _request, _obfuscated, error, response = entry
@@ -461,21 +485,21 @@ class XSearchEnclaveCode:
                     error = None
                 except ReproError as exc:
                     error = exc
+            resolved.append((endpoint, error, response))
+            if error is not None and not isolate and first_error is None:
+                first_error = error
+        if first_error is not None:
+            # Whole-batch mode: raise before any reply is encrypted, so
+            # a failed batch consumes no send counters and the sessions'
+            # channels stay aligned with their clients.
+            raise first_error
+        entries = []
+        for endpoint, error, response in resolved:
             if error is not None:
-                if isolate:
-                    entries.append(("err", error))
-                elif first_error is None:
-                    first_error = error
-                continue
-            if first_error is not None:
-                # Whole-batch mode and already failing: skip the encrypt
-                # so no further send counters are consumed for replies
-                # the caller will never see.
+                entries.append(("err", error))
                 continue
             reply = endpoint.encrypt(response.encode())
             entries.append(("ok", reply) if isolate else reply)
-        if first_error is not None:
-            raise first_error
         return tuple(entries)
 
     @ecall
@@ -596,6 +620,29 @@ class XSearchEnclaveCode:
         return blob, len(self._history)
 
     @ecall
+    def history_integrity(self) -> dict:
+        """Sizes-only consistency audit of the in-enclave tables.
+
+        The simulation's invariant oracles call this after every run to
+        prove no interleaving tore the history or cache accounting.
+        Everything reported is byte counts and entry counts — data the
+        host could already derive from the EPC metering it performs —
+        so exposing the audit leaks nothing beyond the §3 adversary's
+        existing view.
+        """
+        self._require_configured()
+        report = {"history": self._history.integrity_report()}
+        if self._cache is not None:
+            report["result_cache"] = self._cache.integrity_report()
+        if self._degraded is not None:
+            report["degraded_cache"] = self._degraded.integrity_report()
+        report["consistent"] = all(
+            section["consistent"] for name, section in report.items()
+            if name != "consistent"
+        )
+        return report
+
+    @ecall
     def shutdown(self) -> int:
         """Graceful teardown: close every pooled engine connection.
 
@@ -713,7 +760,10 @@ class XSearchEnclaveCode:
                 flight = _InflightQuery()
                 self._inflight[cache_key] = flight
         if not leader:
-            flight.done.wait()
+            # Sim-aware wait: a simulated follower must yield to the
+            # scheduler while the leader fills the cache, or the whole
+            # simulation would wedge on the run token.
+            hooks.sim_wait(flight.done)
             self._bump("singleflight_hits")
             event(self._recorder, "cache.coalesced")
             if flight.error is not None:
@@ -1034,6 +1084,14 @@ class XSearchProxyHost:
         self._history_checkpoint = None
         self._enclave_lock = threading.RLock()
         self._closed = False
+        # Sessions the host has relayed handshakes for.  When the
+        # enclave dies, its session keys die with it: every live session
+        # moves to the displaced set, and data ops on a displaced
+        # session raise EnclaveLostError (recoverable: re-attest and
+        # re-handshake) instead of the enclave's own "unknown session"
+        # EnclaveError, which clients have no reason to retry.
+        self._live_session_ids = set()
+        self._displaced_session_ids = set()
         self.respawn_count = 0
         self.checkpoint_count = 0
         self.checkpoint_failures = 0
@@ -1079,6 +1137,8 @@ class XSearchProxyHost:
         # Pooled sockets belonged to the dead enclave: drop their host
         # side so the respawned pool starts clean.
         self.gateway.reset_connections()
+        self._displaced_session_ids |= self._live_session_ids
+        self._live_session_ids = set()
         self.respawn_count += 1
         self.last_restore_count = None
         self.last_restore_expected = None
@@ -1107,7 +1167,11 @@ class XSearchProxyHost:
         """
         with self._enclave_lock:
             if self._closed:
-                raise EnclaveError("proxy host is closed")
+                # A closed host means its enclave (and every session key
+                # inside it) is gone — a *loss*, not a hard protocol
+                # error: clients re-attest elsewhere, and a cluster
+                # router counts the loss toward failover.
+                raise EnclaveLostError("proxy host is closed")
             if not self.enclave.is_initialized:
                 self._respawn_locked()
             enclave = self.enclave
@@ -1125,6 +1189,11 @@ class XSearchProxyHost:
         Returns the number of history entries captured.
         """
         blob, entries = self._call("checkpoint_history")
+        # Step point deliberately *between* the ecall and publishing the
+        # blob: the simulation explores a failover racing an in-flight
+        # checkpoint.  Never inside _checkpoint_lock — the holder of a
+        # native lock must not yield.
+        hooks.step("proxy.checkpoint", entries=entries)
         with self._checkpoint_lock:
             self._history_checkpoint = (blob, entries)
         self.checkpoint_count += 1
@@ -1138,6 +1207,7 @@ class XSearchProxyHost:
         """Periodic checkpointing, driven by served-request volume."""
         if self._checkpoint_interval is None or self._sealing_platform is None:
             return
+        hooks.step("proxy.maintenance", count=count)
         with self._checkpoint_lock:
             self._requests_since_checkpoint += count
             due = (self._requests_since_checkpoint
@@ -1220,7 +1290,11 @@ class XSearchProxyHost:
                 )
         with self._enclave_lock:
             if self._closed:
-                raise EnclaveError("proxy host is closed")
+                # A closed host means its enclave (and every session key
+                # inside it) is gone — a *loss*, not a hard protocol
+                # error: clients re-attest elsewhere, and a cluster
+                # router counts the loss toward failover.
+                raise EnclaveLostError("proxy host is closed")
             if not self.enclave.is_initialized:
                 self._respawn_locked()
             enclave = self.enclave
@@ -1230,10 +1304,24 @@ class XSearchProxyHost:
     # ------------------------------------------------------------------
     # Session relay (all payloads opaque to the host)
     # ------------------------------------------------------------------
-    def begin_session(self, session_id: str, client_hello: bytes) -> None:
-        self._call("accept_session", session_id, client_hello)
+    def begin_session(self, session_id: str, client_hello: bytes) -> bytes:
+        confirmation = self._call("accept_session", session_id, client_hello)
+        with self._enclave_lock:
+            self._live_session_ids.add(session_id)
+            self._displaced_session_ids.discard(session_id)
+        return confirmation
+
+    def _check_displaced(self, session_id: str) -> None:
+        with self._enclave_lock:
+            displaced = session_id in self._displaced_session_ids
+        if displaced:
+            raise EnclaveLostError(
+                f"session {session_id!r} died with its enclave; "
+                f"re-attest to establish a new one"
+            )
 
     def request(self, session_id: str, record: bytes) -> bytes:
+        self._check_displaced(session_id)
         if self._registry is not None:
             self._registry.counter("proxy.requests").inc()
             self._registry.histogram(
@@ -1253,6 +1341,8 @@ class XSearchProxyHost:
         batch = list(batch)
         if not batch:
             return ()
+        for session_id, _record in batch:
+            self._check_displaced(session_id)
         if self._registry is not None:
             self._registry.counter("proxy.requests").inc(len(batch))
             self._registry.histogram(
@@ -1273,18 +1363,41 @@ class XSearchProxyHost:
         batch = list(batch)
         if not batch:
             return ()
+        # Per-record isolation extends to displaced sessions: a record
+        # whose session died with a previous enclave fails alone, the
+        # rest of the coalesced batch is still served.
+        with self._enclave_lock:
+            lost = {
+                index
+                for index, (session_id, _record) in enumerate(batch)
+                if session_id in self._displaced_session_ids
+            }
         if self._registry is not None:
             self._registry.counter("proxy.requests").inc(len(batch))
             self._registry.histogram(
                 "proxy.request.batch_size"
             ).record(len(batch))
-        entries = self._call("request_many", batch)
+        remainder = [pair for index, pair in enumerate(batch)
+                     if index not in lost]
+        served = iter(
+            self._call("request_many", remainder) if remainder else ())
+        entries = tuple(
+            ("err", EnclaveLostError(
+                f"session {batch[index][0]!r} died with its enclave; "
+                f"re-attest to establish a new one"))
+            if index in lost else next(served)
+            for index in range(len(batch))
+        )
         self._after_requests(len(batch))
         return entries
 
     def perf_stats(self) -> dict:
         """The enclave's hot-path counters (pool/cache/engine traffic)."""
         return self._call("perf_stats")
+
+    def history_integrity(self) -> dict:
+        """Sizes-only audit of the in-enclave accounting (sim oracle)."""
+        return self._call("history_integrity")
 
     # ------------------------------------------------------------------
     # Sealed persistence (host stores opaque blobs only)

@@ -24,11 +24,11 @@ paging pressure applies to it unchanged.
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.errors import EnclaveError
+from repro.sim import hooks
 
 # Default byte budget: a few thousand result pages, far below the EPC.
 DEFAULT_CACHE_BYTES = 4 * 1024 * 1024
@@ -68,7 +68,10 @@ class ResultCache:
         self._memory_key = memory_key
         self._entries = OrderedDict()  # key -> (value, nbytes)
         self._bytes = 0
-        self._lock = threading.Lock()
+        # Sim-aware: ``put`` carries a cooperative step point inside the
+        # critical section (the hammer test injects EPC pressure there),
+        # so simulated threads must yield rather than block on it.
+        self._lock = hooks.SimAwareLock("result_cache")
         self.stats = CacheStats()
 
     # ------------------------------------------------------------------
@@ -103,7 +106,14 @@ class ResultCache:
             if old is not None:
                 self._bytes -= old[1]
             self._entries[key] = (value, nbytes)
-            self._bytes += nbytes
+            new_bytes = self._bytes + nbytes
+            # Step point inside the critical section: the concurrency
+            # hammer fires EPC pressure spikes here, which is safe
+            # exactly because the lock serialises every cache-side EPC
+            # mutation around the spike.
+            hooks.step("cache.put", bytes=new_bytes,
+                       entries=len(self._entries))
+            self._bytes = new_bytes
             self.stats.insertions += 1
             while self._bytes > self.max_bytes:
                 _, (_, evicted_bytes) = self._entries.popitem(last=False)
@@ -126,6 +136,26 @@ class ResultCache:
     def __contains__(self, key: str) -> bool:
         with self._lock:
             return key in self._entries
+
+    def integrity_report(self) -> dict:
+        """Audit the byte accounting against the live entries.
+
+        Recomputes the footprint from the stored per-entry sizes and
+        checks the budget is respected; the hammer test and the sim's
+        history-integrity oracle assert ``consistent`` after every run.
+        Sizes and counts only — no keys or cached payloads.
+        """
+        with self._lock:
+            recomputed = sum(nbytes for _, nbytes in
+                             self._entries.values())
+            return {
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+                "recomputed_bytes": recomputed,
+                "max_bytes": self.max_bytes,
+                "consistent": (self._bytes == recomputed
+                               and self._bytes <= self.max_bytes),
+            }
 
     # ------------------------------------------------------------------
     # Internals

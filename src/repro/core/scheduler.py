@@ -58,6 +58,7 @@ from collections import deque
 from repro.errors import EnclaveError, ReproError
 from repro.obs.tracing import PLACEMENT_HOST, span
 from repro.net.clock import SystemClock
+from repro.sim import hooks
 
 DEFAULT_MAX_WORKERS = 4
 DEFAULT_MAX_BATCH = 8
@@ -252,6 +253,10 @@ class RequestScheduler:
             batch = self._collect()
             if batch is None:
                 return
+            # Cooperative yield between collecting a batch and issuing
+            # its ecall, with no locks held: the simulation interleaves
+            # worker dispatch against failover and heal paths here.
+            hooks.step("scheduler.batch", size=len(batch))
             self._execute(batch)
 
     def _collect(self):

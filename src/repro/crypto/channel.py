@@ -14,15 +14,18 @@ integrity and replay protection for an agreed key.
 
 from __future__ import annotations
 
+import hashlib
+import hmac
 import struct
 
 from repro.crypto.aead import aead_decrypt, aead_encrypt
 from repro.crypto.dh import DEFAULT_GROUP, DhGroup, DhKeyPair
 from repro.crypto.kdf import derive_subkeys
-from repro.errors import CryptoError, ProtocolError
+from repro.errors import AuthenticationError, CryptoError, ProtocolError
 
 _NONCE_PREFIX = b"\x00\x00\x00\x00"
 _MAX_COUNTER = (1 << 64) - 1
+_CONFIRM_LABEL = b"repro.crypto.channel.confirm.v1"
 
 
 class ChannelEndpoint:
@@ -62,6 +65,41 @@ class ChannelEndpoint:
         )
         self._recv_counter += 1
         return plaintext
+
+    def confirmation(self, context: bytes = b"") -> bytes:
+        """A key-confirmation tag over this endpoint's *send* key.
+
+        Both sides of a correctly completed handshake derive the same
+        directional keys, so the peer can recompute this tag from its
+        *receive* key (:meth:`verify_confirmation`).  A mismatch proves
+        the two endpoints keyed against different handshakes — e.g. a
+        client that fetched one enclave's public value but completed the
+        session on a respawned (or failed-over) enclave.  The tag is a
+        labelled hash, so it reveals nothing about the key and consumes
+        no message counters: existing record streams are unaffected.
+        """
+        return hashlib.sha256(
+            _CONFIRM_LABEL + self._send_key + context
+        ).digest()
+
+    def matches_confirmation(self, tag: bytes, context: bytes = b"") -> bool:
+        """Whether ``tag`` is the peer's :meth:`confirmation` for our
+        recv key.  Non-raising so callers can treat a mismatch as a
+        routing/liveness signal (the handshake landed on a different
+        enclave generation) rather than a record-channel crypto failure.
+        """
+        expected = hashlib.sha256(
+            _CONFIRM_LABEL + self._recv_key + context
+        ).digest()
+        return hmac.compare_digest(expected, bytes(tag))
+
+    def verify_confirmation(self, tag: bytes, context: bytes = b"") -> None:
+        """Check the peer's :meth:`confirmation` against our recv key."""
+        if not self.matches_confirmation(tag, context):
+            raise AuthenticationError(
+                "channel key confirmation failed: peer derived different "
+                "session keys (handshake was spliced or peer restarted)"
+            )
 
 
 class HandshakeInitiator:

@@ -35,12 +35,15 @@ class VirtualClock:
     """A simulated clock: ``sleep`` advances time without blocking.
 
     ``sleeps`` records every requested delay in order, so tests can
-    assert a policy's exact backoff sequence.
+    assert a policy's exact backoff sequence.  ``on_advance`` (when
+    provided) observes every time hop — the simulation harness folds
+    the hops into its replay digest.
     """
 
-    def __init__(self, start: float = 0.0):
+    def __init__(self, start: float = 0.0, *, on_advance=None):
         self._now = float(start)
         self.sleeps = []
+        self._on_advance = on_advance
 
     def time(self) -> float:
         return self._now
@@ -50,9 +53,15 @@ class VirtualClock:
             raise ValueError("cannot sleep a negative duration")
         self.sleeps.append(seconds)
         self._now += seconds
+        self._notify(seconds)
 
     def advance(self, seconds: float) -> None:
         """Move time forward without recording a sleep (external events)."""
         if seconds < 0:
             raise ValueError("cannot advance time backwards")
         self._now += seconds
+        self._notify(seconds)
+
+    def _notify(self, seconds: float) -> None:
+        if self._on_advance is not None:
+            self._on_advance(seconds)

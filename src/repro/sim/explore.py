@@ -1,0 +1,141 @@
+"""Seed-space exploration and failure shrinking.
+
+:func:`explore` sweeps N seeds × M interleavings of a base
+:class:`~repro.sim.world.WorldSpec`, collecting every failing run; for
+each failure :func:`shrink` searches for a smaller world (fewer
+clients, fewer ops, shorter chaos schedule) that still violates the
+same harness, delta-debugging style.  Because every run is fully
+deterministic, the shrunk spec — plus its recorded scheduling decision
+list — *is* the reproduction recipe: ``run_sim(spec,
+schedule=failure.schedule)`` replays the identical trace digest.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from repro.sim.world import WorldSpec, chaos_schedule, run_sim
+
+__all__ = ["ExploreResult", "Failure", "explore", "shrink"]
+
+
+@dataclass
+class Failure:
+    """One failing run, with its shrunk reproduction if requested."""
+
+    spec: WorldSpec
+    digest: str
+    violations: list
+    schedule: list
+    shrunk: WorldSpec = None
+    shrunk_violations: list = None
+
+    def to_artifact(self) -> dict:
+        artifact = {
+            "spec": dataclasses.asdict(self.spec),
+            "digest": self.digest,
+            "violations": list(self.violations),
+            "schedule": list(self.schedule),
+        }
+        if self.shrunk is not None:
+            artifact["shrunk_spec"] = dataclasses.asdict(self.shrunk)
+            artifact["shrunk_violations"] = list(self.shrunk_violations)
+        return artifact
+
+
+@dataclass
+class ExploreResult:
+    runs: int = 0
+    failures: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def to_artifact(self) -> dict:
+        return {
+            "runs": self.runs,
+            "failures": [failure.to_artifact()
+                         for failure in self.failures],
+        }
+
+
+def explore(base_spec: WorldSpec, *, seeds, interleavings: int = 1,
+            shrink_failures: bool = True, stop_after: int = None,
+            on_run=None) -> ExploreResult:
+    """Run every (seed, interleaving) world derived from ``base_spec``.
+
+    Each seed gets its own :func:`chaos_schedule` (unless the base spec
+    pinned one), so the sweep varies fault timing as well as task
+    interleaving.  ``stop_after`` bounds how many failures are
+    collected before the sweep stops early; ``on_run(report)`` is a
+    progress callback (the explorer CLI uses it).
+    """
+    result = ExploreResult()
+    for seed in seeds:
+        for interleaving in range(interleavings):
+            spec = base_spec.replace(seed=seed, interleaving=interleaving)
+            if not base_spec.chaos:
+                spec = spec.replace(chaos=chaos_schedule(seed))
+            report = run_sim(spec)
+            result.runs += 1
+            if on_run is not None:
+                on_run(report)
+            if report.ok:
+                continue
+            failure = Failure(
+                spec=spec,
+                digest=report.digest,
+                violations=list(report.violations),
+                schedule=list(report.schedule),
+            )
+            if shrink_failures:
+                shrunk = shrink(spec)
+                failure.shrunk = shrunk
+                failure.shrunk_violations = list(
+                    run_sim(shrunk).violations)
+            result.failures.append(failure)
+            if stop_after is not None and (
+                    len(result.failures) >= stop_after):
+                return result
+    return result
+
+
+def _candidates(spec: WorldSpec):
+    """Strictly smaller worlds, most aggressive reductions first."""
+    if spec.clients > 1:
+        yield spec.replace(clients=max(1, spec.clients // 2))
+        yield spec.replace(clients=spec.clients - 1)
+    if spec.ops_per_client > 1:
+        yield spec.replace(
+            ops_per_client=max(1, spec.ops_per_client // 2))
+        yield spec.replace(ops_per_client=spec.ops_per_client - 1)
+    if spec.chaos:
+        half = len(spec.chaos) // 2
+        yield spec.replace(chaos=spec.chaos[:half])
+        yield spec.replace(chaos=spec.chaos[1:])
+        yield spec.replace(chaos=spec.chaos[:-1])
+    if spec.replicas > 1:
+        yield spec.replace(replicas=spec.replicas - 1, chaos=tuple(
+            action for action in spec.chaos
+            if action not in ("kill", "add")))
+
+
+def shrink(spec: WorldSpec, *, max_rounds: int = 12) -> WorldSpec:
+    """Greedy ddmin over the spec's size dimensions.
+
+    Repeatedly tries smaller candidate worlds, keeping any that still
+    fail, until no reduction reproduces the failure (or the round
+    budget runs out).  Returns the smallest failing spec found — the
+    input itself if nothing smaller fails.
+    """
+    current = spec
+    for _round in range(max_rounds):
+        for candidate in _candidates(current):
+            if run_sim(candidate).violations:
+                current = candidate
+                break
+        else:
+            break
+    return current

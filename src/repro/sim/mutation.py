@@ -1,0 +1,60 @@
+"""Planted bugs that the simulation harness must catch.
+
+A testing harness that has never caught a bug proves nothing; the
+mutation sanity gate reintroduces a *known* concurrency bug into a
+freshly built deployment and asserts the invariant oracles flag it
+within the PR-depth seed budget.  The planted bug is the classic one
+this codebase's lock discipline exists to prevent: dropping the lock
+around the enclave's query-history accounting, so two interleaved
+appends tear the byte counter (a lost update the ``history-integrity``
+oracle recomputes and rejects).
+
+The mutation is applied at *runtime* — the source is untouched, xlint
+stays clean — by swapping the history's :class:`~repro.sim.hooks
+.SimAwareLock` for a no-op lock on the primary replica's enclave.
+"""
+
+from __future__ import annotations
+
+__all__ = ["MUTATIONS", "apply_mutation"]
+
+
+class _NullLock:
+    """Satisfies the lock interface while excluding nothing."""
+
+    def acquire(self, blocking: bool = True, timeout: float = None):
+        return True
+
+    def release(self) -> None:
+        pass
+
+    def locked(self) -> bool:
+        return False
+
+    def __enter__(self) -> "_NullLock":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+def _unlock_history(deployment) -> None:
+    """Drop the lock guarding the primary enclave's query history."""
+    instance = deployment.proxy.enclave._instance
+    instance._history._lock = _NullLock()
+
+
+#: name -> mutator(deployment); applied after build, before traffic.
+MUTATIONS = {
+    "history-unlocked": _unlock_history,
+}
+
+
+def apply_mutation(deployment, name: str) -> None:
+    try:
+        mutator = MUTATIONS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown mutation {name!r}; known: {sorted(MUTATIONS)}"
+        ) from None
+    mutator(deployment)

@@ -1,0 +1,110 @@
+"""Canonical simulation traces and their replay digest.
+
+A simulation run is summarised by a :class:`SimTrace`: the scheduling
+decisions, the step sites each task visited, the operation outcomes the
+clients observed, the fault-plan firings, and the virtual-clock hops.
+Two runs of the same (seed, interleaving) must produce *identical*
+digests — that is the harness's core promise, and the determinism test
+enforces it.
+
+Key material, ciphertexts and DH randomness are deliberately excluded:
+session-key entropy varies run to run but never influences control
+flow, so hashing it would make the digest useless without making the
+simulation any more honest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+__all__ = ["SimTrace"]
+
+
+class SimTrace:
+    """Accumulates the deterministic record of one simulation run."""
+
+    def __init__(self, seed: int, interleaving: int):
+        self.seed = seed
+        self.interleaving = interleaving
+        self.schedule = []
+        self.steps = []
+        self.ops = []
+        self.faults = []
+        self.clock_hops = []
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_schedule(self, schedule) -> None:
+        self.schedule = list(schedule)
+
+    def record_steps(self, events) -> None:
+        """``events`` is the scheduler's (task, site, info) list."""
+        self.steps = [
+            (task, site, _canonical(info)) for task, site, info in events
+        ]
+
+    def record_op(self, client: str, op: str, outcome: str, detail="") -> None:
+        self.ops.append((client, op, outcome, str(detail)))
+
+    def record_faults(self, fault_traces) -> None:
+        """Fold in :class:`~repro.faults.plan.InjectedFault` entries."""
+        for entry in fault_traces:
+            self.faults.append(
+                (str(entry.site), str(entry.kind), int(entry.operation))
+            )
+
+    def record_clock_hop(self, seconds: float) -> None:
+        self.clock_hops.append(round(float(seconds), 9))
+
+    # ------------------------------------------------------------------
+    # Digest
+    # ------------------------------------------------------------------
+    def digest(self) -> str:
+        """sha256 over the canonical JSON encoding of the whole trace."""
+        payload = {
+            "seed": self.seed,
+            "interleaving": self.interleaving,
+            "schedule": self.schedule,
+            "steps": self.steps,
+            "ops": self.ops,
+            "faults": self.faults,
+            "clock_hops": self.clock_hops,
+        }
+        encoded = json.dumps(
+            payload, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+        return hashlib.sha256(encoded).hexdigest()
+
+    def summary(self) -> dict:
+        return {
+            "seed": self.seed,
+            "interleaving": self.interleaving,
+            "scheduling_decisions": len(self.schedule),
+            "steps": len(self.steps),
+            "ops": len(self.ops),
+            "faults": len(self.faults),
+            "clock_hops": len(self.clock_hops),
+            "digest": self.digest(),
+        }
+
+
+def _canonical(info: dict) -> str:
+    """Deterministic, key-sorted rendering of a step's info dict."""
+    return json.dumps(
+        {k: _scrub(v) for k, v in info.items()},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+def _scrub(value):
+    """Coerce step-info values to JSON-stable primitives."""
+    if isinstance(value, (bool, int, str)) or value is None:
+        return value
+    if isinstance(value, float):
+        return round(value, 9)
+    if isinstance(value, bytes):
+        return f"<{len(value)} bytes>"
+    return str(value)

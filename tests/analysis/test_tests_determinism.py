@@ -1,0 +1,70 @@
+"""The tests-scope determinism gate: no wall clock in the suite itself.
+
+A tier-1 suite that sleeps or reads ``time.time()`` is flaky by
+construction and breaks the DST promise that every run is a pure
+function of its seeds, so the determinism checker extends its
+wall-clock rules (XD001/XD002) over ``tests/`` — waiver-free.  Entropy
+and global randomness stay allowed in tests (throwaway fixtures), which
+these unit cases pin down.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.analysis import ModuleGraph, SourceModule, run_checks
+from repro.analysis.checks.determinism import DeterminismChecker
+from repro.analysis.placement import in_test_scope
+
+TESTS_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..")
+)
+
+
+def test_scope_predicate():
+    assert in_test_scope("tests")
+    assert in_test_scope("tests.sgx.test_tcs")
+    assert not in_test_scope("repro.core.proxy")
+    assert not in_test_scope("testsuite.other")
+
+
+def test_whole_suite_is_wall_clock_free():
+    graph = ModuleGraph.from_root(TESTS_ROOT)
+    assert any(m.name.startswith("tests.") for m in graph)
+    result = run_checks(graph, checkers=[DeterminismChecker()])
+    clock_findings = [f for f in result.findings
+                     if f.code in ("XD001", "XD002")]
+    assert clock_findings == [], "\n".join(
+        f.render() for f in clock_findings
+    )
+
+
+def _lint(name, source):
+    module = SourceModule.from_source(name, source)
+    return run_checks([module], checkers=[DeterminismChecker()]).findings
+
+
+def test_wall_clock_in_a_test_module_is_flagged():
+    findings = _lint(
+        "tests.core.test_bad",
+        "import time\n\ndef test_x():\n    time.sleep(0.1)\n",
+    )
+    assert [f.code for f in findings] == ["XD001"]
+
+
+def test_datetime_now_in_a_test_module_is_flagged():
+    findings = _lint(
+        "tests.core.test_bad",
+        "import datetime\n\ndef test_x():\n"
+        "    return datetime.datetime.now()\n",
+    )
+    assert [f.code for f in findings] == ["XD002"]
+
+
+def test_entropy_and_global_random_stay_allowed_in_tests():
+    findings = _lint(
+        "tests.core.test_fixture",
+        "import random\nimport secrets\n\ndef test_x():\n"
+        "    return random.random(), secrets.token_hex(8)\n",
+    )
+    assert findings == []

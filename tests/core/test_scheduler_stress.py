@@ -87,10 +87,17 @@ def test_stress_every_request_has_exactly_one_outcome():
         for _, _, (kind, _) in outcomes:
             kinds[kind] = kinds.get(kind, 0) + 1
         # The fault plan guarantees the interesting mix actually
-        # happened: plenty of clean replies, and at least one
-        # fault-shaped outcome (degraded reply or typed error).
+        # happened: plenty of clean replies, and every injected fault
+        # either surfaced as a typed outcome (degraded reply / error)
+        # or was healed transparently (enclave crash -> re-attest and
+        # resubmit, which the heal counter records; since sessions that
+        # die with their enclave now heal instead of wedging, a fully
+        # clean outcome list is legitimate as long as heals happened).
+        heals = registry.get("broker.heals")
+        healed = heals.value if heals is not None else 0
         assert kinds.get("reply", 0) > 0
-        assert (kinds.get("degraded", 0) + kinds.get("error", 0)) > 0
+        assert (kinds.get("degraded", 0) + kinds.get("error", 0)
+                + healed) > 0
 
         # Coalescing never merges across crypto sessions: identical
         # plaintext from different users produces distinct ciphertext

@@ -1,0 +1,162 @@
+"""RFC 8439 appendix vectors + channel key-confirmation properties.
+
+The main body vectors (§2.3.2, §2.4.2, §2.5.2, §2.8.2) live in the
+per-primitive test files; this file pins the *appendix* vectors the
+suite did not yet cover — the Poly1305 one-time-key generation (§2.6.2)
+and the independent AEAD decryption vector (A.5) — and then exercises
+the channel's key-confirmation tags and the counter-desync regressions
+behind the transactional-batch fix: a failed decrypt must never
+advance a counter, and confirmation tags must consume none.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aead import aead_decrypt
+from repro.crypto.chacha20 import chacha20_block
+from repro.crypto.channel import establish_pair
+from repro.errors import AuthenticationError
+
+
+def test_poly1305_key_generation_vector():
+    # RFC 8439 §2.6.2: the one-time Poly1305 key is the first 32 bytes
+    # of the ChaCha20 block with counter 0.
+    key = bytes(range(0x80, 0xA0))
+    nonce = bytes.fromhex("000000000001020304050607")
+    expected = bytes.fromhex(
+        "8ad5a08b905f81cc815040274ab29471"
+        "a833b637e3fd0da508dbb8e2fdd1a646"
+    )
+    assert chacha20_block(key, 0, nonce)[:32] == expected
+
+
+def test_aead_decryption_vector_a5():
+    # RFC 8439 A.5: an independent *decryption* vector (different key,
+    # nonce and AAD than §2.8.2), proving the open path against a
+    # ciphertext we never produced ourselves.
+    key = bytes.fromhex(
+        "1c9240a5eb55d38af333888604f6b5f0"
+        "473917c1402b80099dca5cbc207075c0"
+    )
+    nonce = bytes.fromhex("000000000102030405060708")
+    aad = bytes.fromhex("f33388860000000000004e91")
+    ciphertext = bytes.fromhex(
+        "64a0861575861af460f062c79be643bd5e805cfd345cf389f108670ac76c8cb2"
+        "4c6cfc18755d43eea09ee94e382d26b0bdb7b73c321b0100d4f03b7f355894cf"
+        "332f830e710b97ce98c8a84abd0b948114ad176e008d33bd60f982b1ff37c855"
+        "9797a06ef4f0ef61c186324e2b3506383606907b6a7c02b0f9f6157b53c867e4"
+        "b9166c767b804d46a59b5216cde7a4e99040c5a40433225ee282a1b0a06c523e"
+        "af4534d7f83fa1155b0047718cbc546a0d072b04b3564eea1b422273f548271a"
+        "0bb2316053fa76991955ebd63159434ecebb4e466dae5a1073a6727627097a10"
+        "49e617d91d361094fa68f0ff77987130305beaba2eda04df997b714d6c6f2c29"
+        "a6ad5cb4022b02709b"
+    )
+    tag = bytes.fromhex("eead9d67890cbb22392336fea1851f38")
+    plaintext = aead_decrypt(key, nonce, ciphertext + tag, aad)
+    assert plaintext.startswith(b"Internet-Drafts are draft documents")
+
+
+# ----------------------------------------------------------------------
+# Key confirmation (the handshake-splice detector)
+# ----------------------------------------------------------------------
+def test_confirmation_roundtrip():
+    a, b = establish_pair()
+    context = b"session-41"
+    tag = b.confirmation(context)
+    assert a.matches_confirmation(tag, context)
+    a.verify_confirmation(tag, context)  # raising form agrees
+
+
+def test_confirmation_binds_context():
+    a, b = establish_pair()
+    tag = b.confirmation(b"session-41")
+    assert not a.matches_confirmation(tag, b"session-42")
+    with pytest.raises(AuthenticationError):
+        a.verify_confirmation(tag, b"session-42")
+
+
+def test_spliced_handshakes_fail_confirmation():
+    # The X-Search failover splice: the client keyed against one
+    # enclave's handshake but the session landed on another.  The
+    # confirmation tags must disagree.
+    a, _ = establish_pair()
+    _, other = establish_pair()
+    assert not a.matches_confirmation(other.confirmation(b"sid"), b"sid")
+
+
+def test_confirmation_consumes_no_counters():
+    # The tag is hash-derived, not an AEAD record: exchanging any
+    # number of confirmations must leave the record streams untouched.
+    a, b = establish_pair()
+    for _ in range(3):
+        assert a.matches_confirmation(b.confirmation(b"s"), b"s")
+        assert b.matches_confirmation(a.confirmation(b"s"), b"s")
+    assert b.decrypt(a.encrypt(b"first record")) == b"first record"
+    assert a.decrypt(b.encrypt(b"first reply")) == b"first reply"
+
+
+def test_confirmation_direction_matters():
+    # a's own send-key tag must not validate against a's recv key:
+    # the tag proves the *peer's* derivation, not our own.
+    a, _ = establish_pair()
+    assert not a.matches_confirmation(a.confirmation(b"s"), b"s")
+
+
+# ----------------------------------------------------------------------
+# Counter-desync regressions (the transactional-batch contract)
+# ----------------------------------------------------------------------
+def test_failed_decrypt_does_not_advance_counter():
+    a, b = establish_pair()
+    good = a.encrypt(b"record-0")
+    with pytest.raises(AuthenticationError):
+        b.decrypt(good[:-1] + bytes([good[-1] ^ 1]))
+    # The garbled record consumed nothing: the true record still opens.
+    assert b.decrypt(good) == b"record-0"
+
+
+def test_batch_prefix_failure_recovers_when_all_decrypted():
+    # The serial-batch regression: a batch of N records must advance
+    # the receiver by exactly N even if serving fails afterwards, so
+    # both sides agree on counters for the *next* batch.  Model the
+    # enclave's decrypt-all-upfront discipline directly.
+    client, enclave = establish_pair()
+    batch = [client.encrypt(f"query-{i}".encode()) for i in range(3)]
+    opened = [enclave.decrypt(record) for record in batch]
+    assert opened == [b"query-0", b"query-1", b"query-2"]
+    # Engine fails, no replies encrypted (send counter unmoved): the
+    # next exchange still lines up in both directions.
+    retry = client.encrypt(b"query-retry")
+    assert enclave.decrypt(retry) == b"query-retry"
+    assert client.decrypt(enclave.encrypt(b"reply")) == b"reply"
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31),
+       splits=st.lists(st.integers(min_value=1, max_value=5),
+                       min_size=1, max_size=5))
+@settings(max_examples=40, deadline=None)
+def test_counter_symmetry_property(seed, splits):
+    # Any sequence of request/reply bursts keeps the two endpoints'
+    # counters mirror-symmetric; a desync would surface as an
+    # AuthenticationError on the first record after it.
+    import random
+    rng = random.Random(seed)
+    a, b = establish_pair()
+    for burst in splits:
+        for _ in range(burst):
+            payload = bytes([rng.randrange(256) for _ in range(8)])
+            assert b.decrypt(a.encrypt(payload)) == payload
+        assert a.decrypt(b.encrypt(b"ack")) == b"ack"
+    assert a._send_counter == b._recv_counter
+    assert a._recv_counter == b._send_counter
+
+
+def test_truncated_record_rejected_and_harmless():
+    a, b = establish_pair()
+    record = a.encrypt(b"payload")
+    for cut in (0, 1, len(record) // 2, len(record) - 1):
+        with pytest.raises(AuthenticationError):
+            b.decrypt(record[:cut])
+    assert b.decrypt(record) == b"payload"

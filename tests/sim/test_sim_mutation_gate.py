@@ -1,0 +1,59 @@
+"""Mutation sanity gate: the harness must catch a planted bug.
+
+An invariant suite that never fires is indistinguishable from one that
+checks nothing, so this gate plants a known concurrency bug — the
+history table's lock replaced with a no-op (``history-unlocked``) —
+and requires the explorer to find it within the PR-depth seed budget.
+The dual check (the *unmutated* worlds stay clean) keeps the oracles
+honest in the other direction: no false alarms.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import MUTATIONS, WorldSpec, apply_mutation
+from repro.sim.explore import explore, shrink
+
+#: Ingest-heavy little world: three clients hammering one replica's
+#: history table maximises append/append interleavings.
+GATE_SPEC = WorldSpec(seed=0, replicas=1, clients=3, ops_per_client=4,
+                      history_capacity=16, chaos=(),
+                      mutation="history-unlocked")
+
+#: PR-depth budget (the CI smoke uses the same order of magnitude).
+PR_SEED_BUDGET = range(6)
+
+
+def test_planted_history_race_is_caught_within_pr_budget():
+    result = explore(GATE_SPEC, seeds=PR_SEED_BUDGET,
+                     shrink_failures=False, stop_after=1)
+    assert result.failures, (
+        "mutation gate FAILED: the history-unlocked bug survived "
+        f"{result.runs} runs — the invariant oracles are not looking"
+    )
+    violations = result.failures[0].violations
+    assert any("history-integrity" in v for v in violations), violations
+
+
+def test_unmutated_worlds_stay_clean():
+    clean = explore(GATE_SPEC.replace(mutation=None),
+                    seeds=PR_SEED_BUDGET, shrink_failures=False)
+    assert clean.ok, [f.violations for f in clean.failures]
+
+
+def test_shrinker_reduces_the_failing_world():
+    failing = GATE_SPEC.replace(seed=1)
+    shrunk = shrink(failing)
+    # The shrunk world must still fail, and be no larger than the
+    # original on every size dimension.
+    assert shrunk.clients <= failing.clients
+    assert shrunk.ops_per_client <= failing.ops_per_client
+    from repro.sim import run_sim
+    assert run_sim(shrunk).violations
+
+
+def test_unknown_mutation_is_rejected():
+    with pytest.raises(ValueError, match="history-unlocked"):
+        apply_mutation(object(), "no-such-mutation")
+    assert "history-unlocked" in MUTATIONS

@@ -183,6 +183,37 @@ EXPECTED_FINDING_FIELDS = {
     "module", "severity",
 }
 
+# Names importable from repro.sim, forever (the DST harness surface:
+# tools/simexplore.py, CI and the sim test suite program against it).
+EXPECTED_SIM_NAMES = [
+    "hooks",
+    "step",
+    "sim_wait",
+    "SimAwareLock",
+    "SimScheduler",
+    "SimError",
+    "SimDeadlockError",
+    "SimTrace",
+    "WorldSpec",
+    "SimReport",
+    "run_sim",
+    "chaos_schedule",
+    "ExploreResult",
+    "shrink",
+    "INVARIANTS",
+    "MUTATIONS",
+    "apply_mutation",
+]
+
+EXPECTED_SIM_ATTRS = {
+    "SimScheduler": ["spawn", "run", "on_step", "manages_current",
+                     "schedule", "events"],
+    "WorldSpec": ["replace", "seed", "interleaving", "replicas",
+                  "clients", "ops_per_client", "chaos", "mutation"],
+    "SimReport": ["ok", "digest", "violations", "schedule",
+                  "to_artifact"],
+}
+
 
 def check_finding_schema(problems: list) -> None:
     """The JSON finding contract: exact field set, stable version."""
@@ -310,6 +341,72 @@ def check_deployment_config_surface(problems: list) -> None:
             problems.append("cluster-mode search no longer returns a list")
 
 
+def check_sim_surface(problems: list) -> None:
+    """The DST harness contract: the ``repro.sim`` names the explorer
+    and the sim suite rely on, the injection points the world-builder
+    needs (``create(attestation=...)``, ``Broker(session_ids=...)``),
+    and the handshake's key-confirmation tags."""
+    import repro.sim as sim
+
+    for name in EXPECTED_SIM_NAMES:
+        if not hasattr(sim, name):
+            problems.append(f"repro.sim.{name} is gone")
+        if name not in getattr(sim, "__all__", ()):
+            problems.append(f"repro.sim.__all__ no longer lists {name!r}")
+
+    # Instance-level attributes (schedule/events live on instances).
+    probes = {"SimScheduler": lambda: sim.SimScheduler(0)}
+    for cls_name, attrs in EXPECTED_SIM_ATTRS.items():
+        cls = getattr(sim, cls_name, None)
+        if cls is None:
+            continue  # already reported above
+        instance = probes[cls_name]() if cls_name in probes else None
+        for attr in attrs:
+            present = (
+                hasattr(cls, attr)
+                or attr in getattr(cls, "__dataclass_fields__", ())
+                or (instance is not None and hasattr(instance, attr))
+            )
+            if not present:
+                problems.append(f"sim.{cls_name}.{attr} is gone")
+
+    # Step hooks must stay zero-cost outside a simulation: no
+    # controller installed means step() is a pure no-op.
+    if sim.hooks.current_controller() is not None:
+        problems.append("a sim controller is installed outside a run")
+    sim.step("api-guard.probe")  # must not raise or record
+
+    # Determinism-critical injection points on the product surface.
+    from repro.core import Broker, XSearchDeployment
+
+    create_params = inspect.signature(XSearchDeployment.create).parameters
+    if "attestation" not in create_params:
+        problems.append(
+            "XSearchDeployment.create lost keyword 'attestation' "
+            "(the sim shares one provisioned attestation service)"
+        )
+    broker_params = inspect.signature(Broker.__init__).parameters
+    for keyword in ("session_ids", "clock"):
+        if keyword not in broker_params:
+            problems.append(f"Broker.__init__ lost keyword {keyword!r}")
+
+    # The key-confirmation handshake closure (begin_session returns
+    # the enclave's tag; the channel can mint and check one).
+    from repro.crypto.channel import establish_pair
+
+    a, b = establish_pair()
+    if not a.matches_confirmation(b.confirmation(b"probe"), b"probe"):
+        problems.append("channel key confirmation no longer round-trips")
+    try:
+        a.verify_confirmation(b.confirmation(b"x"), b"y")
+    except Exception:  # noqa: BLE001 - any typed error is acceptable
+        pass
+    else:
+        problems.append(
+            "verify_confirmation no longer rejects a context mismatch"
+        )
+
+
 def check_noop_boundary_deltas(problems: list) -> None:
     """The zero-overhead contract: observability must never perturb the
     boundary-crossing counts the benchmarks assert on."""
@@ -428,6 +525,7 @@ def main() -> int:
     check_registered_checkers(problems)
     check_scheduler_surface(problems)
     check_deployment_config_surface(problems)
+    check_sim_surface(problems)
     check_noop_boundary_deltas(problems)
 
     if problems:
@@ -439,6 +537,7 @@ def main() -> int:
         f"public API check OK: {len(EXPECTED_CORE_NAMES)} core names, "
         f"{len(EXPECTED_OBS_NAMES)} obs names, "
         f"{len(EXPECTED_ANALYSIS_NAMES)} analysis names, "
+        f"{len(EXPECTED_SIM_NAMES)} sim names, "
         f"{len(EXPECTED_CALL_SURFACE)} call signatures, "
         f"{sum(len(a) for a in EXPECTED_ATTRS.values()) + sum(len(a) for a in EXPECTED_OBS_ATTRS.values()) + sum(len(a) for a in EXPECTED_ANALYSIS_ATTRS.values())} attributes, "
         f"finding schema v1, "
