@@ -17,6 +17,16 @@ from repro.analysis.adversary import (
     ranked_by_privacy,
     uninformed_guess_rate,
 )
+from repro.analysis.dataflow import (
+    TAINT_KEY,
+    TAINT_KINDS,
+    TAINT_NONCE,
+    TAINT_PLAINTEXT,
+    FunctionSummary,
+    TaintEngine,
+    TaintFlow,
+    analyze,
+)
 from repro.analysis.findings import (
     FINDING_SCHEMA_VERSION,
     Baseline,
@@ -66,6 +76,15 @@ __all__ = [
     "all_checkers",
     "get_checker",
     "run_checks",
+    # xlint: dataflow/taint engine (XT rules)
+    "TAINT_KEY",
+    "TAINT_KINDS",
+    "TAINT_NONCE",
+    "TAINT_PLAINTEXT",
+    "FunctionSummary",
+    "TaintEngine",
+    "TaintFlow",
+    "analyze",
     # xlint: module graph + placement registry
     "ModuleGraph",
     "SourceModule",

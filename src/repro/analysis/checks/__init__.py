@@ -1,6 +1,6 @@
 """The built-in ``xlint`` checkers.
 
-Importing this package registers the four shipped checkers with the
+Importing this package registers the five shipped checkers with the
 framework registry (:func:`repro.analysis.lint.all_checkers` does it for
 you):
 
@@ -12,16 +12,21 @@ you):
   (no swallowed exceptions on bridge paths, crypto never retried, only
   ``repro.errors`` types cross the facade);
 * :mod:`~repro.analysis.checks.locks` — shared mutable state touched
-  only under its declared lock, with lock-acquisition ordering.
+  only under its declared lock, with lock-acquisition ordering;
+* :mod:`~repro.analysis.checks.dataflow` — interprocedural taint
+  analysis (no plaintext/key material reaches a host-visible sink, no
+  nonce reuse), backed by :mod:`repro.analysis.dataflow`.
 """
 
 from repro.analysis.checks.boundary import BoundaryChecker
 from repro.analysis.checks.determinism import DeterminismChecker
 from repro.analysis.checks.taxonomy import TaxonomyChecker
 from repro.analysis.checks.locks import LockDisciplineChecker
+from repro.analysis.checks.dataflow import DataflowChecker
 
 __all__ = [
     "BoundaryChecker",
+    "DataflowChecker",
     "DeterminismChecker",
     "TaxonomyChecker",
     "LockDisciplineChecker",

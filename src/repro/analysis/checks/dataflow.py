@@ -1,0 +1,56 @@
+"""The dataflow checker: xlint adapter for the XT taint rules.
+
+The heavy lifting lives in :mod:`repro.analysis.dataflow.engine`; this
+checker runs the whole-graph analysis once per lint invocation (parked
+in ``context.cache``) and replays each module's flows through the
+standard ``Finding`` pipeline so baselines, waivers and JSON output all
+behave exactly like the other rule families.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.dataflow.engine import analyze
+from repro.analysis.findings import Finding
+from repro.analysis.lint import Checker, register_checker
+
+
+@register_checker
+class DataflowChecker(Checker):
+    """Interprocedural taint analysis: plaintext/key/nonce hygiene."""
+
+    id = "dataflow"
+    description = (
+        "interprocedural taint: no plaintext or key material reaches a "
+        "host-visible sink; nonces never reused"
+    )
+    rules = {
+        "XT001": "tainted plaintext value reaches a host-visible sink "
+                 "(logging, wire send, host span/event, serialization)",
+        "XT002": "key material is logged, serialized or put in a "
+                 "message anywhere (no placement is acceptable)",
+        "XT003": "nonce/counter value reused into two encrypt calls on "
+                 "one path without an intervening update",
+        "XT004": "a sanitized copy exists but a tainted alias bypassed "
+                 "the sanitizer on its way to the sink",
+        "XT005": "tainted data in a raised-exception message on a "
+                 "bridge/facade path (host sees exception text)",
+    }
+
+    def check(self, module, context):
+        flows = context.cache.get(self.id)
+        if flows is None:
+            flows = {}
+            for flow in analyze(context.graph):
+                flows.setdefault(flow.module, []).append(flow)
+            context.cache[self.id] = flows
+        for flow in flows.get(module.name, ()):
+            yield Finding(
+                checker=self.id,
+                code=flow.rule,
+                path=flow.path,
+                line=flow.line,
+                column=flow.column,
+                message=flow.message,
+                hint=flow.hint,
+                module=flow.module,
+            )

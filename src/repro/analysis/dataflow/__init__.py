@@ -1,0 +1,57 @@
+"""Interprocedural taint/dataflow analysis (the XT rule family).
+
+This package statically proves the paper's no-plaintext-exfiltration
+guarantee: no value carrying the user's query, key material or sealed
+history can flow — through assignments, calls and returns, on *any*
+source path — into a sink the untrusted host observes.
+
+* :mod:`~repro.analysis.dataflow.registry` declares sources, sanitizers
+  and sinks (the security policy, as data);
+* :mod:`~repro.analysis.dataflow.engine` is the flow-sensitive abstract
+  interpreter with per-function summaries fixpointed across the call
+  graph;
+* :mod:`repro.analysis.checks.dataflow` adapts the engine's output to
+  the xlint checker protocol (rules XT001–XT005).
+"""
+
+from repro.analysis.dataflow.engine import (
+    FunctionSummary,
+    Label,
+    TaintEngine,
+    TaintFlow,
+    analyze,
+)
+from repro.analysis.dataflow.registry import (
+    DECLASSIFIER_CALLS,
+    ENCRYPT_NONCE_POSITIONS,
+    SOURCE_ATTRIBUTES,
+    SOURCE_CALLS,
+    SOURCE_PARAMS,
+    TAINT_KEY,
+    TAINT_KINDS,
+    TAINT_NONCE,
+    TAINT_PLAINTEXT,
+    is_log_call,
+    is_safe_attribute,
+)
+
+__all__ = [
+    # engine
+    "FunctionSummary",
+    "Label",
+    "TaintEngine",
+    "TaintFlow",
+    "analyze",
+    # registry (the policy surface)
+    "DECLASSIFIER_CALLS",
+    "ENCRYPT_NONCE_POSITIONS",
+    "SOURCE_ATTRIBUTES",
+    "SOURCE_CALLS",
+    "SOURCE_PARAMS",
+    "TAINT_KEY",
+    "TAINT_KINDS",
+    "TAINT_NONCE",
+    "TAINT_PLAINTEXT",
+    "is_log_call",
+    "is_safe_attribute",
+]

@@ -1,0 +1,892 @@
+"""Interprocedural, flow-sensitive taint engine over the module graph.
+
+The boundary checker proves *lexical* facts (who imports what); the
+dynamic oracles (TraceChecker, sim invariants) prove *observed* runs.
+This engine closes the gap between them: it follows **values** through
+assignments, calls and returns, and proves that no plaintext query, key
+material or sealed-history content can reach a host-visible sink on
+*any* source path — including paths no test drives.
+
+Architecture (docs/STATIC_ANALYSIS.md §dataflow):
+
+1. **Collection** — every function/method in the graph gets a qualified
+   name; every module gets a symbol table resolving local names and
+   imports to those qualified names.  Nothing is ever imported.
+2. **Fixpoint** — each function is abstract-interpreted over a taint
+   lattice (sets of :class:`Label`), producing a
+   :class:`FunctionSummary`: which parameters flow into its return
+   value, and which parameters flow into a sink inside it (transitively,
+   through calls it makes).  Summaries are iterated to a fixpoint so
+   call chains of any depth are covered.
+3. **Emission** — a final pass re-runs every function with the stable
+   summaries and emits :class:`TaintFlow` records, deduplicated and
+   sorted, so the same tree always produces byte-identical findings.
+
+The lattice is a set of ``(kind, origin)`` labels; kinds are the
+concrete taints from :mod:`~repro.analysis.dataflow.registry` plus a
+symbolic per-parameter kind used only while summarising.  Origins are
+*line-free* descriptors (``"parameter 'query'"``), so finding messages
+stay stable under unrelated edits (baseline fingerprints include the
+message but not the line).
+
+Soundness posture: explicit flows only (no implicit/control-channel
+flows), aliasing handled by label sharing (an alias carries the same
+labels as the original — the XT004 rule keys on exactly that), unknown
+calls propagate taint from arguments to result, and sanitization is
+recognised only for the registered declassifiers.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis import placement as P
+from repro.analysis.dataflow import registry as R
+
+#: Symbolic label kind used for parameter tracking inside summaries.
+PARAM = "param"
+
+_EMPTY = frozenset()
+
+#: Upper bound on summary-fixpoint passes (call chains here are shallow;
+#: this is a safety net, not a tuning knob).
+MAX_PASSES = 10
+
+_RULE_HINTS = {
+    "XT001": "encrypt, digest or scrub() the value before it becomes "
+             "host-visible, or drop the attribute/argument",
+    "XT002": "key material never leaves crypto state: log a fingerprint "
+             "(digest) instead",
+    "XT003": "derive a fresh nonce (bump the counter) between encrypt "
+             "calls; nonce reuse under one key breaks ChaCha20-Poly1305",
+    "XT004": "the sanitized value exists — use it at the sink instead of "
+             "the tainted alias",
+    "XT005": "exception text crosses the untrusted host on its way to "
+             "the client: build the message with repro.errors.scrub()",
+}
+
+_PLACEMENT_CONSTANTS = {
+    "PLACEMENT_CLIENT": "client",
+    "PLACEMENT_HOST": "host",
+    "PLACEMENT_ENCLAVE": "enclave",
+}
+
+
+@dataclass(frozen=True)
+class Label:
+    """One unit of taint: a kind plus a line-free origin descriptor."""
+
+    kind: str
+    origin: str
+
+
+@dataclass(frozen=True)
+class SinkHit:
+    """A summarised sink: calling with a ``kind``-tainted argument for
+    this parameter violates ``rule`` at ``where``."""
+
+    rule: str
+    kind: str
+    where: str
+
+
+@dataclass
+class FunctionSummary:
+    """The interprocedural contract of one analysed function."""
+
+    qualname: str
+    #: Labels of the return value; ``PARAM`` labels name parameters
+    #: whose taint propagates to the caller.
+    returns: frozenset = _EMPTY
+    #: parameter name -> frozenset[SinkHit]
+    param_sinks: dict = field(default_factory=dict)
+
+    def same_as(self, other: "FunctionSummary") -> bool:
+        return (other is not None
+                and self.returns == other.returns
+                and self.param_sinks == other.param_sinks)
+
+
+@dataclass(frozen=True)
+class TaintFlow:
+    """One rule violation found by the engine (pre-``Finding`` form)."""
+
+    rule: str
+    module: str
+    path: str
+    line: int
+    column: int
+    message: str
+    hint: str
+
+
+@dataclass
+class _FunctionInfo:
+    qualname: str
+    module: object                 # SourceModule
+    node: ast.AST                  # FunctionDef / Module
+    class_qual: str = None
+    params: tuple = ()
+
+
+def _dotted(node) -> str:
+    """``a.b.c`` for a Name/Attribute chain, else ``""``."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _terminal(node) -> str:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def _names_in(node):
+    """Every dotted Name/Attribute string inside an expression (the
+    version-tracking keys of the nonce-reuse scan)."""
+    out = set()
+    for child in ast.walk(node):
+        dotted = _dotted(child)
+        if dotted:
+            out.add(dotted)
+            out.add(dotted.split(".", 1)[0])
+    return out
+
+
+class TaintEngine:
+    """Whole-graph taint analysis; construct with a ``ModuleGraph``."""
+
+    def __init__(self, graph):
+        self.graph = graph
+        self.summaries = {}            # qualname -> FunctionSummary
+        self._functions = {}           # qualname -> _FunctionInfo
+        self._classes = set()          # class qualnames
+        self._symbols = {}             # module name -> {local -> qualname}
+        self._fields = {}              # (class_qual, attr) -> frozenset
+        self._flows = []
+        self._emit = False
+        self._collect()
+        self._order = sorted(self._functions)
+
+    # ------------------------------------------------------------------
+    # Pass 1: collection
+    # ------------------------------------------------------------------
+    def _collect(self) -> None:
+        for module in sorted(self.graph, key=lambda m: m.name):
+            symbols = {}
+            for _node, target, names in module.import_statements():
+                for alias, attribute in names.items():
+                    symbols[alias] = (
+                        f"{target}.{attribute}" if attribute else target
+                    )
+            for node in module.tree.body:
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qual = f"{module.name}.{node.name}"
+                    symbols[node.name] = qual
+                    self._add_function(qual, module, node)
+                elif isinstance(node, ast.ClassDef):
+                    class_qual = f"{module.name}.{node.name}"
+                    symbols[node.name] = class_qual
+                    self._classes.add(class_qual)
+                    for item in node.body:
+                        if isinstance(item, (ast.FunctionDef,
+                                             ast.AsyncFunctionDef)):
+                            self._add_function(
+                                f"{class_qual}.{item.name}", module, item,
+                                class_qual=class_qual,
+                            )
+            # Module level (everything that is not a def) is analysed as
+            # a parameterless pseudo-function.
+            self._functions[f"{module.name}.<module>"] = _FunctionInfo(
+                qualname=f"{module.name}.<module>", module=module,
+                node=module.tree,
+            )
+            self._symbols[module.name] = symbols
+
+    def _add_function(self, qual, module, node, class_qual=None) -> None:
+        args = node.args
+        params = [a.arg for a in
+                  args.posonlyargs + args.args + args.kwonlyargs]
+        if args.vararg is not None:
+            params.append(args.vararg.arg)
+        if args.kwarg is not None:
+            params.append(args.kwarg.arg)
+        self._functions[qual] = _FunctionInfo(
+            qualname=qual, module=module, node=node,
+            class_qual=class_qual, params=tuple(params),
+        )
+
+    # ------------------------------------------------------------------
+    # Driver
+    # ------------------------------------------------------------------
+    def run(self) -> list:
+        """Fixpoint the summaries, then emit deterministic findings."""
+        self._emit = False
+        for _ in range(MAX_PASSES):
+            changed = False
+            for qualname in self._order:
+                if self._analyze(qualname):
+                    changed = True
+            if not changed:
+                break
+        self._emit = True
+        self._flows = []
+        for qualname in self._order:
+            self._analyze(qualname)
+        unique = sorted(
+            set(self._flows),
+            key=lambda f: (f.path, f.line, f.column, f.rule, f.message),
+        )
+        return unique
+
+    def _analyze(self, qualname: str) -> bool:
+        info = self._functions[qualname]
+        analysis = _FunctionAnalysis(self, info)
+        summary = analysis.run()
+        changed = not summary.same_as(self.summaries.get(qualname))
+        self.summaries[qualname] = summary
+        for key, labels in analysis.field_writes.items():
+            merged = self._fields.get(key, _EMPTY) | labels
+            if merged != self._fields.get(key, _EMPTY):
+                self._fields[key] = merged
+                changed = True
+        return changed
+
+    # ------------------------------------------------------------------
+    # Shared lookups
+    # ------------------------------------------------------------------
+    def fields_of(self, class_qual: str, attr: str) -> frozenset:
+        return self._fields.get((class_qual, attr), _EMPTY)
+
+    def resolve_callee(self, module_name: str, class_qual, func_node):
+        """Map a call expression to (function qualname, self_offset)."""
+        symbols = self._symbols.get(module_name, {})
+        if isinstance(func_node, ast.Name):
+            target = symbols.get(func_node.id)
+            if target in self._functions:
+                return target, 0
+            if target in self._classes:
+                init = f"{target}.__init__"
+                if init in self._functions:
+                    return init, 1
+        elif isinstance(func_node, ast.Attribute):
+            base = _dotted(func_node.value)
+            if base in ("self", "cls") and class_qual:
+                qual = f"{class_qual}.{func_node.attr}"
+                if qual in self._functions:
+                    return qual, 1
+            elif base in symbols:
+                target = symbols[base]
+                qual = f"{target}.{func_node.attr}"
+                if qual in self._functions:
+                    return qual, 0
+                if qual in self._classes:
+                    init = f"{qual}.__init__"
+                    if init in self._functions:
+                        return init, 1
+        return None, 0
+
+    def record(self, flow: TaintFlow) -> None:
+        if self._emit:
+            self._flows.append(flow)
+
+
+class _FunctionAnalysis:
+    """One flow-sensitive abstract interpretation of one function."""
+
+    def __init__(self, engine: TaintEngine, info: _FunctionInfo):
+        self.engine = engine
+        self.info = info
+        module_name = info.module.name
+        self.placement = P.placement_of(module_name)
+        self.is_bridge = P.is_bridge(module_name)
+        self.is_host = self.placement == P.HOST
+        # Logging/span/event visibility: host modules are adversary
+        # territory outright; bridge modules straddle (their host half
+        # executes the same file), so both count as host-visible.
+        self.host_visible = self.is_host or self.is_bridge
+        # Exceptions raised in enclave/bridge/facade code surface to the
+        # client *through the untrusted host supervisor*.
+        self.raise_crosses = (
+            self.placement == P.ENCLAVE
+            or self.is_bridge
+            or module_name in P.FACADE_MODULES
+        )
+        # Plaintext into json.dumps is flagged where the output lands in
+        # committed BENCH/report artifacts; protocol encoders (e.g. the
+        # gateway's HTTP bodies, re-encrypted into the TLS tunnel) are
+        # covered by the send/logging sinks instead.
+        self.serialize_sink = module_name.startswith(
+            R.SERIALIZE_SINK_PREFIXES
+        )
+        self.env = {}
+        self.versions = {}
+        self.seen_nonces = set()
+        self.sanitized = set()
+        self.span_placements = {}
+        self.field_writes = {}
+        self.param_sinks = {}
+        self.returns = set()
+
+    # ------------------------------------------------------------------
+    def run(self) -> FunctionSummary:
+        node = self.info.node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for name in self.info.params:
+                labels = {Label(PARAM, name)}
+                kind = R.SOURCE_PARAMS.get(name)
+                if kind is not None:
+                    labels.add(Label(kind, f"parameter {name!r}"))
+                self.env[name] = frozenset(labels)
+            body = node.body
+        else:
+            body = [stmt for stmt in node.body
+                    if not isinstance(stmt, (ast.FunctionDef,
+                                             ast.AsyncFunctionDef,
+                                             ast.ClassDef))]
+        self.exec_block(body)
+        return FunctionSummary(
+            qualname=self.info.qualname,
+            returns=frozenset(self.returns),
+            param_sinks={name: frozenset(hits)
+                         for name, hits in sorted(self.param_sinks.items())},
+        )
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def exec_block(self, stmts) -> None:
+        for stmt in stmts:
+            self.exec(stmt)
+
+    def exec(self, stmt) -> None:
+        handler = getattr(self, f"_stmt_{type(stmt).__name__}", None)
+        if handler is not None:
+            handler(stmt)
+
+    def _stmt_Expr(self, stmt) -> None:
+        self.eval(stmt.value)
+
+    def _stmt_Assign(self, stmt) -> None:
+        labels = self.eval(stmt.value)
+        for target in stmt.targets:
+            self._assign(target, labels, stmt.value)
+
+    def _stmt_AnnAssign(self, stmt) -> None:
+        if stmt.value is not None:
+            self._assign(stmt.target, self.eval(stmt.value), stmt.value)
+
+    def _stmt_AugAssign(self, stmt) -> None:
+        labels = self.eval(stmt.value)
+        dotted = _dotted(stmt.target)
+        if dotted:
+            labels = labels | self.env.get(dotted, _EMPTY)
+        self._assign(stmt.target, labels, stmt.value)
+
+    def _assign(self, target, labels, value_node) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                inner = element.value if isinstance(element, ast.Starred) \
+                    else element
+                self._assign(inner, labels, value_node)
+            return
+        dotted = _dotted(target)
+        if isinstance(target, ast.Name) or (
+                isinstance(target, ast.Attribute) and dotted):
+            if dotted:
+                self.env[dotted] = frozenset(labels)
+                self.versions[dotted] = self.versions.get(dotted, 0) + 1
+                root = dotted.split(".", 1)[0]
+                self.versions[root] = self.versions.get(root, 0) + 1
+            # self.<attr> = …  feeds the global class-field map so other
+            # methods of the class observe the taint (concrete kinds
+            # only: PARAM labels are meaningless outside this function).
+            if (isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    and self.info.class_qual):
+                concrete = frozenset(
+                    label for label in labels if label.kind != PARAM
+                )
+                if concrete:
+                    key = (self.info.class_qual, target.attr)
+                    self.field_writes[key] = (
+                        self.field_writes.get(key, _EMPTY) | concrete
+                    )
+            # Track which placement a span variable belongs to so later
+            # ``var.set(attr=…)`` calls are checked against it.
+            if (isinstance(value_node, ast.Call)
+                    and _terminal(value_node.func) == "span"):
+                self.span_placements[dotted] = \
+                    self._span_placement(value_node)
+        elif isinstance(target, ast.Subscript):
+            container = _dotted(target.value)
+            if container:
+                self.env[container] = \
+                    self.env.get(container, _EMPTY) | labels
+
+    def _stmt_Return(self, stmt) -> None:
+        if stmt.value is not None:
+            self.returns |= self.eval(stmt.value)
+
+    def _stmt_If(self, stmt) -> None:
+        self.eval(stmt.test)
+        saved_env = dict(self.env)
+        saved_versions = dict(self.versions)
+        saved_nonces = set(self.seen_nonces)
+        self.exec_block(stmt.body)
+        body_env, body_versions = self.env, self.versions
+        body_nonces = self.seen_nonces
+        self.env = saved_env
+        self.versions = saved_versions
+        self.seen_nonces = saved_nonces
+        self.exec_block(stmt.orelse)
+        merged = dict(self.env)
+        for name, labels in body_env.items():
+            merged[name] = merged.get(name, _EMPTY) | labels
+        self.env = merged
+        for name, version in body_versions.items():
+            self.versions[name] = max(self.versions.get(name, 0), version)
+        # A nonce used in a branch shares a path with everything after
+        # the join; nonces of the two exclusive branches never share one.
+        self.seen_nonces = body_nonces | self.seen_nonces
+
+    def _stmt_For(self, stmt) -> None:
+        self._loop(stmt, target=stmt.target, iterable=stmt.iter)
+
+    def _stmt_AsyncFor(self, stmt) -> None:
+        self._loop(stmt, target=stmt.target, iterable=stmt.iter)
+
+    def _stmt_While(self, stmt) -> None:
+        self.eval(stmt.test)
+        self._loop(stmt, target=None, iterable=None)
+
+    def _loop(self, stmt, *, target, iterable) -> None:
+        labels = self.eval(iterable) if iterable is not None else _EMPTY
+        # Two passes: the second observes first-iteration state, which
+        # is exactly what catches a fixed nonce reused across iterations
+        # (and settles loop-carried taint).  Re-binding the loop target
+        # before each pass bumps its version, so a nonce/counter derived
+        # from the loop variable is correctly fresh per iteration.
+        for _ in range(2):
+            if target is not None:
+                self._assign(target, labels, iterable)
+            self.exec_block(stmt.body)
+        self.exec_block(stmt.orelse)
+
+    def _stmt_With(self, stmt) -> None:
+        self._with(stmt)
+
+    def _stmt_AsyncWith(self, stmt) -> None:
+        self._with(stmt)
+
+    def _with(self, stmt) -> None:
+        for item in stmt.items:
+            labels = self.eval(item.context_expr)
+            if item.optional_vars is not None:
+                self._assign(item.optional_vars, labels, item.context_expr)
+        self.exec_block(stmt.body)
+
+    def _stmt_Try(self, stmt) -> None:
+        self.exec_block(stmt.body)
+        for handler in stmt.handlers:
+            if handler.name:
+                self.env[handler.name] = _EMPTY
+            self.exec_block(handler.body)
+        self.exec_block(stmt.orelse)
+        self.exec_block(stmt.finalbody)
+
+    _stmt_TryStar = _stmt_Try
+
+    def _stmt_Raise(self, stmt) -> None:
+        if stmt.exc is None:
+            return
+        labels = _EMPTY
+        node = stmt.exc
+        if isinstance(node, ast.Call):
+            for argument in node.args:
+                labels = labels | self.eval(
+                    argument.value if isinstance(argument, ast.Starred)
+                    else argument
+                )
+            for keyword in node.keywords:
+                labels = labels | self.eval(keyword.value)
+        else:
+            labels = self.eval(node)
+        where = "a raised exception message"
+        self._sink(
+            node, labels,
+            pairs=self._raise_pairs(),
+            what=where,
+        )
+
+    def _raise_pairs(self):
+        pairs = [("XT002", R.TAINT_KEY)]
+        if self.raise_crosses:
+            pairs.append(("XT005", R.TAINT_PLAINTEXT))
+        return pairs
+
+    def _stmt_Assert(self, stmt) -> None:
+        self.eval(stmt.test)
+        if stmt.msg is not None:
+            self.eval(stmt.msg)
+
+    def _stmt_Delete(self, stmt) -> None:
+        for target in stmt.targets:
+            dotted = _dotted(target)
+            self.env.pop(dotted, None)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def eval(self, node) -> frozenset:
+        if node is None:
+            return _EMPTY
+        handler = getattr(self, f"_eval_{type(node).__name__}", None)
+        if handler is not None:
+            return handler(node)
+        # Default: union of every child expression (conservative).
+        labels = _EMPTY
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                labels = labels | self.eval(child)
+        return labels
+
+    def _eval_Name(self, node) -> frozenset:
+        return self.env.get(node.id, _EMPTY)
+
+    def _eval_Constant(self, node) -> frozenset:
+        return _EMPTY
+
+    def _eval_Attribute(self, node) -> frozenset:
+        labels = self.eval(node.value)
+        dotted = _dotted(node)
+        if dotted and dotted in self.env:
+            labels = labels | self.env[dotted]
+        if (isinstance(node.value, ast.Name) and node.value.id == "self"
+                and self.info.class_qual):
+            labels = labels | self.engine.fields_of(
+                self.info.class_qual, node.attr
+            )
+        kind = R.SOURCE_ATTRIBUTES.get(node.attr)
+        if kind is not None:
+            labels = labels | {Label(kind, f"attribute {node.attr!r}")}
+        return labels
+
+    def _eval_Compare(self, node) -> frozenset:
+        self.eval(node.left)
+        for comparator in node.comparators:
+            self.eval(comparator)
+        return _EMPTY
+
+    def _eval_IfExp(self, node) -> frozenset:
+        self.eval(node.test)
+        return self.eval(node.body) | self.eval(node.orelse)
+
+    def _eval_Lambda(self, node) -> frozenset:
+        return _EMPTY
+
+    def _eval_ListComp(self, node) -> frozenset:
+        return self._eval_comprehension(node, [node.elt])
+
+    def _eval_SetComp(self, node) -> frozenset:
+        return self._eval_comprehension(node, [node.elt])
+
+    def _eval_GeneratorExp(self, node) -> frozenset:
+        return self._eval_comprehension(node, [node.elt])
+
+    def _eval_DictComp(self, node) -> frozenset:
+        return self._eval_comprehension(node, [node.key, node.value])
+
+    def _eval_comprehension(self, node, elements) -> frozenset:
+        # Same discipline as statement loops: two element passes with
+        # the comprehension target re-bound between them, so a fixed
+        # nonce encrypted per item is caught while a per-item nonce is
+        # fresh.
+        labels = _EMPTY
+        for _ in range(2):
+            for generator in node.generators:
+                iter_labels = self.eval(generator.iter)
+                self._assign(generator.target, iter_labels, generator.iter)
+                for condition in generator.ifs:
+                    self.eval(condition)
+            for element in elements:
+                labels = labels | self.eval(element)
+        return labels
+
+    def _eval_NamedExpr(self, node) -> frozenset:
+        labels = self.eval(node.value)
+        self._assign(node.target, labels, node.value)
+        return labels
+
+    def _eval_Call(self, node) -> frozenset:
+        func = node.func
+        dotted = _dotted(func)
+        terminal = _terminal(func)
+        positional = []
+        for argument in node.args:
+            inner = argument.value if isinstance(argument, ast.Starred) \
+                else argument
+            positional.append(self.eval(inner))
+        keywords = {}
+        star_kwargs = _EMPTY
+        for keyword in node.keywords:
+            labels = self.eval(keyword.value)
+            if keyword.arg is None:
+                star_kwargs = star_kwargs | labels
+            else:
+                keywords[keyword.arg] = labels
+        all_labels = star_kwargs
+        for labels in positional:
+            all_labels = all_labels | labels
+        for labels in keywords.values():
+            all_labels = all_labels | labels
+
+        # --- nonce-reuse scan (XT003) -------------------------------
+        if terminal in R.ENCRYPT_NONCE_POSITIONS:
+            self._check_nonce(node, terminal)
+
+        # --- obs sinks ----------------------------------------------
+        if terminal == "span":
+            placement = self._span_placement(node)
+            self._check_attribute_kwargs(node, placement, "span attribute")
+            return _EMPTY
+        if terminal == "set" and isinstance(func, ast.Attribute):
+            receiver = _dotted(func.value)
+            if receiver in self.span_placements:
+                self._check_attribute_kwargs(
+                    node, self.span_placements[receiver], "span attribute"
+                )
+                return _EMPTY
+        if terminal == "event" and node.keywords:
+            placement = "host" if self.host_visible else "other"
+            self._check_attribute_kwargs(node, placement,
+                                         "obs event attribute")
+            return _EMPTY
+
+        # --- logging / wire / serialization sinks -------------------
+        if (isinstance(func, ast.Name) and func.id == "print") or (
+                isinstance(func, ast.Attribute)
+                and R.is_log_call(_dotted(func.value), terminal)):
+            pairs = [("XT002", R.TAINT_KEY)]
+            if self.host_visible:
+                pairs.append(("XT001", R.TAINT_PLAINTEXT))
+            self._sink(node, all_labels, pairs=pairs,
+                       what="a host-visible logging call"
+                       if self.host_visible else "a logging call")
+            return _EMPTY
+        if terminal in R.SEND_METHODS and isinstance(func, ast.Attribute):
+            pairs = [("XT002", R.TAINT_KEY)]
+            if self.is_host:
+                pairs.append(("XT001", R.TAINT_PLAINTEXT))
+            self._sink(node, all_labels, pairs=pairs,
+                       what="an untrusted wire send")
+        if (terminal in R.SERIALIZE_CALLS
+                and isinstance(func, ast.Attribute)
+                and _dotted(func.value) in ("json", "pickle", "marshal")):
+            pairs = [("XT002", R.TAINT_KEY)]
+            if self.serialize_sink:
+                pairs.append(("XT001", R.TAINT_PLAINTEXT))
+            self._sink(node, all_labels, pairs=pairs,
+                       what="report/BENCH serialization")
+
+        # --- sources and sanitizers ---------------------------------
+        if terminal in R.SOURCE_CALLS:
+            kind = R.SOURCE_CALLS[terminal]
+            return frozenset({Label(kind, f"{terminal}() result")})
+        if terminal in R.DECLASSIFIER_CALLS:
+            self.sanitized |= all_labels
+            return _EMPTY
+        if terminal in R.STRUCTURAL_CLEAN_CALLS and isinstance(
+                func, ast.Name):
+            return _EMPTY
+        if (terminal in R.STRUCTURAL_CLEAN_CALLS
+                and isinstance(func, ast.Attribute)):
+            return _EMPTY
+
+        # --- interprocedural: apply the callee's summary ------------
+        callee, offset = self.engine.resolve_callee(
+            self.info.module.name, self.info.class_qual, func
+        )
+        if callee is not None:
+            return self._apply_summary(
+                node, callee, offset, positional, keywords, all_labels
+            )
+        # Unknown callee: taint flows through (str(), encode(), join…),
+        # including from the receiver of a method call (query.strip()).
+        if isinstance(func, ast.Attribute):
+            all_labels = all_labels | self.eval(func.value)
+        return all_labels
+
+    # ------------------------------------------------------------------
+    # Call helpers
+    # ------------------------------------------------------------------
+    def _apply_summary(self, node, callee, offset, positional, keywords,
+                       all_labels) -> frozenset:
+        info = self.engine._functions[callee]
+        summary = self.engine.summaries.get(callee)
+        if summary is None:
+            return all_labels
+        binding = {}
+        params = info.params
+        for index, labels in enumerate(positional):
+            slot = index + offset
+            if slot < len(params):
+                binding[params[slot]] = labels
+        for name, labels in keywords.items():
+            if name in params:
+                binding[name] = binding.get(name, _EMPTY) | labels
+        # Sinks reachable from parameters, at any call depth.
+        for param in sorted(summary.param_sinks):
+            labels = binding.get(param)
+            if not labels:
+                continue
+            for hit in sorted(summary.param_sinks[param],
+                              key=lambda h: (h.rule, h.kind, h.where)):
+                for label in sorted(labels,
+                                    key=lambda l: (l.kind, l.origin)):
+                    if label.kind == hit.kind:
+                        self._emit_flow(
+                            node, hit.rule,
+                            f"{label.kind} value ({label.origin}) passed "
+                            f"as {param!r} to {_short(callee)}() {hit.where}",
+                        )
+                    elif label.kind == PARAM:
+                        self._note_param_sink(
+                            label.origin,
+                            SinkHit(hit.rule, hit.kind, hit.where),
+                        )
+        # Return-value taint with parameter substitution.
+        out = set()
+        for label in summary.returns:
+            if label.kind == PARAM:
+                out |= binding.get(label.origin, _EMPTY)
+            else:
+                out.add(label)
+        return frozenset(out)
+
+    def _check_nonce(self, node, terminal) -> None:
+        parts = []
+        for kwname, position in sorted(
+                R.ENCRYPT_NONCE_POSITIONS[terminal].items()):
+            expr = None
+            for keyword in node.keywords:
+                if keyword.arg == kwname:
+                    expr = keyword.value
+            if expr is None and position < len(node.args):
+                expr = node.args[position]
+            if expr is None:
+                # Partial call (e.g. via *args): cannot judge uniqueness.
+                return
+            versions = tuple(sorted(
+                (name, self.versions.get(name, 0))
+                for name in _names_in(expr)
+            ))
+            parts.append((kwname, ast.dump(expr), versions))
+        key = (terminal, tuple(parts))
+        if key in self.seen_nonces:
+            self._emit_flow(
+                node, "XT003",
+                f"nonce/counter tuple reused across {terminal}() calls "
+                f"without an intervening update",
+            )
+        else:
+            self.seen_nonces.add(key)
+
+    def _span_placement(self, call) -> str:
+        for keyword in call.keywords:
+            if keyword.arg != "placement":
+                continue
+            value = keyword.value
+            if isinstance(value, ast.Constant) and isinstance(
+                    value.value, str):
+                return value.value
+            name = _terminal(value) or _dotted(value)
+            tag = _PLACEMENT_CONSTANTS.get(name.rsplit(".", 1)[-1])
+            if tag is not None:
+                return tag
+            return "unknown"
+        # The repro.obs.tracing helper defaults to host placement.
+        return "host"
+
+    def _check_attribute_kwargs(self, call, placement, what) -> None:
+        for keyword in call.keywords:
+            if keyword.arg is None or keyword.arg == "placement":
+                continue
+            if R.is_safe_attribute(keyword.arg):
+                continue
+            labels = self.eval(keyword.value)
+            pairs = [("XT002", R.TAINT_KEY)]
+            if placement == "host":
+                pairs.append(("XT001", R.TAINT_PLAINTEXT))
+            self._sink(
+                keyword.value, labels, pairs=pairs,
+                what=f"host-placed {what} {keyword.arg!r}"
+                if placement == "host" else f"{what} {keyword.arg!r}",
+                anchor=call,
+            )
+
+    # ------------------------------------------------------------------
+    # Sink machinery
+    # ------------------------------------------------------------------
+    def _sink(self, node, labels, *, pairs, what, anchor=None) -> None:
+        anchor = anchor if anchor is not None else node
+        for rule, kind in pairs:
+            for label in sorted(labels, key=lambda l: (l.kind, l.origin)):
+                if label.kind == kind:
+                    actual = rule
+                    message = (
+                        f"{kind} value ({label.origin}) reaches {what}"
+                    )
+                    if label in self.sanitized and rule != "XT002":
+                        actual = "XT004"
+                        message = (
+                            f"{kind} value ({label.origin}) reaches "
+                            f"{what} although a sanitized copy exists — "
+                            f"the tainted alias bypassed the sanitizer"
+                        )
+                    self._emit_flow(anchor, actual, message)
+                elif label.kind == PARAM:
+                    self._note_param_sink(
+                        label.origin,
+                        SinkHit(rule, kind, f"which reaches {what} in "
+                                            f"{_short(self.info.qualname)}"),
+                    )
+
+    def _note_param_sink(self, param, hit: SinkHit) -> None:
+        self.param_sinks.setdefault(param, set()).add(hit)
+
+    def _emit_flow(self, node, rule, message) -> None:
+        self.engine.record(TaintFlow(
+            rule=rule,
+            module=self.info.module.name,
+            path=self.info.module.path,
+            line=getattr(node, "lineno", 0),
+            column=getattr(node, "col_offset", 0),
+            message=message,
+            hint=_RULE_HINTS.get(rule, ""),
+        ))
+
+
+def _short(qualname: str) -> str:
+    """``repro.core.proxy.XSearchEnclaveCode._obfuscate`` →
+    ``XSearchEnclaveCode._obfuscate`` (keeps messages readable and
+    line-free)."""
+    parts = qualname.split(".")
+    tail = [part for part in parts if part[:1].isupper() or part == parts[-1]]
+    return ".".join(tail[-2:]) if tail else qualname
+
+
+def analyze(graph) -> list:
+    """Run the taint engine over a ``ModuleGraph``; returns sorted,
+    deduplicated :class:`TaintFlow` records."""
+    return TaintEngine(graph).run()

@@ -43,6 +43,10 @@ class LintContext:
 
     graph: ModuleGraph
     placement: object = placement_registry
+    #: Scratch space for whole-graph analyses that should run once per
+    #: lint invocation (the dataflow checker parks its taint flows here,
+    #: keyed by checker id).
+    cache: dict = field(default_factory=dict)
 
     def placement_of(self, module_name: str) -> str:
         return self.placement.placement_of(module_name)

@@ -16,7 +16,7 @@ import urllib.parse
 from dataclasses import dataclass
 
 from repro.crypto.https import TlsServer, decode_frames, encode_frame
-from repro.errors import EngineUnavailableError, NetworkError
+from repro.errors import EngineUnavailableError, NetworkError, scrub
 from repro.faults.plan import (
     KIND_DROP,
     KIND_GARBLE,
@@ -249,12 +249,15 @@ class EngineGateway:
             request_line = request.split(b"\r\n", 1)[0].decode("ascii")
             method, path, _version = request_line.split(" ", 2)
         except (UnicodeDecodeError, ValueError) as exc:
-            return _http_error(400, f"malformed request: {exc}")
+            return _http_error(400, "malformed request: " + scrub(exc))
         if method != "GET":
             return _http_error(405, "only GET is supported")
         parsed = urllib.parse.urlparse(path)
         if parsed.path != "/search":
-            return _http_error(404, f"no such path {parsed.path}")
+            # Deliberately not echoing the requested path: on a mistyped
+            # path it still carries the full query string, and error
+            # bodies are logged/serialized host-side (xtaint XT001).
+            return _http_error(404, "no such path")
         params = urllib.parse.parse_qs(parsed.query)
         query = params.get("q", [""])[0]
         if not query:
@@ -296,7 +299,7 @@ class EngineGateway:
             return self._engine.search_or(subqueries, limit)
         except (ConnectionError, OSError) as exc:
             raise EngineUnavailableError(
-                f"search engine unreachable: {exc}"
+                "search engine unreachable: " + scrub(exc)
             ) from exc
 
     def _fault(self, site: str):

@@ -88,6 +88,7 @@ from repro.errors import (
     ReproError,
     RetryExhaustedError,
     TransientError,
+    scrub,
 )
 from repro.faults.plan import KIND_TRANSIENT, SITE_ATTESTATION
 from repro.obs.tracing import PLACEMENT_ENCLAVE, event, span
@@ -715,8 +716,8 @@ class XSearchEnclaveCode:
                     return SearchResponse(results=tuple(stale), degraded=True)
             self._bump("engine_failures")
             raise EngineUnavailableError(
-                f"engine unreachable and no degraded result cached for "
-                f"this query: {exc}"
+                "engine unreachable and no degraded result cached for "
+                "this query: " + scrub(exc, request.query)
             ) from exc
         with span(recorder, "enclave.filtering",
                   placement=PLACEMENT_ENCLAVE) as filter_span:
@@ -831,11 +832,11 @@ class XSearchEnclaveCode:
             raise
         except NetworkError as exc:
             raise EngineUnavailableError(
-                f"engine exchange failed: {exc}"
+                "engine exchange failed: " + scrub(exc)
             ) from exc
         except (ConnectionError, OSError) as exc:
             raise EngineUnavailableError(
-                f"engine socket failed: {exc}"
+                "engine socket failed: " + scrub(exc)
             ) from exc
 
     # ------------------------------------------------------------------

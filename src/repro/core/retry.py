@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import RetryExhaustedError, TransientError
+from repro.errors import RetryExhaustedError, TransientError, scrub
 from repro.net.clock import SystemClock
 
 _SYSTEM_CLOCK = SystemClock()
@@ -111,7 +111,8 @@ def call_with_retry(operation, *, policy: RetryPolicy = None,
             if deadline is not None and clock.time() + delay > deadline:
                 raise RetryExhaustedError(
                     attempts, exc,
-                    f"deadline exceeded after {attempts} attempt(s): {exc}",
+                    "deadline exceeded after "
+                    f"{attempts} attempt(s): " + scrub(exc),
                 ) from exc
             if delay:
                 clock.sleep(delay)

@@ -57,7 +57,8 @@ class RetryExhaustedError(ReproError):
                  message: str = None):
         if message is None:
             message = (
-                f"operation failed after {attempts} attempt(s): {last_cause}"
+                f"operation failed after {attempts} attempt(s): "
+                + scrub(last_cause)
             )
         super().__init__(message)
         self.attempts = attempts
@@ -121,3 +122,31 @@ class DatasetError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment was configured inconsistently."""
+
+
+def scrub(cause, *secrets) -> str:
+    """Render an exception (or text) into a boundary-safe message.
+
+    Exception messages raised on bridge/facade paths travel through the
+    untrusted host supervisor before they reach the client, so they must
+    never embed the plaintext query, key material or other secrets.
+    ``scrub`` is the approved rendering: it reduces an exception to
+    ``TypeName: text`` (or passes plain text through) and replaces every
+    occurrence of the given ``secrets`` with ``[scrubbed]``.
+
+    The static taint engine (:mod:`repro.analysis.dataflow`) recognises
+    ``scrub`` as a declassifier — building a cross-boundary message any
+    other way from tainted data is rule XT005.
+    """
+    if isinstance(cause, BaseException):
+        text = f"{type(cause).__name__}: {cause}"
+    else:
+        text = str(cause)
+    for secret in secrets:
+        if isinstance(secret, (bytes, bytearray)):
+            secret = repr(bytes(secret))
+        else:
+            secret = str(secret)
+        if secret:
+            text = text.replace(secret, "[scrubbed]")
+    return text

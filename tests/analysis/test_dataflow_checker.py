@@ -1,0 +1,208 @@
+"""The dataflow checker through the xlint pipeline, and the mutation gate.
+
+Three layers of assurance:
+
+* integration — XT findings flow through ``run_checks`` with baselines,
+  waivers and JSON output behaving like every other rule family;
+* the real tree is clean, and stays *deterministically* clean (same
+  tree ⇒ byte-identical findings JSON);
+* the mutation gate — planted violations in a copy of the real tree
+  MUST be caught, proving the engine detects what it claims to detect
+  (a taint engine that silently goes blind would otherwise keep CI
+  green forever).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import textwrap
+
+from repro.analysis import ModuleGraph, SourceModule, run_checks
+
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "..")
+)
+REPRO_SRC = os.path.join(REPO_ROOT, "src", "repro")
+
+
+def run_cli(*args, cwd=REPO_ROOT):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    return subprocess.run(
+        [sys.executable, os.path.join(REPO_ROOT, "tools", "xlint.py"),
+         *args],
+        capture_output=True, text=True, env=env, cwd=cwd,
+    )
+
+
+def fixture_module(name, source):
+    return SourceModule.from_source(name, textwrap.dedent(source))
+
+
+LEAKY_HOST_MODULE = fixture_module("repro.core.gateway", """
+    import logging
+    logger = logging.getLogger(__name__)
+
+    def handle(query):
+        logger.info(query)
+""")
+
+
+# ---------------------------------------------------------------------------
+# Integration with the xlint pipeline
+# ---------------------------------------------------------------------------
+
+def test_findings_carry_the_checker_contract():
+    result = run_checks([LEAKY_HOST_MODULE], checkers=["dataflow"])
+    assert not result.ok
+    finding = result.findings[0]
+    assert finding.checker == "dataflow"
+    assert finding.code == "XT001"
+    assert finding.module == "repro.core.gateway"
+    assert finding.line == 6
+    assert finding.hint
+
+
+def test_waiver_suppresses_an_xt_finding():
+    waived = fixture_module("repro.core.gateway", """
+        import logging
+        logger = logging.getLogger(__name__)
+
+        def handle(query):
+            logger.info(query)  # xlint: disable=dataflow
+    """)
+    result = run_checks([waived], checkers=["dataflow"])
+    assert result.ok
+
+
+def test_waiver_for_another_checker_does_not_suppress():
+    waived = fixture_module("repro.core.gateway", """
+        import logging
+        logger = logging.getLogger(__name__)
+
+        def handle(query):
+            logger.info(query)  # xlint: disable=boundary
+    """)
+    result = run_checks([waived], checkers=["dataflow"])
+    assert not result.ok
+
+
+def test_fingerprints_are_line_insensitive():
+    shifted = fixture_module("repro.core.gateway", """
+        import logging
+
+        logger = logging.getLogger(__name__)
+
+
+        def handle(query):
+            logger.info(query)
+    """)
+    first = run_checks([LEAKY_HOST_MODULE], checkers=["dataflow"])
+    second = run_checks([shifted], checkers=["dataflow"])
+    assert [f.fingerprint() for f in first.findings] == \
+        [f.fingerprint() for f in second.findings]
+
+
+def test_plaintext_into_experiment_serialization_is_flagged():
+    result = run_checks([fixture_module("repro.experiments.report", """
+        import json
+
+        def dump_report(path, query, latencies):
+            with open(path, "w") as handle:
+                json.dump({"query": query, "latencies": latencies}, handle)
+    """)], checkers=["dataflow"])
+    assert [f.code for f in result.findings] == ["XT001"]
+
+
+# ---------------------------------------------------------------------------
+# The real tree
+# ---------------------------------------------------------------------------
+
+def test_real_tree_is_clean(repo_graph):
+    result = run_checks(repo_graph, checkers=["dataflow"])
+    assert result.ok, "\n" + "\n".join(
+        f.render() for f in result.findings
+    )
+
+
+def test_real_tree_findings_json_is_byte_identical(repo_graph):
+    first = run_checks(repo_graph, checkers=["dataflow"]).to_json()
+    second = run_checks(
+        ModuleGraph.from_root(REPRO_SRC), checkers=["dataflow"]
+    ).to_json()
+    assert first.encode("utf-8") == second.encode("utf-8")
+
+
+# ---------------------------------------------------------------------------
+# Mutation gate: planted bugs in a copy of the real tree must be caught
+# ---------------------------------------------------------------------------
+
+def mutated_tree(tmp_path, relpath, old, new):
+    """Copy src/repro and apply one source mutation to it."""
+    root = tmp_path / "repro"
+    shutil.copytree(REPRO_SRC, root)
+    target = root / relpath
+    source = target.read_text(encoding="utf-8")
+    assert old in source, f"mutation anchor vanished from {relpath}"
+    target.write_text(source.replace(old, new, 1), encoding="utf-8")
+    return root
+
+
+def test_mutation_gate_xt001_planted_host_query_log(tmp_path):
+    # Plant a plaintext query log in the host-placed gateway right where
+    # it first extracts the query from the request.
+    root = mutated_tree(
+        tmp_path, "core/gateway.py",
+        "        query = params.get(\"q\", [\"\"])[0]\n",
+        "        query = params.get(\"q\", [\"\"])[0]\n"
+        "        print(\"handling\", query)\n",
+    )
+    proc = run_cli(str(root), "--checkers", "dataflow",
+                   "--format=json", "--no-baseline")
+    assert proc.returncode == 1, proc.stdout + proc.stderr
+    codes = {f["code"] for f in json.loads(proc.stdout)["findings"]}
+    assert "XT001" in codes
+
+
+def test_mutation_gate_xt003_planted_nonce_reuse(tmp_path):
+    # Plant a nonce reuse in the channel send path: encrypt twice under
+    # the same (counter-derived) nonce.
+    root = tmp_path / "repro"
+    root.mkdir()
+    (root / "__init__.py").write_text("")
+    crypto = root / "crypto"
+    crypto.mkdir()
+    (crypto / "__init__.py").write_text("")
+    (crypto / "bad_channel.py").write_text(textwrap.dedent("""
+        from repro.crypto.aead import aead_encrypt
+
+        def send_twice(key, nonce, first, second):
+            one = aead_encrypt(key, nonce, first, b"")
+            two = aead_encrypt(key, nonce, second, b"")
+            return one, two
+    """))
+    proc = run_cli(str(root), "--checkers", "dataflow",
+                   "--format=json", "--no-baseline")
+    assert proc.returncode == 1, proc.stdout + proc.stderr
+    codes = {f["code"] for f in json.loads(proc.stdout)["findings"]}
+    assert codes == {"XT003"}
+
+
+def test_mutation_gate_xt005_planted_query_in_bridge_exception(tmp_path):
+    root = mutated_tree(
+        tmp_path, "core/proxy.py",
+        "                \"engine unreachable and no degraded result "
+        "cached for \"\n"
+        "                \"this query: \" + scrub(exc, request.query)",
+        "                f\"engine unreachable for query "
+        "{request.query!r}: {exc}\"",
+    )
+    proc = run_cli(str(root), "--checkers", "dataflow",
+                   "--format=json", "--no-baseline")
+    assert proc.returncode == 1, proc.stdout + proc.stderr
+    codes = {f["code"] for f in json.loads(proc.stdout)["findings"]}
+    assert "XT005" in codes

@@ -1,0 +1,457 @@
+"""The taint engine itself: sources, sanitizers, sinks, summaries.
+
+Every test builds a tiny fixture module graph (never the real tree —
+that lives in test_dataflow_checker.py) and asserts on the raw
+``TaintFlow`` records, so failures point at the engine, not at the
+xlint plumbing above it.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis import ModuleGraph, SourceModule
+from repro.analysis.dataflow import TaintEngine, analyze
+
+
+def flows(*named_sources):
+    """analyze() over fixture modules given as (name, source) pairs."""
+    modules = [
+        SourceModule.from_source(name, textwrap.dedent(source))
+        for name, source in named_sources
+    ]
+    return analyze(ModuleGraph.from_modules(modules))
+
+
+def rules(found):
+    return [flow.rule for flow in found]
+
+
+# ---------------------------------------------------------------------------
+# XT001: plaintext reaches a host-visible sink
+# ---------------------------------------------------------------------------
+
+def test_xt001_host_module_logging_the_query_param():
+    found = flows(("repro.core.gateway", """
+        import logging
+        logger = logging.getLogger(__name__)
+
+        def handle(query):
+            logger.info("got %s", query)
+    """))
+    assert rules(found) == ["XT001"]
+
+
+def test_xt001_fires_through_a_helper_call_chain():
+    found = flows(("repro.core.gateway", """
+        import logging
+        logger = logging.getLogger(__name__)
+
+        def emit(text):
+            logger.warning(text)
+
+        def relay(text):
+            emit(text)
+
+        def handle(query):
+            relay(query)
+    """))
+    # The sink itself plus the two call sites that feed it.
+    assert "XT001" in rules(found)
+    assert any("relay" in flow.message or "emit" in flow.message
+               for flow in found)
+
+
+def test_xt001_fires_on_tainted_return_values():
+    found = flows(("repro.core.gateway", """
+        import logging
+        logger = logging.getLogger(__name__)
+
+        def current_query(request):
+            return request.query
+
+        def handle(request):
+            logger.info(current_query(request))
+    """))
+    assert "XT001" in rules(found)
+
+
+def test_xt001_not_fired_for_enclave_placed_logging():
+    found = flows(("repro.core.obfuscation", """
+        import logging
+        logger = logging.getLogger(__name__)
+
+        def obfuscate(query):
+            logger.debug(query)
+    """))
+    assert "XT001" not in rules(found)
+
+
+def test_xt001_not_fired_for_structural_facts():
+    found = flows(("repro.core.gateway", """
+        import logging
+        logger = logging.getLogger(__name__)
+
+        def handle(query):
+            logger.info("len=%d", len(query))
+    """))
+    assert found == []
+
+
+def test_xt001_host_span_attribute_vs_enclave_span():
+    found = flows(("repro.core.gateway", """
+        from repro.obs.tracing import span, PLACEMENT_ENCLAVE
+
+        def bad(recorder, query):
+            with span(recorder, "gw.handle", q=query):
+                pass
+
+        def sanctioned(recorder, query):
+            with span(recorder, "enclave.obfuscation",
+                      placement=PLACEMENT_ENCLAVE, query=query):
+                pass
+    """))
+    assert rules(found) == ["XT001"]
+    assert "span attribute 'q'" in found[0].message
+
+
+def test_xt001_span_set_call_respects_recorded_placement():
+    found = flows(("repro.core.gateway", """
+        from repro.obs.tracing import span
+
+        def handle(recorder, query):
+            with span(recorder, "gw.handle") as current:
+                current.set(payload=query)
+    """))
+    assert rules(found) == ["XT001"]
+
+
+def test_xt001_allowlisted_attributes_are_clean():
+    found = flows(("repro.core.gateway", """
+        from repro.obs.tracing import event
+
+        def handle(recorder, query):
+            event(recorder, "gw.request",
+                  request_bytes=len(query), outcome="ok")
+    """))
+    assert found == []
+
+
+def test_xt001_wire_send_in_host_module():
+    found = flows(("repro.core.gateway", """
+        def forward(sock, query):
+            sock.sendall(query.encode("utf-8"))
+    """))
+    assert rules(found) == ["XT001"]
+
+
+def test_xt001_fires_on_decrypted_payloads():
+    found = flows(("repro.core.gateway", """
+        import logging
+        logger = logging.getLogger(__name__)
+
+        def handle(endpoint, blob):
+            plain = endpoint.decrypt(blob)
+            logger.info(plain)
+    """))
+    assert rules(found) == ["XT001"]
+
+
+def test_encrypted_payload_is_clean():
+    found = flows(("repro.core.gateway", """
+        import logging
+        logger = logging.getLogger(__name__)
+
+        def handle(endpoint, query):
+            wire = endpoint.encrypt(query)
+            logger.info("sent %r", wire)
+    """))
+    assert found == []
+
+
+# ---------------------------------------------------------------------------
+# XT002: key material at any sink, any placement
+# ---------------------------------------------------------------------------
+
+def test_xt002_key_logged_even_in_enclave_code():
+    found = flows(("repro.core.obfuscation", """
+        import logging
+        logger = logging.getLogger(__name__)
+
+        def setup(send_key):
+            logger.debug("key=%r", send_key)
+    """))
+    assert rules(found) == ["XT002"]
+
+
+def test_xt002_derived_key_into_event_attribute():
+    found = flows(("repro.crypto.channel", """
+        from repro.crypto.kdf import derive_subkeys
+        from repro.obs.tracing import event
+
+        def open_channel(recorder, secret):
+            keys = derive_subkeys(secret)
+            event(recorder, "channel.open", material=keys)
+    """))
+    assert rules(found) == ["XT002"]
+
+
+def test_xt002_key_fingerprint_is_clean():
+    found = flows(("repro.crypto.channel", """
+        import hashlib
+        import logging
+        logger = logging.getLogger(__name__)
+
+        def confirm(send_key):
+            logger.debug(hashlib.sha256(send_key).hexdigest())
+    """))
+    assert found == []
+
+
+# ---------------------------------------------------------------------------
+# XT003: nonce/counter reuse
+# ---------------------------------------------------------------------------
+
+def test_xt003_fixed_nonce_in_a_loop():
+    found = flows(("repro.crypto.channel", """
+        from repro.crypto.aead import aead_encrypt
+
+        def send_all(key, items):
+            nonce = b"\\x00" * 12
+            return [aead_encrypt(key, nonce, item, b"") for item in items]
+    """))
+    assert rules(found) == ["XT003"]
+
+
+def test_xt003_fixed_nonce_in_a_for_loop():
+    found = flows(("repro.crypto.channel", """
+        from repro.crypto.aead import aead_encrypt
+
+        def send_all(key, items):
+            nonce = b"\\x00" * 12
+            out = []
+            for item in items:
+                out.append(aead_encrypt(key, nonce, item, b""))
+            return out
+    """))
+    assert rules(found) == ["XT003"]
+
+
+def test_xt003_two_sequential_encrypts_same_nonce():
+    found = flows(("repro.crypto.channel", """
+        from repro.crypto.aead import aead_encrypt
+
+        def two(key, nonce, a, b):
+            first = aead_encrypt(key, nonce, a, b"")
+            second = aead_encrypt(key, nonce, b, b"")
+            return first, second
+    """))
+    assert rules(found) == ["XT003"]
+
+
+def test_xt003_not_fired_when_nonce_is_rederived():
+    found = flows(("repro.crypto.channel", """
+        from repro.crypto.aead import aead_encrypt
+
+        def two(key, counter, a, b):
+            nonce = counter.to_bytes(12, "little")
+            first = aead_encrypt(key, nonce, a, b"")
+            counter += 1
+            nonce = counter.to_bytes(12, "little")
+            second = aead_encrypt(key, nonce, b, b"")
+            return first, second
+    """))
+    assert found == []
+
+
+def test_xt003_not_fired_across_exclusive_branches():
+    found = flows(("repro.crypto.channel", """
+        from repro.crypto.aead import aead_encrypt
+
+        def one_of(key, nonce, a, b, flag):
+            if flag:
+                return aead_encrypt(key, nonce, a, b"")
+            else:
+                return aead_encrypt(key, nonce, b, b"")
+    """))
+    assert found == []
+
+
+def test_xt003_fires_when_branch_and_joined_path_share_a_nonce():
+    found = flows(("repro.crypto.channel", """
+        from repro.crypto.aead import aead_encrypt
+
+        def leak(key, nonce, a, b, flag):
+            if flag:
+                first = aead_encrypt(key, nonce, a, b"")
+            return aead_encrypt(key, nonce, b, b"")
+    """))
+    assert rules(found) == ["XT003"]
+
+
+def test_xt003_chacha20_same_nonce_fresh_counter_is_correct_streaming():
+    found = flows(("repro.crypto.stream", """
+        from repro.crypto.chacha20 import chacha20_block
+
+        def keystream(key, nonce, blocks):
+            out = []
+            for index in range(blocks):
+                out.append(chacha20_block(key, index, nonce))
+            return out
+    """))
+    assert found == []
+
+
+def test_xt003_nonce_keyword_argument_is_honoured():
+    found = flows(("repro.crypto.channel", """
+        from repro.crypto.aead import aead_encrypt
+
+        def two(key, nonce, a, b):
+            first = aead_encrypt(key, nonce=nonce, plaintext=a, aad=b"")
+            second = aead_encrypt(key, nonce=nonce, plaintext=b, aad=b"")
+            return first, second
+    """))
+    assert rules(found) == ["XT003"]
+
+
+# ---------------------------------------------------------------------------
+# XT004: sanitizer bypassed by aliasing
+# ---------------------------------------------------------------------------
+
+def test_xt004_tainted_alias_bypasses_the_sanitizer():
+    found = flows(("repro.core.gateway", """
+        import logging
+        logger = logging.getLogger(__name__)
+
+        def handle(endpoint, query):
+            safe = endpoint.encrypt(query)
+            logger.info(query)
+    """))
+    assert rules(found) == ["XT004"]
+
+
+def test_xt004_not_downgraded_when_nothing_was_sanitized():
+    found = flows(("repro.core.gateway", """
+        import logging
+        logger = logging.getLogger(__name__)
+
+        def handle(query):
+            logger.info(query)
+    """))
+    assert rules(found) == ["XT001"]
+
+
+# ---------------------------------------------------------------------------
+# XT005: tainted exception message on a bridge/facade path
+# ---------------------------------------------------------------------------
+
+def test_xt005_query_in_bridge_exception_message():
+    found = flows(("repro.core.proxy", """
+        def fail(query):
+            raise ValueError(f"no result for {query!r}")
+    """))
+    assert rules(found) == ["XT005"]
+
+
+def test_xt005_constant_messages_are_clean():
+    found = flows(("repro.core.proxy", """
+        def fail(query):
+            raise ValueError("no result for this query")
+    """))
+    assert found == []
+
+
+def test_xt005_scrubbed_messages_are_clean():
+    found = flows(("repro.core.proxy", """
+        from repro.errors import scrub
+
+        def fail(query, exc):
+            raise ValueError("engine failed: " + scrub(exc, query))
+    """))
+    assert found == []
+
+
+def test_xt005_not_fired_outside_bridge_and_facade_paths():
+    found = flows(("repro.data.corpus", """
+        def fail(query):
+            raise KeyError(f"no corpus entry for {query}")
+    """))
+    assert "XT005" not in rules(found)
+
+
+# ---------------------------------------------------------------------------
+# Engine mechanics
+# ---------------------------------------------------------------------------
+
+def test_summaries_expose_param_to_return_flow():
+    modules = [SourceModule.from_source("repro.core.gateway", textwrap.dedent("""
+        def identity(query):
+            return query
+    """))]
+    engine = TaintEngine(ModuleGraph.from_modules(modules))
+    engine.run()
+    summary = engine.summaries["repro.core.gateway.identity"]
+    assert any(label.origin == "query" for label in summary.returns)
+
+
+def test_taint_follows_self_attributes_across_methods():
+    found = flows(("repro.core.gateway", """
+        import logging
+        logger = logging.getLogger(__name__)
+
+        class Holder:
+            def __init__(self, query):
+                self._stashed = query
+
+            def dump(self):
+                logger.info(self._stashed)
+    """))
+    assert "XT001" in rules(found)
+
+
+def test_module_level_statements_are_analysed():
+    found = flows(("repro.core.gateway", """
+        import logging
+        from repro.crypto.kdf import derive_subkeys
+        logger = logging.getLogger(__name__)
+        KEYS = derive_subkeys(b"seed")
+        logger.info(KEYS)
+    """))
+    assert rules(found) == ["XT002"]
+
+
+def test_analysis_is_deterministic():
+    sources = [
+        ("repro.core.gateway", """
+            import logging
+            logger = logging.getLogger(__name__)
+
+            def a(query):
+                logger.info(query)
+
+            def b(send_key):
+                logger.info(send_key)
+        """),
+        ("repro.core.proxy", """
+            def fail(query):
+                raise ValueError(f"bad {query}")
+        """),
+    ]
+    first = flows(*sources)
+    second = flows(*sources)
+    assert first == second
+    assert len(first) >= 3
+
+
+def test_unknown_calls_propagate_taint_conservatively():
+    found = flows(("repro.core.gateway", """
+        import logging
+        logger = logging.getLogger(__name__)
+
+        def handle(query):
+            decorated = "[{}]".format(query.strip().lower())
+            logger.info(decorated)
+    """))
+    assert rules(found) == ["XT001"]

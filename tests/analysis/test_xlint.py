@@ -33,9 +33,9 @@ def fixture_module(name="repro.attacks.evil",
 # Framework
 # ---------------------------------------------------------------------------
 
-def test_the_four_shipped_checkers_are_registered():
+def test_the_five_shipped_checkers_are_registered():
     assert [c.id for c in all_checkers()] == [
-        "boundary", "determinism", "locks", "taxonomy",
+        "boundary", "dataflow", "determinism", "locks", "taxonomy",
     ]
     for checker in all_checkers():
         assert checker.description
@@ -175,6 +175,7 @@ def test_cli_output_file(tmp_path):
 def test_cli_list_checkers():
     proc = run_cli("--list-checkers")
     assert proc.returncode == 0
-    for expected in ("boundary", "determinism", "locks", "taxonomy",
-                     "XB001", "XD001", "XE001", "XL001"):
+    for expected in ("boundary", "dataflow", "determinism", "locks",
+                     "taxonomy", "XB001", "XD001", "XE001", "XL001",
+                     "XT001"):
         assert expected in proc.stdout

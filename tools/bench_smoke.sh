@@ -15,7 +15,7 @@ cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== xlint preflight (boundary/determinism/taxonomy/locks) =="
+echo "== xlint preflight (boundary/determinism/taxonomy/locks/dataflow) =="
 python tools/xlint.py src/repro
 
 echo

@@ -163,7 +163,38 @@ EXPECTED_ANALYSIS_NAMES = [
     "classify",
     "placement_of",
     "verify_registry",
+    # dataflow/taint engine (XT rules)
+    "TaintEngine",
+    "TaintFlow",
+    "FunctionSummary",
+    "analyze",
+    "TAINT_PLAINTEXT",
+    "TAINT_KEY",
+    "TAINT_NONCE",
+    "TAINT_KINDS",
 ]
+
+# Names importable from repro.analysis.dataflow, forever (the taint
+# policy surface: registry tables third-party checkers extend and the
+# engine entry points the dataflow checker drives).
+EXPECTED_DATAFLOW_NAMES = [
+    "analyze",
+    "TaintEngine",
+    "TaintFlow",
+    "FunctionSummary",
+    "Label",
+    "SOURCE_CALLS",
+    "SOURCE_ATTRIBUTES",
+    "SOURCE_PARAMS",
+    "DECLASSIFIER_CALLS",
+    "ENCRYPT_NONCE_POSITIONS",
+    "is_safe_attribute",
+    "is_log_call",
+]
+
+#: The XT rule catalogue the dataflow checker must keep publishing
+#: (waivers, baselines and CI greps reference these ids).
+EXPECTED_XT_RULES = ["XT001", "XT002", "XT003", "XT004", "XT005"]
 
 EXPECTED_ANALYSIS_ATTRS = {
     "Finding": ["fingerprint", "location", "to_dict", "from_dict",
@@ -236,14 +267,39 @@ def check_finding_schema(problems: list) -> None:
 
 
 def check_registered_checkers(problems: list) -> None:
-    """The four shipped checkers stay registered under their ids."""
+    """The five shipped checkers stay registered under their ids."""
     from repro.analysis import all_checkers
 
     ids = sorted(checker.id for checker in all_checkers())
-    expected = ["boundary", "determinism", "locks", "taxonomy"]
+    expected = ["boundary", "dataflow", "determinism", "locks", "taxonomy"]
     if not set(expected) <= set(ids):
         problems.append(
             f"built-in checkers missing: have {ids}, need {expected}"
+        )
+
+
+def check_dataflow_surface(problems: list) -> None:
+    """The taint-engine contract: the policy/engine names and the XT
+    rule catalogue stay stable (CI greps for XT ids, waivers reference
+    them, and the registry tables are the documented extension point)."""
+    import repro.analysis.dataflow as dataflow
+    from repro.analysis import get_checker
+
+    for name in EXPECTED_DATAFLOW_NAMES:
+        if not hasattr(dataflow, name):
+            problems.append(f"repro.analysis.dataflow.{name} is gone")
+        if name not in getattr(dataflow, "__all__", ()):
+            problems.append(
+                f"repro.analysis.dataflow.__all__ no longer lists {name!r}"
+            )
+
+    checker = get_checker("dataflow")
+    missing = [code for code in EXPECTED_XT_RULES
+               if code not in checker.rules]
+    if missing:
+        problems.append(
+            f"dataflow checker lost XT rule(s): {missing} "
+            f"(published: {sorted(checker.rules)})"
         )
 
 
@@ -523,6 +579,7 @@ def main() -> int:
 
     check_finding_schema(problems)
     check_registered_checkers(problems)
+    check_dataflow_surface(problems)
     check_scheduler_surface(problems)
     check_deployment_config_surface(problems)
     check_sim_surface(problems)

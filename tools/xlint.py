@@ -14,6 +14,7 @@ is the stable machine contract (schema guarded by tools/check_api.py).
 
 import argparse
 import sys
+import time
 
 from repro.analysis import (
     all_checkers,
@@ -63,6 +64,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-checkers", action="store_true",
         help="list registered checkers and their rules, then exit",
     )
+    parser.add_argument(
+        "--max-seconds", type=float, default=None,
+        help="fail (exit 2) if the analysis wall-clock exceeds this "
+             "budget (CI asserts the whole-tree dataflow pass stays "
+             "fast enough to gate every push)",
+    )
     return parser
 
 
@@ -90,7 +97,9 @@ def main(argv=None) -> int:
     if not args.no_baseline and not args.write_baseline:
         baseline = load_baseline(args.baseline)
 
+    started = time.monotonic()
     result = run_checks(args.target, checkers=checkers, baseline=baseline)
+    elapsed = time.monotonic() - started
 
     if args.write_baseline:
         save_baseline(args.baseline, result.findings)
@@ -106,6 +115,12 @@ def main(argv=None) -> int:
             handle.write(report)
     else:
         sys.stdout.write(report)
+    if args.max_seconds is not None and elapsed > args.max_seconds:
+        sys.stderr.write(
+            f"xlint: analysis took {elapsed:.1f}s, over the "
+            f"--max-seconds budget of {args.max_seconds:.1f}s\n"
+        )
+        return 2
     return result.exit_code()
 
 
