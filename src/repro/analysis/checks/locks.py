@@ -64,6 +64,16 @@ LOCK_MAP = {
             "_lock": ("_entries", "_bytes"),
         },
     },
+    "repro.netserve.server": {
+        "XSearchServer": {
+            "_state_lock": ("_state", "_connections", "_inflight"),
+        },
+    },
+    "repro.netserve.client": {
+        "RemoteTransport": {
+            "_io_lock": ("_sock", "_server_info"),
+        },
+    },
     "repro.obs.tracing": {
         "TraceRecorder": {
             "_lock": ("_traces", "_orphan_events", "_dropped"),
@@ -87,6 +97,9 @@ LOCK_MAP = {
 #: Sanctioned acquisition order, outermost first.  Acquiring a lock
 #: whose rank is *earlier* than one already held inverts the order.
 LOCK_ORDER = (
+    "_io_lock",         # client transport: never held into the server
+    "_state_lock",      # server admission: leaf on the serving side —
+                        # dispatch into the deployment runs outside it
     "_ring_lock",
     "_health_lock",
     "_queue_lock",

@@ -74,6 +74,15 @@ _EXACT = {
     "repro.core.scheduler": HOST,          # untrusted executor: holds
                                            # ciphertext records only
     "repro.core.walkthrough": NEUTRAL,
+    # repro.netserve — the network serving layer: the frame codec is a
+    # wire format (both endpoints), the TCP server runs on the
+    # untrusted cloud node, the remote client lives in the user domain.
+    "repro.netserve": NEUTRAL,             # package re-exports only
+    "repro.netserve.wire": NEUTRAL,
+    "repro.netserve.server": HOST,         # sees session ids, ciphertext
+                                           # records and sizes — never
+                                           # plaintext
+    "repro.netserve.client": CLIENT,
     # repro.sgx — the platform model.
     "repro.sgx": NEUTRAL,
     "repro.sgx.attestation": NEUTRAL,      # quoting + client verification

@@ -41,6 +41,7 @@ from repro.errors import (
     AttestationError,
     EnclaveLostError,
     ProtocolError,
+    RetryExhaustedError,
     TransientError,
 )
 from repro.obs.tracing import PLACEMENT_CLIENT, event, span
@@ -306,10 +307,8 @@ class Broker:
                   batch_size=len(queries),
                   **{"retry.max_attempts": policy.max_attempts}) as root:
             with self._latency_timer("latency.broker.search_batch"):
-                plaintexts = call_with_retry(
-                    attempt, policy=policy, clock=self._clock,
-                    retry_on=(EnclaveLostError,), deadline=deadline,
-                    on_retry=self._heal,
+                plaintexts = self._recover(
+                    attempt, policy=policy, deadline=deadline,
                 )
             decoded = [SearchResponse.decode(p) for p in plaintexts]
             self.last_degraded = any(d.degraded for d in decoded)
@@ -361,11 +360,33 @@ class Broker:
             reply = self._proxy.request(self._session_id, record)
             return endpoint.decrypt(reply)
 
-        return call_with_retry(
-            attempt, policy=policy, clock=self._clock,
-            retry_on=(EnclaveLostError,), deadline=deadline,
-            on_retry=self._heal,
+        return self._recover(
+            attempt, policy=policy, deadline=deadline,
         )
+
+    def _recover(self, attempt, *, policy, deadline):
+        """Run one query attempt under the heal-on-enclave-loss policy.
+
+        When even the heals run out, the session is abandoned outright:
+        the final failed attempt consumed channel nonces the enclave
+        never saw, so keeping the endpoint would wedge every later call
+        on an authentication failure.  Dropping it makes the next call
+        start from a clean attested handshake instead.
+        """
+        try:
+            return call_with_retry(
+                attempt, policy=policy, clock=self._clock,
+                retry_on=(EnclaveLostError,), deadline=deadline,
+                on_retry=self._heal,
+            )
+        except RetryExhaustedError as exc:
+            if isinstance(exc.last_cause, EnclaveLostError):
+                self._endpoint = None
+                self.attested = False
+                self._session_id = self._mint_session_id()
+                if self._router is not None:
+                    self._proxy = self._router.for_session(self._session_id)
+            raise
 
     def _latency_timer(self, name: str):
         """A metrics timer for one broker operation (inert without a

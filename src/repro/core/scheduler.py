@@ -183,11 +183,16 @@ class RequestScheduler:
         proxy is torn down afterwards.
         """
         with self._queue_lock:
-            already = self._closed
             self._closed = True
             self._queue_lock.notify_all()
-        if not already:
-            for worker in self._workers:
+        # Every closer joins the workers — not just the first one to
+        # flip the flag.  A second concurrent closer that skipped the
+        # join would proceed to tear down the proxy while a worker is
+        # still mid-dispatch, failing in-flight requests that a drain
+        # promises to finish (joining an already-joined thread is a
+        # cheap no-op, so idempotence costs nothing).
+        for worker in self._workers:
+            if worker is not threading.current_thread():
                 worker.join()
         if close_proxy:
             self.proxy.close()

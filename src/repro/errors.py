@@ -103,6 +103,38 @@ class NetworkError(ReproError):
     """The simulated network could not deliver a message."""
 
 
+class ConnectionLostError(EnclaveLostError):
+    """The transport to a remote proxy died mid-conversation.
+
+    Socket gone, stream truncated or corrupted: whatever was in flight
+    is in an unknown state and the channel's nonce counters can no
+    longer be trusted.  Subclassing :class:`EnclaveLostError` is the
+    point — the broker's existing heal (re-attest, fresh session id,
+    new handshake) is exactly the right recovery, with the transport
+    reconnecting underneath it.
+    """
+
+
+class ServerBusyError(EnclaveLostError):
+    """A serving front-end shed the request (admission control).
+
+    ``retry_after`` is the server's backoff hint in seconds.  The shed
+    request was *never dispatched* — the server-side channel state did
+    not advance — so the transport may re-send the identical ciphertext
+    after the hint.  But once this error escapes the transport's busy
+    budget, the *client* side has already consumed a nonce the enclave
+    will never see, and the strict-counter channel is desynchronised
+    for good.  Subclassing :class:`EnclaveLostError` encodes that: the
+    broker recovers by re-attesting under a fresh session, exactly as
+    for any other lost channel.
+    """
+
+    def __init__(self, message: str = "server is at capacity", *,
+                 retry_after: float = 0.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
 class EngineUnavailableError(TransientError, NetworkError):
     """The search engine could not be reached (refused, dropped, timeout).
 

@@ -24,14 +24,19 @@ from repro.faults.plan import (
     KIND_GARBLE,
     KIND_PRESSURE,
     KIND_REFUSE,
+    KIND_SLOWLORIS,
     KIND_TIMEOUT,
     KIND_TRANSIENT,
+    SERVER_SITES,
     SITE_ATTESTATION,
     SITE_ECALL,
     SITE_ENGINE_CONNECT,
     SITE_ENGINE_RECV,
     SITE_ENGINE_SEND,
     SITE_EPC,
+    SITE_SERVER_ACCEPT,
+    SITE_SERVER_RECV,
+    SITE_SERVER_SEND,
     FaultPlan,
     InjectedFault,
 )
@@ -45,7 +50,11 @@ __all__ = [
     "SITE_ECALL",
     "SITE_EPC",
     "SITE_ATTESTATION",
+    "SITE_SERVER_ACCEPT",
+    "SITE_SERVER_RECV",
+    "SITE_SERVER_SEND",
     "ENGINE_SITES",
+    "SERVER_SITES",
     "KIND_REFUSE",
     "KIND_DROP",
     "KIND_TIMEOUT",
@@ -53,4 +62,5 @@ __all__ = [
     "KIND_CRASH",
     "KIND_PRESSURE",
     "KIND_TRANSIENT",
+    "KIND_SLOWLORIS",
 ]

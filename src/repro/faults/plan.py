@@ -13,6 +13,9 @@ site                      consulted by
 ``enclave.ecall``         :meth:`repro.sgx.runtime.Enclave.call`
 ``enclave.epc``           :meth:`repro.sgx.runtime.Enclave.call` (pressure)
 ``attestation.quote``     :meth:`repro.core.proxy.XSearchProxyHost.attestation_evidence`
+``server.accept``         :class:`repro.netserve.server.XSearchServer` (accept loop)
+``server.frame.recv``     :class:`repro.netserve.server.XSearchServer` (per frame read)
+``server.frame.send``     :class:`repro.netserve.server.XSearchServer` (per frame write)
 ========================  ====================================================
 
 Determinism is the load-bearing property: a plan built from the same
@@ -52,8 +55,12 @@ SITE_ENGINE_RECV = "engine.recv"
 SITE_ECALL = "enclave.ecall"
 SITE_EPC = "enclave.epc"
 SITE_ATTESTATION = "attestation.quote"
+SITE_SERVER_ACCEPT = "server.accept"
+SITE_SERVER_RECV = "server.frame.recv"
+SITE_SERVER_SEND = "server.frame.send"
 
 ENGINE_SITES = (SITE_ENGINE_CONNECT, SITE_ENGINE_SEND, SITE_ENGINE_RECV)
+SERVER_SITES = (SITE_SERVER_ACCEPT, SITE_SERVER_RECV, SITE_SERVER_SEND)
 
 # Fault kinds understood by the wired-in layers.
 KIND_REFUSE = "refuse"          # connect: connection refused
@@ -63,6 +70,7 @@ KIND_GARBLE = "garble"          # recv: corrupted frame delivered
 KIND_CRASH = "crash"            # ecall: enclave dies on entry
 KIND_PRESSURE = "pressure"      # epc: spike swaps the working set out
 KIND_TRANSIENT = "transient"    # attestation: quoting service hiccup
+KIND_SLOWLORIS = "slowloris"    # server send: reply trickled byte-wise
 
 
 @dataclass(frozen=True)

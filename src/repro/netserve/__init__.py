@@ -1,0 +1,38 @@
+"""``repro.netserve`` — the network serving layer.
+
+Everything before this package talks Python-object-to-Python-object;
+here the deployment grows a real I/O boundary.  X-Search's deployment
+model (paper §6) is a remote proxy that untrusted clients reach over
+the network, and the heavy multi-user traffic of the evaluation only
+exists once requests cross a genuine transport.  Three modules:
+
+* :mod:`repro.netserve.wire` — the versioned, length-prefixed binary
+  frame protocol (magic + version handshake, typed frames, strict size
+  caps, malformed input rejected as :class:`~repro.errors.ProtocolError`);
+* :mod:`repro.netserve.server` — :class:`~repro.netserve.server.XSearchServer`,
+  a threaded TCP front-end over an :class:`~repro.core.deployment.XSearchDeployment`
+  (per-connection readers, keep-alive idle timeouts, admission control
+  with ``BUSY`` shedding, graceful drain);
+* :mod:`repro.netserve.client` — :class:`~repro.netserve.client.RemoteClient`,
+  the socket-speaking counterpart of :class:`~repro.core.client.XSearchClient`:
+  the same attested broker underneath, a wire transport instead of an
+  in-process frontend.
+
+The wire never carries plaintext: queries and results stay inside the
+broker↔enclave AEAD channel; frames add only routing metadata (session
+ids, sizes, typed error names) a network observer could infer anyway.
+"""
+
+from repro.netserve.client import RemoteClient, RemoteFrontend, RemoteTransport
+from repro.netserve.server import XSearchServer
+from repro.netserve.wire import MAX_FRAME_BYTES, WIRE_VERSION, Frame
+
+__all__ = [
+    "Frame",
+    "MAX_FRAME_BYTES",
+    "RemoteClient",
+    "RemoteFrontend",
+    "RemoteTransport",
+    "WIRE_VERSION",
+    "XSearchServer",
+]

@@ -1,0 +1,31 @@
+"""Builders shared by the netserve test modules."""
+
+from __future__ import annotations
+
+import socket
+
+from repro.core.deployment import DeploymentConfig, XSearchDeployment
+from repro.netserve.client import RemoteClient
+
+
+def make_deployment(engine=None, **overrides):
+    params = dict(seed=7, k=2)
+    params.update(overrides)
+    return XSearchDeployment.create(
+        config=DeploymentConfig(**params), engine=engine
+    )
+
+
+def make_client(deployment, server, **kwargs):
+    kwargs.setdefault("user_id", "netserve-test")
+    return RemoteClient(
+        server.address,
+        service_public_key=deployment.attestation_service.public_key,
+        expected_measurement=deployment.proxy.measurement,
+        **kwargs,
+    )
+
+
+def raw_connect(server, timeout=5.0):
+    """A bare socket to the server, for protocol-level tests."""
+    return socket.create_connection(server.address, timeout=timeout)

@@ -1,0 +1,30 @@
+"""Shared netserve fixtures: one live loopback server per module.
+
+Deployment construction (RSA attestation keys, corpus) dominates the
+cost, so the served deployment is module-scoped; tests that need their
+own lifecycle (drain, idle timeout, shedding) build private servers on
+port 0 via the builders in ``_helpers.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _helpers import make_client, make_deployment
+from repro.netserve.server import XSearchServer
+
+
+@pytest.fixture(scope="module")
+def served():
+    """``(deployment, server)`` — a live loopback server, no idle kick."""
+    with make_deployment() as deployment:
+        with XSearchServer(deployment, idle_timeout=None) as server:
+            yield deployment, server
+
+
+@pytest.fixture()
+def remote(served):
+    deployment, server = served
+    client = make_client(deployment, server)
+    yield client
+    client.close()

@@ -1,0 +1,103 @@
+"""Socket-level fault injection: the client heals over real frames."""
+
+from __future__ import annotations
+
+import pytest
+
+from _helpers import make_client, make_deployment
+from repro.core.retry import RetryPolicy
+from repro.faults import (
+    KIND_DROP,
+    KIND_GARBLE,
+    KIND_REFUSE,
+    KIND_SLOWLORIS,
+    FaultPlan,
+    SITE_SERVER_ACCEPT,
+    SITE_SERVER_RECV,
+    SITE_SERVER_SEND,
+)
+from repro.net.clock import VirtualClock
+from repro.netserve.server import XSearchServer
+from repro.obs import MetricsRegistry
+
+
+@pytest.fixture()
+def faulted():
+    """A served deployment with an (initially empty) fault plan."""
+    plan = FaultPlan(seed=5)
+    registry = MetricsRegistry()
+    with make_deployment() as deployment:
+        with XSearchServer(deployment, idle_timeout=None,
+                           fault_plan=plan, registry=registry) as server:
+            yield deployment, server, plan, registry
+
+
+def test_accept_refuse_is_survived_by_connect_retry(faulted):
+    deployment, server, plan, registry = faulted
+    plan.trigger(SITE_SERVER_ACCEPT, KIND_REFUSE)
+    client = make_client(
+        deployment, server, user_id="refused-once",
+        retry_policy=RetryPolicy(max_attempts=3, base_delay=0.0),
+    )
+    try:
+        assert client.search("cheap hotel rome", limit=3)
+        assert registry.counter("server.faults").value == 1
+    finally:
+        client.close()
+
+
+def test_send_drop_triggers_broker_heal(faulted):
+    deployment, server, plan, _registry = faulted
+    client = make_client(deployment, server, user_id="dropped")
+    try:
+        assert client.search("cheap hotel rome", limit=3)
+        # The next server send vanishes and the connection dies with it;
+        # the broker re-attests over a fresh connection and re-issues.
+        plan.trigger(SITE_SERVER_SEND, KIND_DROP)
+        assert client.search("nfl playoffs", limit=3)
+        assert client.broker.reconnects == 1
+    finally:
+        client.close()
+
+
+def test_send_garble_triggers_broker_heal(faulted):
+    deployment, server, plan, _registry = faulted
+    client = make_client(deployment, server, user_id="garbled")
+    try:
+        assert client.search("cheap hotel rome", limit=3)
+        plan.trigger(SITE_SERVER_SEND, KIND_GARBLE)
+        assert client.search("nfl playoffs", limit=3)
+        assert client.broker.reconnects == 1
+    finally:
+        client.close()
+
+
+def test_recv_drop_triggers_broker_heal(faulted):
+    deployment, server, plan, _registry = faulted
+    client = make_client(deployment, server, user_id="recv-dropped")
+    try:
+        assert client.search("cheap hotel rome", limit=3)
+        # The server reads the next frame and abandons the connection
+        # without answering: the client sees EOF and heals.
+        plan.trigger(SITE_SERVER_RECV, KIND_DROP)
+        assert client.search("nfl playoffs", limit=3)
+        assert client.broker.reconnects == 1
+    finally:
+        client.close()
+
+
+def test_slowloris_send_trickles_but_delivers():
+    plan = FaultPlan(seed=5)
+    clock = VirtualClock()
+    with make_deployment() as deployment:
+        with XSearchServer(deployment, idle_timeout=None,
+                           fault_plan=plan, clock=clock) as server:
+            client = make_client(deployment, server, user_id="patient")
+            try:
+                plan.trigger(SITE_SERVER_SEND, KIND_SLOWLORIS)
+                assert client.search("cheap hotel rome", limit=3)
+                # The reply really did trickle out one byte at a time —
+                # on the injected virtual clock, so no wall time burned.
+                assert len(clock.sleeps) > 100
+            finally:
+                client.close()

@@ -97,6 +97,53 @@ if not availability.meets_target(0.9):
 PY
 
 echo
+echo "== figure 5 server: loopback TCP sweep at 4 workers =="
+python - <<'PY'
+import json
+
+from repro.experiments import fig5_server
+from repro.obs import attach_digest
+
+# The same open-loop sweep as fig5_measured, but every lane is a
+# RemoteClient on its own TCP connection through XSearchServer: wire
+# framing, AEAD records and per-connection reader threads all sit in
+# the request path.  The acceptance number is the loopback knee
+# against the in-process 4-worker knee recorded by the scheduler
+# section above — the serving layer may cost at most 30%.
+wall = fig5_server.run_wallclock(max_workers=4)
+print(fig5_server.format_table(wall))
+
+# The deterministic companion: the virtual-clock DES digest is the
+# regression fingerprint (byte-identical across same-seed runs).
+virtual = fig5_server.run_virtual(max_workers=4, rates=(50, 200),
+                                  duration_seconds=0.25)
+
+with open("BENCH_fig5.json") as handle:
+    in_process_knee = (json.load(handle)["scheduler"]
+                      ["workers_4"]["saturation_rps"])
+knee_ratio = (wall.saturation_rps / in_process_knee
+              if in_process_knee else float("inf"))
+digest = {
+    "wallclock": wall.summary(),
+    "in_process_knee_rps": in_process_knee,
+    "knee_ratio": round(knee_ratio, 3),
+    "virtual_digest": virtual.digest(),
+    "virtual_invariants_ok": virtual.trace_digest["invariants_ok"],
+}
+attach_digest("BENCH_fig5.json", digest, key="server")
+print(f"\nserver: loopback knee {wall.saturation_rps} rps vs "
+      f"in-process {in_process_knee} rps (ratio {knee_ratio:.2f}); "
+      f"virtual digest {virtual.digest()[:16]}")
+if knee_ratio < 0.7:
+    raise SystemExit(
+        f"serving layer overhead regressed: loopback knee is only "
+        f"{knee_ratio:.2f}x the in-process knee (< 0.7x)")
+if not virtual.trace_digest["invariants_ok"]:
+    raise SystemExit(
+        "TraceChecker violations in the virtual server sweep")
+PY
+
+echo
 echo "== figure 5 companion: availability under injected faults =="
 python -m pytest benchmarks/test_fig5_availability.py -q "$@"
 python - <<'PY'

@@ -214,6 +214,51 @@ EXPECTED_FINDING_FIELDS = {
     "module", "severity",
 }
 
+# Names importable from repro.netserve, forever (the serving contract:
+# remote deployments, the bench harness and third-party clients program
+# against it).
+EXPECTED_NETSERVE_NAMES = [
+    "Frame",
+    "MAX_FRAME_BYTES",
+    "RemoteClient",
+    "RemoteFrontend",
+    "RemoteTransport",
+    "WIRE_VERSION",
+    "XSearchServer",
+]
+
+#: Frame-type ids are pinned on the wire: a deployed server and a newer
+#: client (or vice versa) must keep agreeing on what header byte 5 means.
+#: Renumbering is a protocol break and requires a WIRE_VERSION bump.
+EXPECTED_FRAME_TYPES = {
+    "T_HELLO": 1,
+    "T_WELCOME": 2,
+    "T_ATTEST": 3,
+    "T_ATTEST_OK": 4,
+    "T_SESSION": 5,
+    "T_SESSION_OK": 6,
+    "T_SEARCH": 7,
+    "T_SEARCH_BATCH": 8,
+    "T_REPLY": 9,
+    "T_REPLY_DEGRADED": 10,
+    "T_ERROR": 11,
+    "T_BUSY": 12,
+    "T_PING": 13,
+    "T_PONG": 14,
+    "T_GOODBYE": 15,
+}
+
+EXPECTED_NETSERVE_ATTRS = {
+    "XSearchServer": ["start", "close", "address",
+                      "__enter__", "__exit__"],
+    "RemoteClient": ["search", "search_batch", "ping", "close",
+                     "broker", "transport", "user_id", "queries_sent",
+                     "last_degraded", "__enter__", "__exit__"],
+    "RemoteTransport": ["call", "ping", "close", "address",
+                        "server_info"],
+    "RemoteFrontend": ["for_session"],
+}
+
 # Names importable from repro.sim, forever (the DST harness surface:
 # tools/simexplore.py, CI and the sim test suite program against it).
 EXPECTED_SIM_NAMES = [
@@ -463,6 +508,83 @@ def check_sim_surface(problems: list) -> None:
         )
 
 
+def check_netserve_surface(problems: list) -> None:
+    """The serving contract: the ``repro.netserve`` names, the pinned
+    frame-type ids (renumbering breaks deployed peers — it requires a
+    ``WIRE_VERSION`` bump), the transport's observable counters, and a
+    live loopback round-trip on an ephemeral port."""
+    import repro.netserve as netserve
+    from repro.netserve import wire
+
+    for name in EXPECTED_NETSERVE_NAMES:
+        if not hasattr(netserve, name):
+            problems.append(f"repro.netserve.{name} is gone")
+        if name not in getattr(netserve, "__all__", ()):
+            problems.append(
+                f"repro.netserve.__all__ no longer lists {name!r}"
+            )
+
+    for cls_name, attrs in EXPECTED_NETSERVE_ATTRS.items():
+        cls = getattr(netserve, cls_name, None)
+        if cls is None:
+            continue  # already reported above
+        for attr in attrs:
+            if not hasattr(cls, attr):
+                problems.append(f"netserve.{cls_name}.{attr} is gone")
+
+    for name, expected_id in EXPECTED_FRAME_TYPES.items():
+        actual = getattr(wire, name, None)
+        if actual is None:
+            problems.append(f"wire.{name} is gone")
+        elif actual != expected_id:
+            problems.append(
+                f"wire.{name} renumbered: {actual} != {expected_id} — "
+                f"frame ids are pinned; bump WIRE_VERSION instead"
+            )
+    if wire.WIRE_VERSION != 1:
+        problems.append(
+            "WIRE_VERSION changed — update this guard alongside every "
+            "deployed peer"
+        )
+    if wire.MAGIC != b"XSRV":
+        problems.append(f"wire magic changed: {wire.MAGIC!r}")
+
+    # Live loopback smoke: port 0 binding, the chosen port via
+    # ``address``, and a search whose answer matches the in-process
+    # client's byte for byte.
+    from repro.core import XSearchDeployment
+    from repro.netserve import RemoteClient, XSearchServer
+
+    with XSearchDeployment.create(seed=11, k=2) as deployment:
+        with XSearchServer(deployment, port=0) as server:
+            host, port = server.address
+            if port == 0:
+                problems.append("server.address did not report the "
+                                "kernel-chosen port")
+            remote = RemoteClient(
+                (host, port), user_id="api-guard-remote",
+                service_public_key=(
+                    deployment.attestation_service.public_key
+                ),
+                expected_measurement=deployment.proxy.measurement,
+            )
+            try:
+                over_wire = remote.search("probe query", limit=3)
+                local = deployment.client(user_id="api-guard-local")
+                if over_wire != local.search("probe query", limit=3):
+                    problems.append(
+                        "remote search diverges from the in-process "
+                        "client on the same deployment"
+                    )
+                for counter in ("busy_rebuffs", "drain_notices"):
+                    if not hasattr(remote.transport, counter):
+                        problems.append(
+                            f"RemoteTransport.{counter} is gone"
+                        )
+            finally:
+                remote.close()
+
+
 def check_noop_boundary_deltas(problems: list) -> None:
     """The zero-overhead contract: observability must never perturb the
     boundary-crossing counts the benchmarks assert on."""
@@ -583,6 +705,7 @@ def main() -> int:
     check_scheduler_surface(problems)
     check_deployment_config_surface(problems)
     check_sim_surface(problems)
+    check_netserve_surface(problems)
     check_noop_boundary_deltas(problems)
 
     if problems:
@@ -595,6 +718,8 @@ def main() -> int:
         f"{len(EXPECTED_OBS_NAMES)} obs names, "
         f"{len(EXPECTED_ANALYSIS_NAMES)} analysis names, "
         f"{len(EXPECTED_SIM_NAMES)} sim names, "
+        f"{len(EXPECTED_NETSERVE_NAMES)} netserve names, "
+        f"{len(EXPECTED_FRAME_TYPES)} pinned frame ids, "
         f"{len(EXPECTED_CALL_SURFACE)} call signatures, "
         f"{sum(len(a) for a in EXPECTED_ATTRS.values()) + sum(len(a) for a in EXPECTED_OBS_ATTRS.values()) + sum(len(a) for a in EXPECTED_ANALYSIS_ATTRS.values())} attributes, "
         f"finding schema v1, "
